@@ -1,0 +1,250 @@
+// Command seal is the SEAL-Go command-line interface.
+//
+//	seal gen    -out DIR [-eval] [-seed N]     generate a mini-Linux corpus
+//	seal infer  -patches DIR -out FILE [...]   infer specs from patches
+//	seal detect -target DIR -specs FILE [...]  detect bugs in a tree
+//	seal eval   [-seed N] [-out FILE]          reproduce all experiments
+//
+// A full session against a generated corpus:
+//
+//	seal gen -out /tmp/corpus -eval
+//	seal infer -patches /tmp/corpus/patches -out /tmp/specs.json
+//	seal detect -target /tmp/corpus/tree -specs /tmp/specs.json -report
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"seal"
+	"seal/internal/eval"
+	"seal/internal/kernelgen"
+	"seal/internal/patch"
+	"seal/internal/report"
+	"seal/internal/spec"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = cmdGen(os.Args[2:])
+	case "infer":
+		err = cmdInfer(os.Args[2:])
+	case "detect":
+		err = cmdDetect(os.Args[2:])
+	case "specs":
+		err = cmdSpecs(os.Args[2:])
+	case "eval":
+		err = cmdEval(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "seal: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "seal:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: seal <command> [flags]
+
+commands:
+  gen     generate a synthetic mini-Linux corpus (tree + patches + ground truth)
+  infer   infer interface specifications from a patch directory
+  detect  detect specification violations in a source tree
+  specs   browse a specification database grouped by interface
+  eval    reproduce every table and figure of the paper's evaluation
+`)
+}
+
+// cmdSpecs renders a spec database as a per-interface catalog — the
+// "dataset of interface specifications" the paper suggests kernel
+// maintainers keep and grow (§9).
+func cmdSpecs(args []string) error {
+	fs := flag.NewFlagSet("specs", flag.ExitOnError)
+	file := fs.String("file", "", "spec database from `seal infer` (required)")
+	scope := fs.String("scope", "", "only show this scope (e.g. iface:vb2_ops.buf_prepare)")
+	fs.Parse(args)
+	if *file == "" {
+		return fmt.Errorf("specs: -file is required")
+	}
+	data, err := os.ReadFile(*file)
+	if err != nil {
+		return err
+	}
+	var db spec.DB
+	if err := json.Unmarshal(data, &db); err != nil {
+		return err
+	}
+	byScope := make(map[string][]*spec.Spec)
+	var scopes []string
+	for _, s := range db.Specs {
+		k := s.Scope()
+		if *scope != "" && k != *scope {
+			continue
+		}
+		if _, ok := byScope[k]; !ok {
+			scopes = append(scopes, k)
+		}
+		byScope[k] = append(byScope[k], s)
+	}
+	sort.Strings(scopes)
+	total := 0
+	for _, k := range scopes {
+		fmt.Printf("%s (%d)\n", k, len(byScope[k]))
+		for _, s := range byScope[k] {
+			fmt.Printf("  %s  [%s, from %s]\n", s.Constraint.String(), s.Origin, s.OriginPatch)
+		}
+		total += len(byScope[k])
+		fmt.Println()
+	}
+	fmt.Printf("%d specifications across %d scopes\n", total, len(scopes))
+	return nil
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	out := fs.String("out", "", "output directory (required)")
+	evalSize := fs.Bool("eval", false, "use the full evaluation corpus size")
+	seed := fs.Int64("seed", 0, "override the generator seed")
+	fs.Parse(args)
+	if *out == "" {
+		return fmt.Errorf("gen: -out is required")
+	}
+	cfg := kernelgen.DefaultConfig()
+	if *evalSize {
+		cfg = kernelgen.EvalConfig()
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	corpus := kernelgen.Generate(cfg)
+	if err := corpus.WriteTo(*out); err != nil {
+		return err
+	}
+	fmt.Printf("generated %d files, %d patches, %d seeded bugs under %s\n",
+		len(corpus.Files), len(corpus.Patches), len(corpus.Bugs), *out)
+	return nil
+}
+
+func cmdInfer(args []string) error {
+	fs := flag.NewFlagSet("infer", flag.ExitOnError)
+	patchesDir := fs.String("patches", "", "patch directory (required)")
+	out := fs.String("out", "", "output spec database file (required)")
+	workers := fs.Int("workers", 1, "concurrent patch workers")
+	noValidate := fs.Bool("no-validate", false, "skip quantifier validation (paper §6.3.3)")
+	appendTo := fs.String("append", "", "merge into an existing spec database (incremental dataset growth, paper §9)")
+	verbose := fs.Bool("v", false, "per-patch statistics")
+	fs.Parse(args)
+	if *patchesDir == "" || *out == "" {
+		return fmt.Errorf("infer: -patches and -out are required")
+	}
+	patches, err := kernelgen.LoadPatches(*patchesDir)
+	if err != nil {
+		return err
+	}
+	res, err := seal.InferSpecs(patches, seal.Options{Validate: !*noValidate, Workers: *workers})
+	if err != nil {
+		return err
+	}
+	if *verbose {
+		for _, o := range res.Outcomes {
+			fmt.Printf("  %-40s specs=%-3d P-=%d P+=%d PΨ=%d PΩ=%d\n",
+				o.PatchID, o.Specs, o.Stats.PMinus, o.Stats.PPlus, o.Stats.PPsi, o.Stats.POmega)
+		}
+	}
+	db := res.DB
+	if *appendTo != "" {
+		prev, err := os.ReadFile(*appendTo)
+		if err != nil {
+			return fmt.Errorf("infer: -append: %w", err)
+		}
+		var existing spec.DB
+		if err := json.Unmarshal(prev, &existing); err != nil {
+			return fmt.Errorf("infer: -append: %w", err)
+		}
+		merged := seal.MergeSpecDBs(&existing, db)
+		fmt.Printf("merged %d existing + %d new specs -> %d\n",
+			len(existing.Specs), len(db.Specs), len(merged.Specs))
+		db = merged
+	}
+	data, err := json.MarshalIndent(db, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	t := res.Totals()
+	fmt.Printf("inferred %d specifications from %d patches (%d zero-relation) -> %s\n",
+		len(db.Specs), len(patches), res.ZeroRelationPatches, *out)
+	fmt.Printf("relations: P-=%d P+=%d PΨ=%d PΩ=%d\n", t.PMinus, t.PPlus, t.PPsi, t.POmega)
+	return nil
+}
+
+func cmdDetect(args []string) error {
+	fs := flag.NewFlagSet("detect", flag.ExitOnError)
+	target := fs.String("target", "", "source tree to analyze (required)")
+	specFile := fs.String("specs", "", "spec database from `seal infer` (required)")
+	full := fs.Bool("report", false, "print full bug reports (paths, specs, origins)")
+	fs.Parse(args)
+	if *target == "" || *specFile == "" {
+		return fmt.Errorf("detect: -target and -specs are required")
+	}
+	t, err := seal.LoadDir(*target)
+	if err != nil {
+		return err
+	}
+	data, err := os.ReadFile(*specFile)
+	if err != nil {
+		return err
+	}
+	var db spec.DB
+	if err := json.Unmarshal(data, &db); err != nil {
+		return err
+	}
+	bugs := seal.Detect(t, db.Specs)
+	if *full {
+		fmt.Print(report.RenderAll(bugs, map[string]*patch.Patch{}))
+		return nil
+	}
+	for _, b := range bugs {
+		fmt.Println(b.String())
+	}
+	sum := report.Summarize(bugs)
+	fmt.Printf("---\n%d reports over %d specs\n", sum.Total, len(db.Specs))
+	return nil
+}
+
+func cmdEval(args []string) error {
+	fs := flag.NewFlagSet("eval", flag.ExitOnError)
+	seedFlag := fs.Int64("seed", 0, "override the corpus seed")
+	out := fs.String("out", "", "also write the report to this file")
+	fs.Parse(args)
+	cfg := kernelgen.EvalConfig()
+	if *seedFlag != 0 {
+		cfg.Seed = *seedFlag
+	}
+	run, err := eval.NewRun(cfg)
+	if err != nil {
+		return err
+	}
+	text := run.FormatAll()
+	fmt.Print(text)
+	if *out != "" {
+		return os.WriteFile(*out, []byte(text), 0o644)
+	}
+	return nil
+}

@@ -1,0 +1,102 @@
+// Quickstart: the paper's running example end to end.
+//
+// We feed SEAL the Fig. 3 security patch (buffer_prepare drops the error
+// code of its risc-allocation helper; the fix propagates it). SEAL infers
+// Spec 4.1 — "the -ENOMEM error code must reach the interface return when
+// dma_alloc_coherent fails" — and then finds the same latent bug in a
+// sibling implementation of vb2_ops.buf_prepare (the paper's
+// tw68_buf_prepare, Table 1 row 9).
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"seal"
+	"seal/internal/cir"
+	"seal/internal/patch"
+	"seal/internal/report"
+)
+
+// The target tree: a correct sibling, a buggy sibling, and one
+// implementation that never touches the DMA API (the spec must skip it).
+const targetTree = `
+struct cx23885_riscmem {
+	int *cpu;
+	int size;
+};
+struct vb2_buffer {
+	struct cx23885_riscmem risc;
+	int state;
+};
+struct vb2_ops {
+	int (*buf_prepare)(struct vb2_buffer *vb);
+};
+int *dma_alloc_coherent(int size);
+
+int saa7134_risc_alloc(struct cx23885_riscmem *risc) {
+	risc->cpu = dma_alloc_coherent(risc->size);
+	if (risc->cpu == NULL)
+		return -ENOMEM;
+	return 0;
+}
+int saa7134_buf_prepare(struct vb2_buffer *vb) {
+	return saa7134_risc_alloc(&vb->risc);
+}
+
+int tw68_risc_alloc(struct cx23885_riscmem *risc) {
+	risc->cpu = dma_alloc_coherent(risc->size);
+	if (risc->cpu == NULL)
+		return -ENOMEM;
+	return 0;
+}
+int tw68_buf_prepare(struct vb2_buffer *vb) {
+	tw68_risc_alloc(&vb->risc);
+	return 0;
+}
+
+int plain_prepare(struct vb2_buffer *vb) {
+	vb->state = 1;
+	return 0;
+}
+
+struct vb2_ops saa7134_qops = { .buf_prepare = saa7134_buf_prepare, };
+struct vb2_ops tw68_qops = { .buf_prepare = tw68_buf_prepare, };
+struct vb2_ops plain_qops = { .buf_prepare = plain_prepare, };
+`
+
+func main() {
+	// 1. The security patch: pre-patch (buggy) and post-patch (fixed)
+	//    versions of the cx23885 driver (paper Fig. 3).
+	fig3 := &seal.Patch{
+		ID:          "cx23885-fix-error-code",
+		Description: "media: cx23885: fix wrong error code in buffer_prepare",
+		Pre:         map[string]string{"drivers/media/pci/cx23885.c": cir.Fig3PreSource},
+		Post:        map[string]string{"drivers/media/pci/cx23885.c": cir.Fig3Source},
+	}
+
+	// 2. Infer interface specifications from the patch.
+	res, err := seal.InferSpecs([]*seal.Patch{fig3}, seal.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Inferred %d specification(s) from patch %s:\n", len(res.DB.Specs), fig3.ID)
+	for _, s := range res.DB.Specs {
+		fmt.Println(" ", s)
+	}
+
+	// 3. Detect violations in the rest of the tree.
+	target, err := seal.LoadFiles(map[string]string{"drivers/media/pci/tw68.c": targetTree})
+	if err != nil {
+		log.Fatal(err)
+	}
+	bugs := seal.Detect(target, res.DB.Specs)
+
+	fmt.Printf("\n%d violation(s) found:\n\n", len(bugs))
+	patches := map[string]*patch.Patch{fig3.ID: fig3}
+	for _, b := range bugs {
+		fmt.Println(report.Render(b, patches))
+	}
+}

@@ -1,0 +1,130 @@
+// Package aphp reproduces the APHP baseline (Lin et al., USENIX Security
+// 2023) as characterized in the SEAL paper §3.1/§8.3: a patch-based,
+// intra-procedural API post-handling detector whose specifications are
+// 4-tuples <target API, post-operation, critical variable, path condition>.
+// Its design limitations are reproduced deliberately: the specification
+// form only expresses post-handling (one behaviour class), rule extraction
+// relies on surface patterns and over-generates, and detection never
+// crosses function boundaries — yielding the paper's observed shape of
+// many reports with low precision (28,479 reports / 60 TPs).
+package aphp
+
+import (
+	"fmt"
+	"sort"
+
+	"seal/internal/ir"
+	"seal/internal/patch"
+)
+
+// Rule is the APHP 4-tuple. The critical variable is tracked positionally
+// (the target API's result or pointer argument must later reach the
+// post-op); the path condition degenerates to "on some path", matching the
+// baseline's coarse condition handling reported in the paper.
+type Rule struct {
+	TargetAPI string
+	PostOp    string
+	// ResultCritical: the critical variable is the target API's result
+	// (else: its first pointer argument).
+	ResultCritical bool
+	Origin         string // patch ID
+}
+
+// Key is the dedup identity.
+func (r Rule) Key() string {
+	return fmt.Sprintf("%s->%s/%v", r.TargetAPI, r.PostOp, r.ResultCritical)
+}
+
+// String implements fmt.Stringer.
+func (r Rule) String() string {
+	crit := "arg"
+	if r.ResultCritical {
+		crit = "ret"
+	}
+	return fmt.Sprintf("<%s, %s, %s, path>", r.TargetAPI, r.PostOp, crit)
+}
+
+// Report is one APHP finding: a call to the target API with no later
+// post-op call in the same function.
+type Report struct {
+	Fn   *ir.Func
+	Rule Rule
+	Line int
+}
+
+// String implements fmt.Stringer.
+func (r Report) String() string {
+	return fmt.Sprintf("missing post-handling %s after %s in %s (line %d)",
+		r.Rule.PostOp, r.Rule.TargetAPI, r.Fn.Name, r.Line)
+}
+
+// InferRules extracts post-handling rules from patches: every API call
+// added by a patch is a candidate post-operation, paired with every API
+// invoked earlier in the same (post-patch) function. The pairing is
+// pattern-based and over-generates — the dominant source of incorrect
+// APHP specifications per the paper (90.8% of its FPs).
+func InferRules(patches []*patch.Patch) []Rule {
+	var rules []Rule
+	seen := make(map[string]bool)
+	for _, p := range patches {
+		a, err := p.Analyze()
+		if err != nil {
+			continue
+		}
+		prog := a.PostProg
+		for _, added := range a.ChangedStmts(patch.PostSide) {
+			if added.Kind != ir.StCall || added.Callee == "" || !prog.IsAPI(added.Callee) {
+				continue
+			}
+			// Pair with every API called before the added post-op.
+			for _, s := range added.Fn.Stmts() {
+				if s == added {
+					break
+				}
+				if s.Kind != ir.StCall || s.Callee == "" || !prog.IsAPI(s.Callee) || s.Callee == added.Callee {
+					continue
+				}
+				r := Rule{
+					TargetAPI:      s.Callee,
+					PostOp:         added.Callee,
+					ResultCritical: s.LHS != nil,
+					Origin:         p.ID,
+				}
+				if !seen[r.Key()] {
+					seen[r.Key()] = true
+					rules = append(rules, r)
+				}
+			}
+		}
+	}
+	sort.Slice(rules, func(i, j int) bool { return rules[i].Key() < rules[j].Key() })
+	return rules
+}
+
+// Detect applies the rules intra-procedurally: every call to the target
+// API that is not followed (in statement order, within the same function)
+// by a call to the post-op is reported.
+func Detect(prog *ir.Program, rules []Rule) []Report {
+	var out []Report
+	for _, fn := range prog.FuncList {
+		stmts := fn.Stmts()
+		for _, rule := range rules {
+			for i, s := range stmts {
+				if !s.IsCallTo(rule.TargetAPI) {
+					continue
+				}
+				handled := false
+				for _, later := range stmts[i+1:] {
+					if later.IsCallTo(rule.PostOp) {
+						handled = true
+						break
+					}
+				}
+				if !handled {
+					out = append(out, Report{Fn: fn, Rule: rule, Line: s.Line})
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,69 @@
+package aphp
+
+import (
+	"testing"
+
+	"seal/internal/cir"
+	"seal/internal/ir"
+	"seal/internal/kernelgen"
+)
+
+func TestInferRulesFromMemleakPatch(t *testing.T) {
+	c := kernelgen.Generate(kernelgen.DefaultConfig())
+	rules := InferRules(c.Patches)
+	if len(rules) == 0 {
+		t.Fatal("no rules inferred")
+	}
+	// The memleak patch adds a kfree post-op; a kmalloc->kfree rule must
+	// be among the extracted 4-tuples.
+	found := false
+	for _, r := range rules {
+		if hasSuffix(r.TargetAPI, "_kmalloc") && hasSuffix(r.PostOp, "_kfree") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing kmalloc->kfree rule; rules: %v", rules)
+	}
+}
+
+func TestDetectIsIntraProceduralAndNoisy(t *testing.T) {
+	c := kernelgen.Generate(kernelgen.DefaultConfig())
+	rules := InferRules(c.Patches)
+	var files []*cir.File
+	for _, name := range c.SortedFileNames() {
+		f, err := cir.ParseFile(name, c.Files[name])
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+	}
+	prog, err := ir.NewProgram(files...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports := Detect(prog, rules)
+	if len(reports) == 0 {
+		t.Fatal("no reports")
+	}
+	// APHP must find the seeded memleak bugs (its supported class) …
+	gt := c.BugByFunc()
+	tp := 0
+	for _, r := range reports {
+		if b, ok := gt[r.Fn.Name]; ok && (b.Family == "memleak" || b.Family == "refput") {
+			tp++
+		}
+	}
+	if tp == 0 {
+		t.Error("APHP missed all post-handling bugs")
+	}
+	// … and must be far noisier than the ground truth (the paper's
+	// 28,479-report shape).
+	if len(reports) <= len(c.Bugs) {
+		t.Errorf("APHP reports (%d) suspiciously precise vs %d seeded bugs", len(reports), len(c.Bugs))
+	}
+}
+
+func hasSuffix(s, suf string) bool {
+	return len(s) >= len(suf) && s[len(s)-len(suf):] == suf
+}

@@ -1,0 +1,192 @@
+// Package crix reproduces the CRIX baseline (Lu et al., USENIX Security
+// 2019) as characterized in the SEAL paper §3.1/§8.3: a deviation-based
+// missing-check detector that cross-checks the conditional statements in
+// the peer slices of critical variables, flagging minority unchecked uses.
+// Its reported limitations are reproduced deliberately: coarse grouping of
+// peer slices (incomparable slices get cross-checked), coarse condition
+// modeling (any guard on the variable counts, regardless of the
+// predicate), and majority voting that fails when most peers are wrong —
+// yielding the paper's shape of many reports and low precision
+// (3,105 reports / 44 TPs).
+package crix
+
+import (
+	"fmt"
+	"sort"
+
+	"seal/internal/cfg"
+	"seal/internal/ir"
+)
+
+// use is one sensitive use of a critical variable.
+type use struct {
+	fn      *ir.Func
+	stmt    *ir.Stmt
+	checked bool
+}
+
+// Report is one CRIX finding: a minority-unchecked sensitive use.
+type Report struct {
+	Fn    *ir.Func
+	Line  int
+	Group string // peer-slice group key
+	// PeersChecked / PeersTotal summarize the vote.
+	PeersChecked int
+	PeersTotal   int
+}
+
+// String implements fmt.Stringer.
+func (r Report) String() string {
+	return fmt.Sprintf("missing check in %s (line %d): %d/%d peers in group %q check first",
+		r.Fn.Name, r.Line, r.PeersChecked, r.PeersTotal, r.Group)
+}
+
+// MajorityThreshold is the fraction of checked peers needed to flag the
+// unchecked minority.
+const MajorityThreshold = 0.5
+
+// Detect cross-checks sensitive uses of critical variables across peer
+// slices. Critical variables are (a) interface arguments, grouped by
+// interface and argument index, and (b) API return values, grouped
+// coarsely by the API's return-type shape — the coarse grouping that makes
+// incomparable slices vote against each other (a reported CRIX FP source).
+func Detect(prog *ir.Program) []Report {
+	groups := make(map[string][]use)
+
+	for _, fn := range prog.FuncList {
+		info := cfg.Analyze(fn)
+		ifaces := prog.InterfacesOf(fn)
+
+		// Map statement -> set of base vars checked by branches governing it.
+		checkedBy := func(s *ir.Stmt, base *ir.Var) bool {
+			for _, d := range info.StmtDeps(s) {
+				for _, u := range d.Branch.Uses {
+					if u.Base == base {
+						return true
+					}
+				}
+			}
+			return false
+		}
+
+		// (a) Interface arguments used in sensitive operations: one vote
+		// per implementation (the peer-slice granularity) — an impl is
+		// "checked" if any branch in it inspects the argument.
+		if len(ifaces) > 0 {
+			type argUse struct {
+				first   *ir.Stmt
+				checked bool
+			}
+			perArg := make(map[int]*argUse)
+			for _, s := range fn.Stmts() {
+				if s.Kind != ir.StAssign && s.Kind != ir.StCall && s.Kind != ir.StReturn {
+					continue
+				}
+				for _, u := range s.Uses {
+					if u.Base.Kind != ir.VarParam || !u.HasDeref() {
+						continue
+					}
+					au := perArg[u.Base.ParamIndex]
+					if au == nil {
+						au = &argUse{first: s}
+						perArg[u.Base.ParamIndex] = au
+					}
+				}
+			}
+			for _, s := range fn.Stmts() {
+				if s.Kind != ir.StBranch && s.Kind != ir.StSwitch {
+					continue
+				}
+				for _, u := range s.Uses {
+					if u.Base.Kind == ir.VarParam {
+						if au := perArg[u.Base.ParamIndex]; au != nil {
+							au.checked = true
+						}
+					}
+				}
+			}
+			for idx, au := range perArg {
+				key := fmt.Sprintf("iface-arg:%s#%d", ifaces[0], idx)
+				groups[key] = append(groups[key], use{fn: fn, stmt: au.first, checked: au.checked})
+			}
+		}
+
+		// (b) API results consumed later in the function; grouped by the
+		// return-type shape only.
+		for _, s := range fn.Stmts() {
+			if s.Kind != ir.StCall || s.Callee == "" || !prog.IsAPI(s.Callee) || s.LHS == nil {
+				continue
+			}
+			lv, _, ok := fn.LvalLoc(s.LHS)
+			if !ok || !lv.IsDirect() {
+				continue
+			}
+			proto := prog.Protos[s.Callee]
+			shape := "int"
+			if proto != nil && proto.Ret.IsPtr() {
+				shape = "ptr"
+			}
+			// Find downstream uses of the result variable.
+			for _, later := range fn.Stmts() {
+				if later == s || later.Kind == ir.StBranch || later.Kind == ir.StSwitch {
+					continue
+				}
+				usesResult := false
+				for _, u := range later.Uses {
+					if u.Base == lv.Base {
+						usesResult = true
+					}
+				}
+				if !usesResult || !info.Reaches(s, later) {
+					continue
+				}
+				key := "api-ret:" + shape
+				groups[key] = append(groups[key], use{fn: fn, stmt: later, checked: checkedBy(later, lv.Base)})
+			}
+		}
+	}
+
+	var out []Report
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		uses := groups[k]
+		if len(uses) < 3 {
+			continue // too few peers to vote
+		}
+		checked := 0
+		for _, u := range uses {
+			if u.checked {
+				checked++
+			}
+		}
+		if float64(checked)/float64(len(uses)) <= MajorityThreshold {
+			continue // no checking majority
+		}
+		seen := make(map[string]bool)
+		for _, u := range uses {
+			if u.checked {
+				continue
+			}
+			id := u.fn.Name + fmt.Sprint(u.stmt.Line)
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			out = append(out, Report{
+				Fn: u.fn, Line: u.stmt.Line, Group: k,
+				PeersChecked: checked, PeersTotal: len(uses),
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Fn.Name != out[j].Fn.Name {
+			return out[i].Fn.Name < out[j].Fn.Name
+		}
+		return out[i].Line < out[j].Line
+	})
+	return out
+}

@@ -1,0 +1,327 @@
+// Package cfg computes control-flow analyses over the IR: post-dominators,
+// control dependence (the Ec edges of the PDG, paper Def. 6.1), the
+// topological flow order Ω (Def. 6.2), and forward reachability used to
+// decide whether two use sites are order-comparable.
+package cfg
+
+import (
+	"seal/internal/ir"
+)
+
+// CtrlDep records that a statement's execution is decided by a branch
+// statement taking a specific out-edge.
+type CtrlDep struct {
+	Branch  *ir.Stmt // the branch/switch terminator
+	EdgeIdx int      // which successor edge of Branch.Blk
+}
+
+// Info holds the control-flow facts of one function.
+type Info struct {
+	Fn *ir.Func
+
+	// IPostDom maps each block to its immediate post-dominator (nil for
+	// the exit block and for blocks that cannot reach exit).
+	IPostDom map[*ir.Block]*ir.Block
+
+	// BlockDeps maps each block to the branches it is control-dependent on.
+	BlockDeps map[*ir.Block][]CtrlDep
+
+	// Order is the flow order Ω: Order[s1] < Order[s2] implies s1 executes
+	// before s2 whenever both lie on one execution path (back edges are
+	// ignored so the order is a DAG topological order).
+	Order map[*ir.Stmt]int
+
+	// rpo is the block order used for Ω.
+	rpo []*ir.Block
+
+	reach     map[*ir.Block]map[*ir.Block]bool // acyclic forward reachability
+	transDeps map[*ir.Block][]CtrlDep          // transitive control dependence cache
+	backEdges map[*ir.Block][]bool             // per-successor loop back-edge marks
+}
+
+// Analyze computes all control-flow facts for fn.
+func Analyze(fn *ir.Func) *Info {
+	in := &Info{
+		Fn:        fn,
+		IPostDom:  make(map[*ir.Block]*ir.Block),
+		BlockDeps: make(map[*ir.Block][]CtrlDep),
+		Order:     make(map[*ir.Stmt]int),
+	}
+	in.markBackEdges()
+	in.computeRPO()
+	in.computeOrder()
+	in.computePostDom()
+	in.computeControlDeps()
+	in.computeReach()
+	return in
+}
+
+// markBackEdges records loop back edges via DFS. Back-edge facts live in
+// the Info (not on the shared IR blocks) so that independent analyses of
+// the same program — e.g. parallel detectors — never write shared state.
+func (in *Info) markBackEdges() {
+	in.backEdges = make(map[*ir.Block][]bool, len(in.Fn.Blocks))
+	state := make(map[*ir.Block]int) // 0 unvisited, 1 on stack, 2 done
+	var dfs func(b *ir.Block)
+	dfs = func(b *ir.Block) {
+		state[b] = 1
+		marks := make([]bool, len(b.Succs))
+		in.backEdges[b] = marks
+		for i, s := range b.Succs {
+			switch state[s] {
+			case 0:
+				dfs(s)
+			case 1:
+				marks[i] = true
+			}
+		}
+		state[b] = 2
+	}
+	if in.Fn.Entry != nil {
+		dfs(in.Fn.Entry)
+	}
+	// Blocks unreachable from entry (dangling code after returns).
+	for _, b := range in.Fn.Blocks {
+		if state[b] == 0 {
+			dfs(b)
+		}
+	}
+}
+
+// IsBackEdge reports whether the i-th successor edge of b closes a loop.
+func (in *Info) IsBackEdge(b *ir.Block, i int) bool {
+	marks := in.backEdges[b]
+	return i < len(marks) && marks[i]
+}
+
+// forwardSuccs returns successors excluding back edges.
+func (in *Info) forwardSuccs(b *ir.Block) []*ir.Block {
+	var out []*ir.Block
+	marks := in.backEdges[b]
+	for i, s := range b.Succs {
+		if i >= len(marks) || !marks[i] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func (in *Info) computeRPO() {
+	visited := make(map[*ir.Block]bool)
+	var post []*ir.Block
+	var dfs func(b *ir.Block)
+	dfs = func(b *ir.Block) {
+		visited[b] = true
+		// Visit successors in reverse so that loop bodies (the first
+		// successor of a loop header) finish last and therefore precede
+		// the loop exit in the resulting flow order Ω.
+		succs := in.forwardSuccs(b)
+		for i := len(succs) - 1; i >= 0; i-- {
+			if !visited[succs[i]] {
+				dfs(succs[i])
+			}
+		}
+		post = append(post, b)
+	}
+	if in.Fn.Entry != nil {
+		dfs(in.Fn.Entry)
+	}
+	for _, b := range in.Fn.Blocks {
+		if !visited[b] {
+			dfs(b)
+		}
+	}
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	in.rpo = post
+}
+
+func (in *Info) computeOrder() {
+	n := 0
+	for _, b := range in.rpo {
+		for _, s := range b.Stmts {
+			in.Order[s] = n
+			n++
+		}
+	}
+}
+
+// computePostDom runs the iterative dominance algorithm on the reversed CFG
+// rooted at the exit block.
+func (in *Info) computePostDom() {
+	exit := in.Fn.Exit
+	if exit == nil {
+		return
+	}
+	// Reverse post-order of the reversed CFG.
+	visited := make(map[*ir.Block]bool)
+	var post []*ir.Block
+	var dfs func(b *ir.Block)
+	dfs = func(b *ir.Block) {
+		visited[b] = true
+		for _, p := range b.Preds {
+			if !visited[p] {
+				dfs(p)
+			}
+		}
+		post = append(post, b)
+	}
+	dfs(exit)
+	order := make(map[*ir.Block]int, len(post))
+	for i, b := range post {
+		order[b] = i // exit gets the largest index after reversal below
+	}
+	rpo := make([]*ir.Block, len(post))
+	for i := range post {
+		rpo[len(post)-1-i] = post[i]
+	}
+	for i, b := range rpo {
+		order[b] = i
+	}
+
+	ipdom := in.IPostDom
+	ipdom[exit] = exit
+	intersect := func(a, b *ir.Block) *ir.Block {
+		for a != b {
+			for order[a] > order[b] {
+				a = ipdom[a]
+			}
+			for order[b] > order[a] {
+				b = ipdom[b]
+			}
+		}
+		return a
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range rpo {
+			if b == exit {
+				continue
+			}
+			var newIdom *ir.Block
+			for _, s := range b.Succs {
+				if ipdom[s] == nil {
+					continue
+				}
+				if newIdom == nil {
+					newIdom = s
+				} else {
+					newIdom = intersect(newIdom, s)
+				}
+			}
+			if newIdom != nil && ipdom[b] != newIdom {
+				ipdom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	ipdom[exit] = nil
+}
+
+// computeControlDeps derives block-level control dependence from the
+// post-dominator tree (Ferrante–Ottenstein–Warren).
+func (in *Info) computeControlDeps() {
+	for _, b := range in.Fn.Blocks {
+		term := b.Terminator()
+		if term == nil || len(b.Succs) < 2 {
+			continue
+		}
+		for i, s := range b.Succs {
+			// Walk up the post-dominator tree from s until reaching
+			// ipdom(b); every block on the way is control dependent on
+			// (b, edge i).
+			stop := in.IPostDom[b]
+			v := s
+			for v != nil && v != stop {
+				in.BlockDeps[v] = append(in.BlockDeps[v], CtrlDep{Branch: term, EdgeIdx: i})
+				next := in.IPostDom[v]
+				if next == v {
+					break
+				}
+				v = next
+			}
+		}
+	}
+}
+
+func (in *Info) computeReach() {
+	in.reach = make(map[*ir.Block]map[*ir.Block]bool, len(in.Fn.Blocks))
+	// Process blocks in reverse RPO so successors are done first
+	// (forward edges only — the graph is a DAG).
+	for i := len(in.rpo) - 1; i >= 0; i-- {
+		b := in.rpo[i]
+		set := make(map[*ir.Block]bool)
+		set[b] = true
+		for _, s := range in.forwardSuccs(b) {
+			for k := range in.reach[s] {
+				set[k] = true
+			}
+			set[s] = true
+		}
+		in.reach[b] = set
+	}
+}
+
+// StmtDeps returns the transitive control dependences of a statement: every
+// branch edge that governs its execution. Path conditions Ψ are the
+// conjunction of these edges' conditions (quasi-path-sensitivity, Def. 6.2).
+func (in *Info) StmtDeps(s *ir.Stmt) []CtrlDep {
+	if in.transDeps == nil {
+		in.transDeps = make(map[*ir.Block][]CtrlDep)
+	}
+	return in.transitiveDeps(s.Blk, make(map[*ir.Block]bool))
+}
+
+func (in *Info) transitiveDeps(b *ir.Block, onPath map[*ir.Block]bool) []CtrlDep {
+	if deps, ok := in.transDeps[b]; ok {
+		return deps
+	}
+	if onPath[b] {
+		return nil // cycle guard (irreducible dependence through loops)
+	}
+	onPath[b] = true
+	defer delete(onPath, b)
+	seen := make(map[*ir.Stmt]map[int]bool)
+	var out []CtrlDep
+	add := func(d CtrlDep) {
+		if seen[d.Branch] == nil {
+			seen[d.Branch] = make(map[int]bool)
+		}
+		if !seen[d.Branch][d.EdgeIdx] {
+			seen[d.Branch][d.EdgeIdx] = true
+			out = append(out, d)
+		}
+	}
+	for _, d := range in.BlockDeps[b] {
+		add(d)
+		for _, up := range in.transitiveDeps(d.Branch.Blk, onPath) {
+			add(up)
+		}
+	}
+	in.transDeps[b] = out
+	return out
+}
+
+// Reaches reports whether execution can flow from a to b along forward
+// edges (a strictly before b, or a == b with a preceding b in the block).
+func (in *Info) Reaches(a, b *ir.Stmt) bool {
+	if a.Blk == b.Blk {
+		return in.Order[a] < in.Order[b]
+	}
+	return in.reach[a.Blk][b.Blk]
+}
+
+// OrderComparable reports whether two statements lie on a common execution
+// path, i.e. one can flow to the other ("the orders of use sites are
+// comparable", paper §5 step 2).
+func (in *Info) OrderComparable(a, b *ir.Stmt) bool {
+	return in.Reaches(a, b) || in.Reaches(b, a)
+}
+
+// ExecutedBefore reports whether a must come before b in the flow order
+// when both execute (Ω(a) < Ω(b)).
+func (in *Info) ExecutedBefore(a, b *ir.Stmt) bool {
+	return in.Order[a] < in.Order[b]
+}

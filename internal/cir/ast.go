@@ -1,0 +1,383 @@
+package cir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// File is a parsed translation unit.
+type File struct {
+	Name    string // file path / label ("drivers/media/pci/cx23885.c")
+	Structs map[string]*StructDef
+	Defines map[string]int64 // #define NAME value
+	Globals []*GlobalDecl
+	Funcs   []*FuncDecl
+	// Protos are function declarations without bodies (extern APIs).
+	Protos []*FuncDecl
+}
+
+// StructByName returns a named struct definition or nil.
+func (f *File) StructByName(name string) *StructDef { return f.Structs[name] }
+
+// FuncByName returns the defined function with the given name, or nil.
+func (f *File) FuncByName(name string) *FuncDecl {
+	for _, fn := range f.Funcs {
+		if fn.Name == name {
+			return fn
+		}
+	}
+	return nil
+}
+
+// GlobalDecl is a file-scope variable declaration, possibly with an ops-table
+// initializer (designated struct initializer assigning function names to
+// function-pointer fields).
+type GlobalDecl struct {
+	Name string
+	Type *Type
+	Init Expr // nil, scalar Expr, or *StructInitExpr
+	Pos  Pos
+}
+
+// FuncDecl is a function definition (Body != nil) or prototype (Body == nil).
+type FuncDecl struct {
+	Name   string
+	Ret    *Type
+	Params []*ParamDecl
+	Body   *BlockStmt // nil for prototypes (extern APIs)
+	Static bool
+	Pos    Pos
+	EndPos Pos
+}
+
+// Sig returns the function's signature.
+func (fd *FuncDecl) Sig() *FuncSig {
+	ps := make([]*Type, len(fd.Params))
+	for i, p := range fd.Params {
+		ps[i] = p.Type
+	}
+	return &FuncSig{Ret: fd.Ret, Params: ps}
+}
+
+// ParamDecl is a function parameter.
+type ParamDecl struct {
+	Name string
+	Type *Type
+	Pos  Pos
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+// Stmt is a kernel-C statement.
+type Stmt interface {
+	stmtNode()
+	StmtPos() Pos
+}
+
+type stmtBase struct{ Pos Pos }
+
+func (s stmtBase) stmtNode() {}
+
+// StmtPos returns the source position of the statement.
+func (s stmtBase) StmtPos() Pos { return s.Pos }
+
+// BlockStmt is a `{ ... }` block.
+type BlockStmt struct {
+	stmtBase
+	Stmts []Stmt
+}
+
+// DeclStmt declares a local variable, optionally with an initializer.
+type DeclStmt struct {
+	stmtBase
+	Name string
+	Type *Type
+	Init Expr // may be nil
+}
+
+// ExprStmt evaluates an expression for its side effects (calls, inc/dec).
+type ExprStmt struct {
+	stmtBase
+	X Expr
+}
+
+// AssignStmt is `lhs = rhs`, `lhs += rhs`, or `lhs -= rhs`.
+type AssignStmt struct {
+	stmtBase
+	Op  TokKind // TokAssign, TokPlusEq, TokMinusEq
+	LHS Expr
+	RHS Expr
+}
+
+// IfStmt is an if/else statement.
+type IfStmt struct {
+	stmtBase
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	stmtBase
+	Cond Expr
+	Body Stmt
+}
+
+// ForStmt is a C for loop.
+type ForStmt struct {
+	stmtBase
+	Init Stmt // may be nil (DeclStmt / AssignStmt / ExprStmt)
+	Cond Expr // may be nil (treated as true)
+	Post Stmt // may be nil
+	Body Stmt
+}
+
+// SwitchStmt is a switch over an integer tag.
+type SwitchStmt struct {
+	stmtBase
+	Tag   Expr
+	Cases []*CaseClause
+}
+
+// CaseClause is one case (or default, when Values is empty) of a switch.
+// Fallthrough is not modeled: each clause body is independent (the parser
+// accepts `break` terminators and merges empty fall-through labels into the
+// following clause).
+type CaseClause struct {
+	Pos    Pos
+	Values []Expr // empty for default
+	Body   []Stmt
+}
+
+// ReturnStmt returns from the function.
+type ReturnStmt struct {
+	stmtBase
+	X Expr // may be nil
+}
+
+// BreakStmt breaks the nearest loop/switch.
+type BreakStmt struct{ stmtBase }
+
+// ContinueStmt continues the nearest loop.
+type ContinueStmt struct{ stmtBase }
+
+// DoWhileStmt is a do { ... } while (cond) loop: the body executes at
+// least once.
+type DoWhileStmt struct {
+	stmtBase
+	Body Stmt
+	Cond Expr
+}
+
+// LabelStmt is a statement label (the kernel error-path idiom target).
+type LabelStmt struct {
+	stmtBase
+	Name string
+}
+
+// GotoStmt is an unconditional jump to a label in the same function.
+type GotoStmt struct {
+	stmtBase
+	Label string
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+// Expr is a kernel-C expression.
+type Expr interface {
+	exprNode()
+	ExprPos() Pos
+}
+
+type exprBase struct{ Pos Pos }
+
+func (e exprBase) exprNode() {}
+
+// ExprPos returns the source position of the expression.
+func (e exprBase) ExprPos() Pos { return e.Pos }
+
+// Ident is a variable, function, or macro-constant reference.
+type Ident struct {
+	exprBase
+	Name string
+}
+
+// IntLit is an integer literal (including resolved #define constants when
+// the parser folds them; unresolved macro names stay Idents).
+type IntLit struct {
+	exprBase
+	Val  int64
+	Text string // original spelling, e.g. "ENOMEM" when folded from a define
+}
+
+// StrLit is a string literal (used for device names, format strings).
+type StrLit struct {
+	exprBase
+	Val string
+}
+
+// UnaryExpr is a prefix unary operation: - ! ~ * & ++ --.
+type UnaryExpr struct {
+	exprBase
+	Op TokKind
+	X  Expr
+}
+
+// BinaryExpr is a binary operation.
+type BinaryExpr struct {
+	exprBase
+	Op   TokKind
+	X, Y Expr
+}
+
+// CondExpr is the ternary `c ? a : b`.
+type CondExpr struct {
+	exprBase
+	Cond, Then, Else Expr
+}
+
+// CallExpr is a function call. Fun is an Ident for direct calls or a
+// field/deref expression for indirect calls through function pointers.
+type CallExpr struct {
+	exprBase
+	Fun  Expr
+	Args []Expr
+}
+
+// IndexExpr is array indexing `x[i]`.
+type IndexExpr struct {
+	exprBase
+	X, Index Expr
+}
+
+// FieldExpr is member access `x.f` (Arrow=false) or `x->f` (Arrow=true).
+type FieldExpr struct {
+	exprBase
+	X     Expr
+	Name  string
+	Arrow bool
+}
+
+// CastExpr is `(type)x`; semantically transparent for the analysis.
+type CastExpr struct {
+	exprBase
+	Type *Type
+	X    Expr
+}
+
+// SizeofExpr is `sizeof(type)` or `sizeof expr`, folded to a constant size.
+type SizeofExpr struct {
+	exprBase
+	Size int64
+}
+
+// StructInitExpr is a designated initializer `{ .f = expr, ... }` used for
+// ops tables.
+type StructInitExpr struct {
+	exprBase
+	Fields []StructInitField
+}
+
+// StructInitField is one `.name = value` entry of a designated initializer.
+type StructInitField struct {
+	Name  string
+	Value Expr
+}
+
+// ---------------------------------------------------------------------------
+// Printing (used in diagnostics, specs, and bug reports)
+
+// ExprString renders an expression in C-like syntax.
+func ExprString(e Expr) string {
+	switch x := e.(type) {
+	case nil:
+		return ""
+	case *Ident:
+		return x.Name
+	case *IntLit:
+		if x.Text != "" && !isNumericText(x.Text) {
+			return x.Text
+		}
+		return fmt.Sprintf("%d", x.Val)
+	case *StrLit:
+		return fmt.Sprintf("%q", x.Val)
+	case *UnaryExpr:
+		return unaryOpString(x.Op) + parenthesize(x.X)
+	case *BinaryExpr:
+		return parenthesize(x.X) + " " + binaryOpString(x.Op) + " " + parenthesize(x.Y)
+	case *CondExpr:
+		return parenthesize(x.Cond) + " ? " + parenthesize(x.Then) + " : " + parenthesize(x.Else)
+	case *CallExpr:
+		var args []string
+		for _, a := range x.Args {
+			args = append(args, ExprString(a))
+		}
+		return ExprString(x.Fun) + "(" + strings.Join(args, ", ") + ")"
+	case *IndexExpr:
+		return parenthesize(x.X) + "[" + ExprString(x.Index) + "]"
+	case *FieldExpr:
+		sep := "."
+		if x.Arrow {
+			sep = "->"
+		}
+		return parenthesize(x.X) + sep + x.Name
+	case *CastExpr:
+		return "(" + x.Type.String() + ")" + parenthesize(x.X)
+	case *SizeofExpr:
+		return fmt.Sprintf("sizeof(%d)", x.Size)
+	case *StructInitExpr:
+		var fs []string
+		for _, f := range x.Fields {
+			fs = append(fs, "."+f.Name+" = "+ExprString(f.Value))
+		}
+		return "{ " + strings.Join(fs, ", ") + " }"
+	}
+	return "<expr>"
+}
+
+func isNumericText(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(c >= '0' && c <= '9') && c != 'x' && c != 'X' && !(c >= 'a' && c <= 'f') && !(c >= 'A' && c <= 'F') && c != '-' {
+			return false
+		}
+	}
+	return true
+}
+
+func parenthesize(e Expr) string {
+	s := ExprString(e)
+	switch e.(type) {
+	case *BinaryExpr, *CondExpr:
+		return "(" + s + ")"
+	}
+	return s
+}
+
+func unaryOpString(op TokKind) string {
+	switch op {
+	case TokMinus:
+		return "-"
+	case TokNot:
+		return "!"
+	case TokTilde:
+		return "~"
+	case TokStar:
+		return "*"
+	case TokAmp:
+		return "&"
+	case TokInc:
+		return "++"
+	case TokDec:
+		return "--"
+	}
+	return op.String()
+}
+
+func binaryOpString(op TokKind) string { return op.String() }

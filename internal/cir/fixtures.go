@@ -1,0 +1,173 @@
+package cir
+
+// This file holds the paper's worked examples (Figures 1, 3, 4, 5 of the
+// SEAL paper) transcribed into the kernel-C dialect. They are shared
+// fixtures: the parser, PDG, differencing, inference, and detection
+// packages all exercise their logic against these exact programs, and the
+// quickstart example ships them as its demo corpus.
+
+// Fig3Source is the paper's Fig. 3 post-patch code: buffer_prepare now
+// propagates the error code of cx23885_vbibuffer (the NPD fix).
+const Fig3Source = `
+struct cx23885_riscmem {
+	int *cpu;
+	int size;
+};
+struct vb2_buffer {
+	struct cx23885_riscmem risc;
+	int state;
+};
+struct vb2_ops {
+	int (*buf_prepare)(struct vb2_buffer *vb);
+};
+int *dma_alloc_coherent(int size);
+int cx23885_vbibuffer(struct cx23885_riscmem *risc) {
+	risc->cpu = dma_alloc_coherent(risc->size);
+	if (risc->cpu == NULL)
+		return -ENOMEM;
+	return 0;
+}
+int buffer_prepare(struct vb2_buffer *vb) {
+	return cx23885_vbibuffer(&vb->risc);
+}
+struct vb2_ops cx23885_qops = {
+	.buf_prepare = buffer_prepare,
+};
+`
+
+// Fig3PreSource is the pre-patch version of Fig. 3: the return value of
+// cx23885_vbibuffer is dropped, so -ENOMEM never reaches the interface
+// return (the NPD bug of paper Fig. 1).
+const Fig3PreSource = `
+struct cx23885_riscmem {
+	int *cpu;
+	int size;
+};
+struct vb2_buffer {
+	struct cx23885_riscmem risc;
+	int state;
+};
+struct vb2_ops {
+	int (*buf_prepare)(struct vb2_buffer *vb);
+};
+int *dma_alloc_coherent(int size);
+int cx23885_vbibuffer(struct cx23885_riscmem *risc) {
+	risc->cpu = dma_alloc_coherent(risc->size);
+	if (risc->cpu == NULL)
+		return -ENOMEM;
+	return 0;
+}
+int buffer_prepare(struct vb2_buffer *vb) {
+	cx23885_vbibuffer(&vb->risc);
+	return 0;
+}
+struct vb2_ops cx23885_qops = {
+	.buf_prepare = buffer_prepare,
+};
+`
+
+// Fig4PreSource is the paper's Fig. 4 pre-patch code: the copy loop indexes
+// msg[0].buf with data->len unchecked (out-of-bounds bug).
+const Fig4PreSource = `
+#define I2C_SMBUS_I2C_BLOCK_DATA 8
+#define MAX 32
+struct smbus_data {
+	int len;
+	char block[34];
+};
+struct msg_t { char *buf; };
+struct i2c_algorithm {
+	int (*smbus_xfer)(int size, struct smbus_data *data);
+};
+struct msg_t msg[2];
+int xfer_emulated(int size, struct smbus_data *data) {
+	int i;
+	switch (size) {
+	case I2C_SMBUS_I2C_BLOCK_DATA:
+		for (i = 1; i <= data->len; i++)
+			msg[0].buf[i] = data->block[i];
+		break;
+	}
+	return 0;
+}
+struct i2c_algorithm smbus_algorithm = {
+	.smbus_xfer = xfer_emulated,
+};
+`
+
+// Fig4PostSource is the patched Fig. 4: the copy is guarded by a sanity
+// check on data->len.
+const Fig4PostSource = `
+#define I2C_SMBUS_I2C_BLOCK_DATA 8
+#define MAX 32
+struct smbus_data {
+	int len;
+	char block[34];
+};
+struct msg_t { char *buf; };
+struct i2c_algorithm {
+	int (*smbus_xfer)(int size, struct smbus_data *data);
+};
+struct msg_t msg[2];
+int xfer_emulated(int size, struct smbus_data *data) {
+	int i;
+	switch (size) {
+	case I2C_SMBUS_I2C_BLOCK_DATA:
+		if (data->len <= MAX) {
+			for (i = 1; i <= data->len; i++)
+				msg[0].buf[i] = data->block[i];
+		}
+		break;
+	}
+	return 0;
+}
+struct i2c_algorithm smbus_algorithm = {
+	.smbus_xfer = xfer_emulated,
+};
+`
+
+// Fig5PreSource is the paper's Fig. 5 pre-patch code: put_device is invoked
+// before ida_free dereferences pdev->dev.devt (use-after-free bug).
+const Fig5PreSource = `
+struct device { int devt; int refcount; };
+struct platform_device { struct device dev; };
+struct ida { int bits; };
+struct platform_driver {
+	int (*probe)(struct platform_device *pdev);
+	int (*remove)(struct platform_device *pdev);
+};
+void put_device(struct device *dev);
+void ida_free(struct ida *ida, int id);
+struct ida telem_ida;
+int telem_remove(struct platform_device *pdev) {
+	put_device(&pdev->dev);
+	ida_free(&telem_ida, pdev->dev.devt);
+	return 0;
+}
+struct platform_driver telem_driver = {
+	.remove = telem_remove,
+};
+`
+
+// Fig5PostSource is the patched Fig. 5: put_device is moved after the last
+// use of pdev->dev.
+const Fig5PostSource = `
+struct device { int devt; int refcount; };
+struct platform_device { struct device dev; };
+struct ida { int bits; };
+struct platform_driver {
+	int (*probe)(struct platform_device *pdev);
+	int (*remove)(struct platform_device *pdev);
+};
+void put_device(struct device *dev);
+void ida_free(struct ida *ida, int id);
+struct ida telem_ida;
+int telem_remove(struct platform_device *pdev) {
+	ida_free(&telem_ida, pdev->dev.devt);
+	put_device(&pdev->dev);
+	return 0;
+}
+struct platform_driver telem_driver = {
+	.remove = telem_remove,
+};
+`

@@ -1,0 +1,131 @@
+package cir
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLexBasicTokens(t *testing.T) {
+	toks, err := Lex(`int x = 42; /* c */ // line`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []TokKind{TokKwInt, TokIdent, TokAssign, TokInt, TokSemi, TokEOF}
+	if len(toks) != len(kinds) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(kinds), toks)
+	}
+	for i, k := range kinds {
+		if toks[i].Kind != k {
+			t.Errorf("token %d: got %s, want %s", i, toks[i].Kind, k)
+		}
+	}
+	if toks[3].Val != 42 {
+		t.Errorf("int literal value: got %d, want 42", toks[3].Val)
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	src := `-> ++ -- << >> <= >= == != && || += -= ? :`
+	toks, err := Lex(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokKind{TokArrow, TokInc, TokDec, TokShl, TokShr, TokLe, TokGe,
+		TokEq, TokNe, TokAndAnd, TokOrOr, TokPlusEq, TokMinusEq, TokQuest, TokColon, TokEOF}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Errorf("token %d: got %s, want %s", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestLexHexAndSuffixes(t *testing.T) {
+	toks, err := Lex(`0x10 0xffffffff 100UL 7L`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantVals := []int64{16, 0xffffffff, 100, 7}
+	for i, v := range wantVals {
+		if toks[i].Kind != TokInt || toks[i].Val != v {
+			t.Errorf("token %d: got %v (val %d), want val %d", i, toks[i], toks[i].Val, v)
+		}
+	}
+}
+
+func TestLexLineNumbers(t *testing.T) {
+	toks, err := Lex("int a;\nint b;\n\nint c;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines []int
+	for _, tok := range toks {
+		if tok.Kind == TokIdent {
+			lines = append(lines, tok.Line)
+		}
+	}
+	want := []int{1, 2, 4}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Errorf("ident %d on line %d, want %d", i, lines[i], want[i])
+		}
+	}
+}
+
+func TestLexDefine(t *testing.T) {
+	toks, err := Lex("#define MAX 32\nint x;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TokHashDefine || toks[0].Text != "MAX 32" {
+		t.Fatalf("got %v, want #define MAX 32", toks[0])
+	}
+}
+
+func TestLexStringEscapes(t *testing.T) {
+	toks, err := Lex(`"a\nb\t\"q\""`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TokString || toks[0].Text != "a\nb\t\"q\"" {
+		t.Fatalf("got %q", toks[0].Text)
+	}
+}
+
+func TestLexCharLiteral(t *testing.T) {
+	toks, err := Lex(`'a' '\n'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Val != 'a' || toks[1].Val != '\n' {
+		t.Fatalf("char values: %d %d", toks[0].Val, toks[1].Val)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	cases := []string{"/* unterminated", `"unterminated`, "'a", "@"}
+	for _, src := range cases {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("Lex(%q): expected error", src)
+		}
+	}
+}
+
+// Property: lexing never panics and always terminates with EOF on arbitrary
+// ASCII-ish input when it succeeds.
+func TestLexNeverPanics(t *testing.T) {
+	f := func(b []byte) bool {
+		// Restrict to printable ASCII plus whitespace to keep inputs C-like.
+		src := make([]byte, len(b))
+		for i, c := range b {
+			src[i] = ' ' + c%95
+		}
+		toks, err := Lex(string(src))
+		if err != nil {
+			return true
+		}
+		return len(toks) > 0 && toks[len(toks)-1].Kind == TokEOF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

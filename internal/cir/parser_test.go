@@ -1,0 +1,437 @@
+package cir
+
+import (
+	"testing"
+)
+
+func TestParseFig3(t *testing.T) {
+	f, err := ParseFile("fig3.c", Fig3Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Funcs) != 2 {
+		t.Fatalf("got %d funcs, want 2", len(f.Funcs))
+	}
+	if len(f.Protos) != 1 || f.Protos[0].Name != "dma_alloc_coherent" {
+		t.Fatalf("protos: %+v", f.Protos)
+	}
+	if len(f.Globals) != 1 || f.Globals[0].Name != "cx23885_qops" {
+		t.Fatalf("globals: %+v", f.Globals)
+	}
+	init, ok := f.Globals[0].Init.(*StructInitExpr)
+	if !ok {
+		t.Fatalf("ops init is %T, want *StructInitExpr", f.Globals[0].Init)
+	}
+	if len(init.Fields) != 1 || init.Fields[0].Name != "buf_prepare" {
+		t.Fatalf("ops fields: %+v", init.Fields)
+	}
+	if id, ok := init.Fields[0].Value.(*Ident); !ok || id.Name != "buffer_prepare" {
+		t.Fatalf("ops value: %v", ExprString(init.Fields[0].Value))
+	}
+
+	// Struct layout: byte offsets.
+	risc := f.StructByName("cx23885_riscmem")
+	if risc == nil {
+		t.Fatal("missing struct cx23885_riscmem")
+	}
+	if got := risc.Field("cpu").Offset; got != 0 {
+		t.Errorf("cpu offset = %d, want 0", got)
+	}
+	if got := risc.Field("size").Offset; got != 8 {
+		t.Errorf("size offset = %d, want 8", got)
+	}
+	vb2 := f.StructByName("vb2_buffer")
+	if got := vb2.Field("state").Offset; got != risc.Size() {
+		t.Errorf("state offset = %d, want %d (after embedded struct)", got, risc.Size())
+	}
+
+	// Function pointer field type.
+	ops := f.StructByName("vb2_ops")
+	bp := ops.Field("buf_prepare")
+	if !bp.Type.IsFuncPtr() {
+		t.Fatalf("buf_prepare type = %v, want function pointer", bp.Type)
+	}
+	if len(bp.Type.Elem.Sig.Params) != 1 {
+		t.Fatalf("buf_prepare params = %d, want 1", len(bp.Type.Elem.Sig.Params))
+	}
+}
+
+func TestParseNegatedErrnoFolds(t *testing.T) {
+	f := MustParseFile("t.c", `
+int g(void) { return -ENOMEM; }
+`)
+	ret := f.Funcs[0].Body.Stmts[0].(*ReturnStmt)
+	lit, ok := ret.X.(*IntLit)
+	if !ok {
+		t.Fatalf("return expr is %T, want folded IntLit", ret.X)
+	}
+	if lit.Val != -12 || lit.Text != "-ENOMEM" {
+		t.Fatalf("lit = %d %q, want -12 -ENOMEM", lit.Val, lit.Text)
+	}
+}
+
+func TestParseSwitchFig4(t *testing.T) {
+	// Paper Fig. 4 shape: switch with sanity-checked loop body.
+	f := MustParseFile("fig4.c", `
+#define I2C_SMBUS_I2C_BLOCK_DATA 8
+#define MAX 32
+struct smbus_data {
+	int len;
+	char block[34];
+};
+struct msg_t { char *buf; };
+struct msg_t msg[2];
+int xfer_emulated(int size, struct smbus_data *data) {
+	int i;
+	switch (size) {
+	case I2C_SMBUS_I2C_BLOCK_DATA:
+		if (data->len <= MAX) {
+			for (i = 1; i <= data->len; i = i + 1)
+				msg[0].buf[i] = data->block[i];
+		}
+		break;
+	default:
+		return -EINVAL;
+	}
+	return 0;
+}
+`)
+	fn := f.FuncByName("xfer_emulated")
+	if fn == nil {
+		t.Fatal("missing xfer_emulated")
+	}
+	var sw *SwitchStmt
+	for _, s := range fn.Body.Stmts {
+		if x, ok := s.(*SwitchStmt); ok {
+			sw = x
+		}
+	}
+	if sw == nil {
+		t.Fatal("missing switch")
+	}
+	if len(sw.Cases) != 2 {
+		t.Fatalf("got %d cases, want 2", len(sw.Cases))
+	}
+	if len(sw.Cases[0].Values) != 1 {
+		t.Fatalf("case values: %+v", sw.Cases[0].Values)
+	}
+	if v := sw.Cases[0].Values[0].(*IntLit); v.Val != 8 {
+		t.Fatalf("case value = %d, want 8 (from #define)", v.Val)
+	}
+	if sw.Cases[1].Values != nil {
+		t.Fatalf("default clause has values: %+v", sw.Cases[1].Values)
+	}
+}
+
+func TestParseStackedCaseLabels(t *testing.T) {
+	f := MustParseFile("t.c", `
+int h(int x) {
+	switch (x) {
+	case 1:
+	case 2:
+		return 10;
+	case 3:
+		return 20;
+	}
+	return 0;
+}
+`)
+	sw := f.Funcs[0].Body.Stmts[0].(*SwitchStmt)
+	if len(sw.Cases) != 2 {
+		t.Fatalf("got %d cases, want 2 (stacked labels merge)", len(sw.Cases))
+	}
+	if len(sw.Cases[0].Values) != 2 {
+		t.Fatalf("first clause has %d values, want 2", len(sw.Cases[0].Values))
+	}
+}
+
+func TestParseFig5OrderPatch(t *testing.T) {
+	f := MustParseFile("fig5.c", `
+struct device { int devt; int refcount; };
+struct platform_device { struct device dev; };
+struct ida { int bits; };
+struct platform_driver {
+	int (*probe)(struct platform_device *pdev);
+	int (*remove)(struct platform_device *pdev);
+};
+void put_device(struct device *dev);
+void ida_free(struct ida *ida, int id);
+struct ida telem_ida;
+int telem_remove(struct platform_device *pdev) {
+	ida_free(&telem_ida, pdev->dev.devt);
+	put_device(&pdev->dev);
+	return 0;
+}
+struct platform_driver telem_driver = {
+	.remove = telem_remove,
+};
+`)
+	fn := f.FuncByName("telem_remove")
+	if fn == nil || len(fn.Body.Stmts) != 3 {
+		t.Fatalf("telem_remove body: %+v", fn)
+	}
+	call := fn.Body.Stmts[0].(*ExprStmt).X.(*CallExpr)
+	if ExprString(call.Fun) != "ida_free" || len(call.Args) != 2 {
+		t.Fatalf("first call: %s", ExprString(call))
+	}
+	if got := ExprString(call.Args[1]); got != "pdev->dev.devt" {
+		t.Fatalf("arg1 = %q", got)
+	}
+}
+
+func TestParseExprPrecedence(t *testing.T) {
+	f := MustParseFile("t.c", `int g(int a, int b, int c) { return a + b * c == a << 1 && !b; }`)
+	ret := f.Funcs[0].Body.Stmts[0].(*ReturnStmt)
+	// (((a + (b*c)) == (a<<1)) && (!b))
+	top := ret.X.(*BinaryExpr)
+	if top.Op != TokAndAnd {
+		t.Fatalf("top op = %s, want &&", top.Op)
+	}
+	eq := top.X.(*BinaryExpr)
+	if eq.Op != TokEq {
+		t.Fatalf("lhs op = %s, want ==", eq.Op)
+	}
+	add := eq.X.(*BinaryExpr)
+	if add.Op != TokPlus {
+		t.Fatalf("add op = %s, want +", add.Op)
+	}
+	if mul := add.Y.(*BinaryExpr); mul.Op != TokStar {
+		t.Fatalf("mul op = %s, want *", mul.Op)
+	}
+}
+
+func TestParseTernaryAndCast(t *testing.T) {
+	f := MustParseFile("t.c", `
+struct buf { int n; };
+int g(struct buf *b, int x) {
+	int v = x > 0 ? x : -x;
+	char *p = (char *)b;
+	return v + (int)p[0];
+}
+`)
+	body := f.Funcs[0].Body.Stmts
+	d0 := body[0].(*DeclStmt)
+	if _, ok := d0.Init.(*CondExpr); !ok {
+		t.Fatalf("init is %T, want CondExpr", d0.Init)
+	}
+	d1 := body[1].(*DeclStmt)
+	if _, ok := d1.Init.(*CastExpr); !ok {
+		t.Fatalf("init is %T, want CastExpr", d1.Init)
+	}
+}
+
+func TestParseIndirectCall(t *testing.T) {
+	f := MustParseFile("t.c", `
+struct vb2_buffer { int n; };
+struct vb2_ops { int (*buf_prepare)(struct vb2_buffer *vb); };
+int prepare_map(struct vb2_ops *ops, struct vb2_buffer *vb) {
+	int ret = ops->buf_prepare(vb);
+	return ret;
+}
+`)
+	decl := f.Funcs[0].Body.Stmts[0].(*DeclStmt)
+	call, ok := decl.Init.(*CallExpr)
+	if !ok {
+		t.Fatalf("init is %T, want CallExpr", decl.Init)
+	}
+	fe, ok := call.Fun.(*FieldExpr)
+	if !ok || fe.Name != "buf_prepare" || !fe.Arrow {
+		t.Fatalf("callee: %s", ExprString(call.Fun))
+	}
+}
+
+func TestParseErrorsHavePositions(t *testing.T) {
+	_, err := ParseFile("bad.c", "int f( {")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if pe.Line != 1 || pe.File != "bad.c" {
+		t.Fatalf("position: %+v", pe)
+	}
+}
+
+func TestParseGotoErrorPath(t *testing.T) {
+	// The kernel error-path idiom.
+	f := MustParseFile("t.c", `
+int *kmalloc(int size);
+void kfree(int *p);
+int setup(int *p);
+int f(int n) {
+	int ret;
+	int *buf = kmalloc(n);
+	if (buf == NULL)
+		return -ENOMEM;
+	ret = setup(buf);
+	if (ret != 0)
+		goto err_free;
+	return 0;
+err_free:
+	kfree(buf);
+	return ret;
+}`)
+	fn := f.FuncByName("f")
+	var gotoSeen, labelSeen bool
+	var walk func(s Stmt)
+	walk = func(s Stmt) {
+		switch x := s.(type) {
+		case *BlockStmt:
+			for _, sub := range x.Stmts {
+				walk(sub)
+			}
+		case *IfStmt:
+			walk(x.Then)
+			if x.Else != nil {
+				walk(x.Else)
+			}
+		case *GotoStmt:
+			gotoSeen = true
+			if x.Label != "err_free" {
+				t.Errorf("goto label %q", x.Label)
+			}
+		case *LabelStmt:
+			labelSeen = true
+			if x.Name != "err_free" {
+				t.Errorf("label %q", x.Name)
+			}
+		}
+	}
+	walk(fn.Body)
+	if !gotoSeen || !labelSeen {
+		t.Fatalf("goto=%v label=%v", gotoSeen, labelSeen)
+	}
+}
+
+func TestParseDoWhile(t *testing.T) {
+	f := MustParseFile("t.c", `
+int f(int n) {
+	int i = 0;
+	do {
+		i = i + 1;
+	} while (i < n);
+	return i;
+}`)
+	fn := f.FuncByName("f")
+	found := false
+	for _, s := range fn.Body.Stmts {
+		if _, ok := s.(*DoWhileStmt); ok {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("missing do-while")
+	}
+}
+
+func TestParseEnum(t *testing.T) {
+	f := MustParseFile("t.c", `
+enum state { IDLE, RUNNING = 5, DONE };
+int g(int x) { return x == RUNNING; }
+`)
+	if f.Defines["IDLE"] != 0 || f.Defines["RUNNING"] != 5 || f.Defines["DONE"] != 6 {
+		t.Fatalf("enum defines: IDLE=%d RUNNING=%d DONE=%d",
+			f.Defines["IDLE"], f.Defines["RUNNING"], f.Defines["DONE"])
+	}
+	ret := f.Funcs[0].Body.Stmts[0].(*ReturnStmt)
+	cmp := ret.X.(*BinaryExpr)
+	if lit := cmp.Y.(*IntLit); lit.Val != 5 || lit.Text != "RUNNING" {
+		t.Fatalf("folded enum: %d %q", lit.Val, lit.Text)
+	}
+}
+
+func TestParseGlobalsAndArrays(t *testing.T) {
+	f := MustParseFile("t.c", `
+static int counters[16];
+int total = 0;
+int bump(int i) {
+	counters[i] += 1;
+	total += counters[i];
+	return total;
+}
+`)
+	if len(f.Globals) != 2 {
+		t.Fatalf("globals: %d", len(f.Globals))
+	}
+	if f.Globals[0].Type.Kind != TypeArray || f.Globals[0].Type.Len != 16 {
+		t.Fatalf("counters type: %v", f.Globals[0].Type)
+	}
+	as := f.Funcs[0].Body.Stmts[0].(*AssignStmt)
+	if as.Op != TokPlusEq {
+		t.Fatalf("op = %s, want +=", as.Op)
+	}
+}
+
+func TestParseForWhileBreakContinue(t *testing.T) {
+	f := MustParseFile("t.c", `
+int g(int n) {
+	int s = 0;
+	int i;
+	for (i = 0; i < n; i++) {
+		if (i == 3)
+			continue;
+		if (i > 8)
+			break;
+		s += i;
+	}
+	while (s > 100)
+		s -= 10;
+	return s;
+}
+`)
+	fn := f.Funcs[0]
+	var forSeen, whileSeen bool
+	for _, s := range fn.Body.Stmts {
+		switch s.(type) {
+		case *ForStmt:
+			forSeen = true
+		case *WhileStmt:
+			whileSeen = true
+		}
+	}
+	if !forSeen || !whileSeen {
+		t.Fatalf("for=%v while=%v", forSeen, whileSeen)
+	}
+}
+
+func TestExprStringRoundTrip(t *testing.T) {
+	cases := []string{
+		"a->b.c",
+		"f(a, b + 1)",
+		"buf[i]",
+		"-ENOMEM",
+		"(x + y) * z",
+	}
+	for _, src := range cases {
+		prelude := "struct q { int c; }; struct s { struct q b; }; struct s *a; int x; int y; int z; int i; int buf[4]; int f(int p, int q2); "
+		f := MustParseFile("t.c", prelude+"int g(void) { return "+src+"; }")
+		ret := f.FuncByName("g").Body.Stmts[0].(*ReturnStmt)
+		got := ExprString(ret.X)
+		// Re-parse the printed form; it must parse and print identically.
+		f2 := MustParseFile("t2.c", prelude+"int g(void) { return "+got+"; }")
+		ret2 := f2.FuncByName("g").Body.Stmts[0].(*ReturnStmt)
+		if got2 := ExprString(ret2.X); got2 != got {
+			t.Errorf("print/parse not stable: %q -> %q -> %q", src, got, got2)
+		}
+	}
+}
+
+func TestSigString(t *testing.T) {
+	f := MustParseFile("t.c", `
+struct vb2_buffer { int n; };
+int prep_a(struct vb2_buffer *vb) { return 0; }
+int prep_b(struct vb2_buffer *vb) { return 1; }
+int other(int x) { return x; }
+`)
+	sa := SigString(f.Funcs[0].Sig())
+	sb := SigString(f.Funcs[1].Sig())
+	so := SigString(f.Funcs[2].Sig())
+	if sa != sb {
+		t.Errorf("same-signature functions differ: %q vs %q", sa, sb)
+	}
+	if sa == so {
+		t.Errorf("different signatures collide: %q", sa)
+	}
+}

@@ -1,0 +1,78 @@
+package cir
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestParseNeverPanics: the parser must return an error, never panic, on
+// arbitrary inputs built from C-ish tokens.
+func TestParseNeverPanics(t *testing.T) {
+	fragments := []string{
+		"int", "void", "struct", "x", "f", "(", ")", "{", "}", ";", ",",
+		"=", "*", "&", "->", ".", "[", "]", "if", "else", "for", "while",
+		"return", "switch", "case", "default", "break", "0", "1", "42",
+		"+", "-", "/", "==", "!=", "<", ">", "&&", "||", "!", "#define A 1",
+		"\n", " ",
+	}
+	f := func(picks []uint8) bool {
+		var sb strings.Builder
+		for _, p := range picks {
+			sb.WriteString(fragments[int(p)%len(fragments)])
+			sb.WriteByte(' ')
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("parser panicked on %q: %v", sb.String(), r)
+			}
+		}()
+		_, _ = ParseFile("fuzz.c", sb.String())
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParseDeepNesting: heavily nested expressions and blocks must not
+// blow the parser up (bounded by input size, no pathological behaviour).
+func TestParseDeepNesting(t *testing.T) {
+	depth := 80
+	expr := strings.Repeat("(", depth) + "1" + strings.Repeat(")", depth)
+	src := "int f(void) { return " + expr + "; }"
+	if _, err := ParseFile("deep.c", src); err != nil {
+		t.Fatalf("deep parens: %v", err)
+	}
+	body := strings.Repeat("if (1) { ", depth) + "x = 1;" + strings.Repeat(" }", depth)
+	src2 := "int x; int g(void) { " + body + " return x; }"
+	if _, err := ParseFile("deep2.c", src2); err != nil {
+		t.Fatalf("deep blocks: %v", err)
+	}
+}
+
+// TestParseRecoversPositionsOnError: every parse error carries the file
+// name and a plausible position.
+func TestParseErrorsCarryPositions(t *testing.T) {
+	bads := []string{
+		"int f( { }",
+		"struct { int x; };",
+		"int f(void) { return ; ;;; } }",
+		"int f(void) { x ->; }",
+		"int f(void) { switch (x) { int y; } }",
+	}
+	for _, src := range bads {
+		_, err := ParseFile("bad.c", src)
+		if err == nil {
+			continue // some inputs may legitimately parse
+		}
+		pe, ok := err.(*ParseError)
+		if !ok {
+			t.Errorf("%q: error type %T", src, err)
+			continue
+		}
+		if pe.File != "bad.c" || pe.Line < 1 {
+			t.Errorf("%q: bad position %+v", src, pe)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+// Package cir implements a frontend for a C subset ("kernel C") that is
+// sufficient to express the Linux interface idioms SEAL analyzes: struct
+// definitions with byte-offset field layout, pointers, arrays, function
+// pointers gathered into ops tables, and the statement/expression forms that
+// occur in driver code. It substitutes for the LLVM bitcode frontend of the
+// original system (see DESIGN.md §2).
+package cir
+
+import "fmt"
+
+// TokKind enumerates lexical token kinds.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokInt
+	TokString
+	TokChar
+
+	// Punctuation.
+	TokLParen   // (
+	TokRParen   // )
+	TokLBrace   // {
+	TokRBrace   // }
+	TokLBracket // [
+	TokRBracket // ]
+	TokSemi     // ;
+	TokComma    // ,
+	TokDot      // .
+	TokArrow    // ->
+	TokColon    // :
+
+	// Operators.
+	TokAssign  // =
+	TokPlus    // +
+	TokMinus   // -
+	TokStar    // *
+	TokSlash   // /
+	TokPercent // %
+	TokAmp     // &
+	TokPipe    // |
+	TokCaret   // ^
+	TokShl     // <<
+	TokShr     // >>
+	TokNot     // !
+	TokTilde   // ~
+	TokAndAnd  // &&
+	TokOrOr    // ||
+	TokEq      // ==
+	TokNe      // !=
+	TokLt      // <
+	TokGt      // >
+	TokLe      // <=
+	TokGe      // >=
+	TokPlusEq  // +=
+	TokMinusEq // -=
+	TokInc     // ++
+	TokDec     // --
+	TokQuest   // ?
+
+	// Keywords.
+	TokKwStruct
+	TokKwUnion
+	TokKwEnum
+	TokKwInt
+	TokKwChar
+	TokKwLong
+	TokKwShort
+	TokKwVoid
+	TokKwUnsigned
+	TokKwSigned
+	TokKwConst
+	TokKwStatic
+	TokKwExtern
+	TokKwIf
+	TokKwElse
+	TokKwWhile
+	TokKwFor
+	TokKwDo
+	TokKwSwitch
+	TokKwCase
+	TokKwDefault
+	TokKwBreak
+	TokKwContinue
+	TokKwReturn
+	TokKwGoto
+	TokKwSizeof
+	TokKwTypedef
+
+	// Preprocessor-ish.
+	TokHashDefine // #define
+)
+
+var tokNames = map[TokKind]string{
+	TokEOF: "EOF", TokIdent: "identifier", TokInt: "integer", TokString: "string",
+	TokChar: "char", TokLParen: "(", TokRParen: ")", TokLBrace: "{", TokRBrace: "}",
+	TokLBracket: "[", TokRBracket: "]", TokSemi: ";", TokComma: ",", TokDot: ".",
+	TokArrow: "->", TokColon: ":", TokAssign: "=", TokPlus: "+", TokMinus: "-",
+	TokStar: "*", TokSlash: "/", TokPercent: "%", TokAmp: "&", TokPipe: "|",
+	TokCaret: "^", TokShl: "<<", TokShr: ">>", TokNot: "!", TokTilde: "~",
+	TokAndAnd: "&&", TokOrOr: "||", TokEq: "==", TokNe: "!=", TokLt: "<",
+	TokGt: ">", TokLe: "<=", TokGe: ">=", TokPlusEq: "+=", TokMinusEq: "-=",
+	TokInc: "++", TokDec: "--", TokQuest: "?",
+	TokKwStruct: "struct", TokKwUnion: "union", TokKwEnum: "enum", TokKwInt: "int",
+	TokKwChar: "char", TokKwLong: "long", TokKwShort: "short", TokKwVoid: "void",
+	TokKwUnsigned: "unsigned", TokKwSigned: "signed", TokKwConst: "const",
+	TokKwStatic: "static", TokKwExtern: "extern", TokKwIf: "if", TokKwElse: "else",
+	TokKwWhile: "while", TokKwFor: "for", TokKwDo: "do", TokKwSwitch: "switch",
+	TokKwCase: "case", TokKwDefault: "default", TokKwBreak: "break",
+	TokKwContinue: "continue", TokKwReturn: "return", TokKwGoto: "goto",
+	TokKwSizeof: "sizeof", TokKwTypedef: "typedef", TokHashDefine: "#define",
+}
+
+// String returns a human-readable name for the token kind.
+func (k TokKind) String() string {
+	if s, ok := tokNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("TokKind(%d)", int(k))
+}
+
+var keywords = map[string]TokKind{
+	"struct": TokKwStruct, "union": TokKwUnion, "enum": TokKwEnum,
+	"int": TokKwInt, "char": TokKwChar, "long": TokKwLong, "short": TokKwShort,
+	"void": TokKwVoid, "unsigned": TokKwUnsigned, "signed": TokKwSigned,
+	"const": TokKwConst, "static": TokKwStatic, "extern": TokKwExtern,
+	"if": TokKwIf, "else": TokKwElse, "while": TokKwWhile, "for": TokKwFor,
+	"do": TokKwDo, "switch": TokKwSwitch, "case": TokKwCase,
+	"default": TokKwDefault, "break": TokKwBreak, "continue": TokKwContinue,
+	"return": TokKwReturn, "goto": TokKwGoto, "sizeof": TokKwSizeof,
+	"typedef": TokKwTypedef,
+}
+
+// Token is a single lexical token with source position.
+type Token struct {
+	Kind TokKind
+	Text string // raw text for identifiers, integers, strings
+	Val  int64  // decoded value for TokInt / TokChar
+	Line int    // 1-based source line
+	Col  int    // 1-based source column
+}
+
+// String implements fmt.Stringer.
+func (t Token) String() string {
+	switch t.Kind {
+	case TokIdent, TokInt, TokString:
+		return fmt.Sprintf("%s(%q)@%d:%d", t.Kind, t.Text, t.Line, t.Col)
+	default:
+		return fmt.Sprintf("%s@%d:%d", t.Kind, t.Line, t.Col)
+	}
+}
+
+// Pos is a source position (file is tracked at the translation-unit level).
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// String implements fmt.Stringer.
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// IsValid reports whether the position carries real line information.
+func (p Pos) IsValid() bool { return p.Line > 0 }

@@ -1,0 +1,111 @@
+package cir
+
+import "testing"
+
+func TestSameType(t *testing.T) {
+	s1 := &StructDef{Name: "s", Fields: []*FieldDef{{Name: "a", Type: IntType}}}
+	s1.Layout()
+	s2 := &StructDef{Name: "s", Fields: []*FieldDef{{Name: "a", Type: IntType}}}
+	s2.Layout()
+	cases := []struct {
+		a, b *Type
+		want bool
+	}{
+		{IntType, IntType, true},
+		{IntType, CharType, false},
+		{VoidType, VoidType, true},
+		{PtrTo(IntType), PtrTo(IntType), true},
+		{PtrTo(IntType), PtrTo(CharType), false},
+		{ArrayOf(IntType, 4), ArrayOf(IntType, 4), true},
+		{ArrayOf(IntType, 4), ArrayOf(IntType, 5), false},
+		{&Type{Kind: TypeStruct, Struct: s1}, &Type{Kind: TypeStruct, Struct: s2}, true},
+		{IntType, nil, false},
+		{nil, nil, true},
+	}
+	for i, c := range cases {
+		if got := SameType(c.a, c.b); got != c.want {
+			t.Errorf("case %d: SameType(%v, %v) = %v, want %v", i, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSameSig(t *testing.T) {
+	sig1 := &FuncSig{Ret: IntType, Params: []*Type{PtrTo(IntType)}}
+	sig2 := &FuncSig{Ret: IntType, Params: []*Type{PtrTo(IntType)}}
+	sig3 := &FuncSig{Ret: IntType, Params: []*Type{IntType}}
+	sig4 := &FuncSig{Ret: VoidType, Params: []*Type{PtrTo(IntType)}}
+	if !SameSig(sig1, sig2) {
+		t.Error("identical sigs differ")
+	}
+	if SameSig(sig1, sig3) || SameSig(sig1, sig4) {
+		t.Error("distinct sigs equal")
+	}
+	if !SameSig(nil, nil) || SameSig(sig1, nil) {
+		t.Error("nil handling")
+	}
+}
+
+func TestFieldAt(t *testing.T) {
+	s := &StructDef{Name: "s", Fields: []*FieldDef{
+		{Name: "a", Type: IntType},              // offset 0, size 8
+		{Name: "b", Type: PtrTo(IntType)},       // offset 8
+		{Name: "c", Type: ArrayOf(CharType, 4)}, // offset 16
+	}}
+	s.Layout()
+	if f := s.FieldAt(0); f == nil || f.Name != "a" {
+		t.Errorf("FieldAt(0) = %v", f)
+	}
+	if f := s.FieldAt(8); f == nil || f.Name != "b" {
+		t.Errorf("FieldAt(8) = %v", f)
+	}
+	if f := s.FieldAt(17); f == nil || f.Name != "c" {
+		t.Errorf("FieldAt(17) = %v", f)
+	}
+	if f := s.FieldAt(500); f != nil {
+		t.Errorf("FieldAt(500) = %v, want nil", f)
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	s := &StructDef{Name: "dev"}
+	cases := []struct {
+		t    *Type
+		want string
+	}{
+		{VoidType, "void"},
+		{IntType, "int"},
+		{PtrTo(IntType), "int *"},
+		{ArrayOf(IntType, 3), "int[3]"},
+		{&Type{Kind: TypeStruct, Struct: s}, "struct dev"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("String(%v) = %q, want %q", c.t.Kind, got, c.want)
+		}
+	}
+	var nilT *Type
+	if nilT.String() != "<nil>" {
+		t.Error("nil type String")
+	}
+	if nilT.SizeOf() != 0 || nilT.IsPtr() || nilT.IsInt() || nilT.IsStruct() || nilT.IsFuncPtr() {
+		t.Error("nil type predicates")
+	}
+}
+
+func TestStructLayoutAlignment(t *testing.T) {
+	// A char field followed by an int must pad to word alignment.
+	s := &StructDef{Name: "mix", Fields: []*FieldDef{
+		{Name: "c", Type: CharType},
+		{Name: "n", Type: IntType},
+	}}
+	s.Layout()
+	if s.Field("c").Offset != 0 {
+		t.Errorf("c offset %d", s.Field("c").Offset)
+	}
+	if s.Field("n").Offset != Word {
+		t.Errorf("n offset %d, want %d (aligned)", s.Field("n").Offset, Word)
+	}
+	if s.Size()%Word != 0 {
+		t.Errorf("struct size %d not word-aligned", s.Size())
+	}
+}

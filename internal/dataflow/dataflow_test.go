@@ -1,0 +1,323 @@
+package dataflow
+
+import (
+	"strings"
+	"testing"
+
+	"seal/internal/cir"
+	"seal/internal/ir"
+)
+
+func mustProg(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	f, err := cir.ParseFile("test.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ir.NewProgram(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func findCall(fn *ir.Func, callee string) *ir.Stmt {
+	for _, s := range fn.Stmts() {
+		if s.IsCallTo(callee) {
+			return s
+		}
+	}
+	return nil
+}
+
+func hasDep(ff *FuncFlow, def, use *ir.Stmt) bool {
+	for _, d := range ff.Deps {
+		if d.Def == def && d.Use == use {
+			return true
+		}
+	}
+	return false
+}
+
+func TestPointsToHeapAllocation(t *testing.T) {
+	p := mustProg(t, `
+int *kmalloc(int size);
+int f(int n) {
+	int *p = kmalloc(n);
+	int *q = p;
+	return *q;
+}`)
+	pts := Analyze(p)
+	fn := p.Funcs["f"]
+	sp := pts.PointeeString(fn, "p")
+	sq := pts.PointeeString(fn, "q")
+	if sp == "" || sp != sq {
+		t.Errorf("p -> %q, q -> %q; want identical heap object", sp, sq)
+	}
+}
+
+func TestPointsToAddressOf(t *testing.T) {
+	p := mustProg(t, `
+struct riscmem { int *cpu; int size; };
+struct buffer { struct riscmem risc; int state; };
+int helper(struct riscmem *r) { return r->size; }
+int f(struct buffer *b) {
+	struct riscmem *rp = &b->risc;
+	return helper(rp);
+}`)
+	pts := Analyze(p)
+	fn := p.Funcs["f"]
+	// rp points into the symbolic pointee of b at offset 0.
+	got := pts.PointeeString(fn, "rp")
+	if got != "*f.b+0" {
+		t.Errorf("rp -> %q, want *f.b+0", got)
+	}
+	// The formal r of helper receives the passed cell (alongside its own
+	// symbolic pointee, which models calls from outside the corpus).
+	hl := p.Funcs["helper"]
+	gotR := pts.PointeeString(hl, "r")
+	if !strings.Contains(gotR, "*f.b+0") {
+		t.Errorf("helper.r -> %q, want to include *f.b+0", gotR)
+	}
+}
+
+func TestPointsToFieldStoreLoad(t *testing.T) {
+	p := mustProg(t, `
+int *kmalloc(int size);
+struct holder { int *ptr; };
+int f(struct holder *h, int n) {
+	h->ptr = kmalloc(n);
+	int *x = h->ptr;
+	return *x;
+}`)
+	pts := Analyze(p)
+	fn := p.Funcs["f"]
+	got := pts.PointeeString(fn, "x")
+	if got == "" {
+		t.Fatal("x has empty points-to set; field store/load lost")
+	}
+	// Must be the kmalloc heap object.
+	if want := "heap@kmalloc"; len(got) < len(want) || got[:len(want)] != want {
+		t.Errorf("x -> %q, want heap object from kmalloc", got)
+	}
+}
+
+func TestMayAliasDistinctLocals(t *testing.T) {
+	p := mustProg(t, `
+int f(int a, int b) {
+	int x = a;
+	int y = b;
+	return x + y;
+}`)
+	pts := Analyze(p)
+	fn := p.Funcs["f"]
+	lx := ir.Loc{Base: fn.VarByName("x")}
+	ly := ir.Loc{Base: fn.VarByName("y")}
+	if pts.MayAlias(fn, lx, fn, ly) {
+		t.Error("distinct locals must not alias")
+	}
+	if !pts.MayAlias(fn, lx, fn, lx) {
+		t.Error("a loc must alias itself")
+	}
+}
+
+func TestFlowLinearDefUse(t *testing.T) {
+	p := mustProg(t, `
+int f(int a) {
+	int x = a + 1;
+	int y = x * 2;
+	return y;
+}`)
+	pts := Analyze(p)
+	fn := p.Funcs["f"]
+	ff := FlowAnalyze(fn, pts)
+
+	stmts := fn.Stmts()
+	var defX, defY, ret *ir.Stmt
+	for _, s := range stmts {
+		switch {
+		case s.Kind == ir.StAssign && cir.ExprString(s.LHS) == "x":
+			defX = s
+		case s.Kind == ir.StAssign && cir.ExprString(s.LHS) == "y":
+			defY = s
+		case s.Kind == ir.StReturn:
+			ret = s
+		}
+	}
+	if !hasDep(ff, defX, defY) {
+		t.Error("missing dep x-def -> y-def")
+	}
+	if !hasDep(ff, defY, ret) {
+		t.Error("missing dep y-def -> return")
+	}
+	if hasDep(ff, defX, ret) {
+		t.Error("spurious dep x-def -> return")
+	}
+}
+
+func TestFlowKillOnReassignment(t *testing.T) {
+	p := mustProg(t, `
+int f(int a, int b) {
+	int x = a;
+	x = b;
+	return x;
+}`)
+	pts := Analyze(p)
+	fn := p.Funcs["f"]
+	ff := FlowAnalyze(fn, pts)
+	var first, second, ret *ir.Stmt
+	for _, s := range fn.Stmts() {
+		if s.Kind == ir.StAssign && cir.ExprString(s.LHS) == "x" {
+			if first == nil {
+				first = s
+			} else {
+				second = s
+			}
+		}
+		if s.Kind == ir.StReturn {
+			ret = s
+		}
+	}
+	if hasDep(ff, first, ret) {
+		t.Error("killed def x=a must not reach return")
+	}
+	if !hasDep(ff, second, ret) {
+		t.Error("def x=b must reach return")
+	}
+}
+
+func TestFlowBranchMerge(t *testing.T) {
+	p := mustProg(t, `
+int f(int a, int c) {
+	int x = 0;
+	if (c) {
+		x = a;
+	}
+	return x;
+}`)
+	pts := Analyze(p)
+	fn := p.Funcs["f"]
+	ff := FlowAnalyze(fn, pts)
+	var init, inBranch, ret *ir.Stmt
+	for _, s := range fn.Stmts() {
+		if s.Kind == ir.StAssign && cir.ExprString(s.LHS) == "x" {
+			if init == nil {
+				init = s
+			} else {
+				inBranch = s
+			}
+		}
+		if s.Kind == ir.StReturn {
+			ret = s
+		}
+	}
+	if !hasDep(ff, init, ret) || !hasDep(ff, inBranch, ret) {
+		t.Error("both defs of x must reach the merge-point return")
+	}
+}
+
+func TestFlowParamPointeeToUses(t *testing.T) {
+	// The Fig. 5 situation: pdev's pointee must flow to both the devt read
+	// and the put_device pointer-escape site.
+	p := mustProg(t, cir.Fig5PostSource)
+	pts := Analyze(p)
+	fn := p.Funcs["telem_remove"]
+	ff := FlowAnalyze(fn, pts)
+
+	var paramDef *ir.Stmt
+	for _, s := range fn.Stmts() {
+		if s.IsParamDef() && s.ParamVar().Name == "pdev" {
+			paramDef = s
+		}
+	}
+	ida := findCall(fn, "ida_free")
+	put := findCall(fn, "put_device")
+	if paramDef == nil || ida == nil || put == nil {
+		t.Fatal("missing statements")
+	}
+	if !hasDep(ff, paramDef, ida) {
+		t.Error("missing dep: pdev param -> ida_free (reads pdev->dev.devt)")
+	}
+	if !hasDep(ff, paramDef, put) {
+		t.Error("missing dep: pdev param -> put_device (pointee escape)")
+	}
+}
+
+func TestFlowCallEffectWrites(t *testing.T) {
+	// A callee taking &local may initialize it; the subsequent read must
+	// depend on the call, not be unrooted.
+	p := mustProg(t, `
+struct riscmem { int *cpu; int size; };
+int fill(struct riscmem *r);
+int f(void) {
+	struct riscmem m;
+	fill(&m);
+	return m.size;
+}`)
+	pts := Analyze(p)
+	fn := p.Funcs["f"]
+	ff := FlowAnalyze(fn, pts)
+	fill := findCall(fn, "fill")
+	var ret *ir.Stmt
+	for _, s := range fn.Stmts() {
+		if s.Kind == ir.StReturn && s.X != nil {
+			ret = s
+		}
+	}
+	if !hasDep(ff, fill, ret) {
+		t.Error("missing call-effect dep: fill(&m) -> return m.size")
+	}
+}
+
+func TestFlowUnrootedGlobalRead(t *testing.T) {
+	p := mustProg(t, `
+int shared;
+int f(void) {
+	return shared;
+}`)
+	pts := Analyze(p)
+	fn := p.Funcs["f"]
+	ff := FlowAnalyze(fn, pts)
+	found := false
+	for _, u := range ff.Unrooted {
+		if u.Loc.Base.Name == "shared" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("global read should be reported as unrooted (a slicing source)")
+	}
+}
+
+func TestFlowFig3ErrorPropagation(t *testing.T) {
+	// buffer_prepare: temp = call cx23885_vbibuffer(...); return temp.
+	p := mustProg(t, cir.Fig3Source)
+	pts := Analyze(p)
+	fn := p.Funcs["buffer_prepare"]
+	ff := FlowAnalyze(fn, pts)
+	call := findCall(fn, "cx23885_vbibuffer")
+	var ret *ir.Stmt
+	for _, s := range fn.Stmts() {
+		if s.Kind == ir.StReturn && s.X != nil {
+			ret = s
+		}
+	}
+	if !hasDep(ff, call, ret) {
+		t.Error("missing dep: call result -> return (the Fig. 3 value flow)")
+	}
+
+	// And inside cx23885_vbibuffer the API call result must flow to the
+	// NULL check branch.
+	vbi := p.Funcs["cx23885_vbibuffer"]
+	ffv := FlowAnalyze(vbi, pts)
+	api := findCall(vbi, "dma_alloc_coherent")
+	var br *ir.Stmt
+	for _, s := range vbi.Stmts() {
+		if s.Kind == ir.StBranch {
+			br = s
+		}
+	}
+	if !hasDep(ffv, api, br) {
+		t.Error("missing dep: dma_alloc_coherent -> NULL-check branch")
+	}
+}

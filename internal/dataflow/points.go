@@ -1,0 +1,466 @@
+// Package dataflow implements the value-flow substrate of SEAL: a
+// field-sensitive (byte-offset) Andersen-style points-to analysis and
+// flow-sensitive reaching definitions producing def-use chains. Together
+// they provide the data-dependence edges Ed of the PDG (paper Def. 6.1,
+// §7 "Value-flow Analysis").
+package dataflow
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"seal/internal/cir"
+	"seal/internal/ir"
+)
+
+// ObjKind classifies abstract memory objects.
+type ObjKind int
+
+// Abstract object kinds.
+const (
+	// ObjVar is the storage of a named variable (local, param, global).
+	ObjVar ObjKind = iota
+	// ObjHeap is an allocation site (pointer-returning API call).
+	ObjHeap
+	// ObjSym is the symbolic pointee of a pointer parameter or pointer
+	// global whose allocation is outside the analyzed region.
+	ObjSym
+)
+
+// Object is an abstract memory object.
+type Object struct {
+	ID   int
+	Kind ObjKind
+	Var  *ir.Var  // ObjVar / ObjSym(param)
+	Site *ir.Stmt // ObjHeap: the allocating call
+	Name string
+}
+
+// String implements fmt.Stringer.
+func (o *Object) String() string { return o.Name }
+
+// Cell is a field-sensitive memory cell: an object plus a byte offset.
+// Off == ir.AnyOff summarizes all offsets of the object.
+type Cell struct {
+	Obj *Object
+	Off int
+}
+
+// String implements fmt.Stringer.
+func (c Cell) String() string {
+	if c.Off == ir.AnyOff {
+		return c.Obj.Name + "[*]"
+	}
+	return fmt.Sprintf("%s+%d", c.Obj.Name, c.Off)
+}
+
+func (c Cell) key() string {
+	return fmt.Sprintf("%d:%d", c.Obj.ID, c.Off)
+}
+
+// CellSet is a set of cells.
+type CellSet map[string]Cell
+
+func (s CellSet) add(c Cell) bool {
+	k := c.key()
+	if _, ok := s[k]; ok {
+		return false
+	}
+	s[k] = c
+	return true
+}
+
+func (s CellSet) addAll(o CellSet) bool {
+	changed := false
+	for _, c := range o {
+		if s.add(c) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Slice returns the cells in deterministic order.
+func (s CellSet) Slice() []Cell {
+	out := make([]Cell, 0, len(s))
+	for _, c := range s {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Obj.ID != out[j].Obj.ID {
+			return out[i].Obj.ID < out[j].Obj.ID
+		}
+		return out[i].Off < out[j].Off
+	})
+	return out
+}
+
+// PointsTo is the whole-program points-to solution.
+type PointsTo struct {
+	prog *ir.Program
+
+	varObj map[*ir.Var]*Object
+	symObj map[*ir.Var]*Object  // pointee of pointer params/globals
+	heap   map[*ir.Stmt]*Object // per allocation site
+	nextID int
+
+	// pts maps pointer cells to their pointees.
+	pts map[string]CellSet
+	// cellIndex remembers every cell seen per object for AnyOff expansion.
+	cellIndex map[int]map[int]bool
+}
+
+// AllocAPIs lists default pointer-returning allocation APIs; any external
+// API with a pointer return type is treated as an allocation site anyway,
+// this set only controls naming.
+var AllocAPIs = map[string]bool{
+	"kmalloc": true, "kzalloc": true, "kcalloc": true,
+	"dma_alloc_coherent": true, "vmalloc": true, "devm_kzalloc": true,
+}
+
+// Analyze computes the points-to solution for the program.
+func Analyze(prog *ir.Program) *PointsTo {
+	pt := &PointsTo{
+		prog:      prog,
+		varObj:    make(map[*ir.Var]*Object),
+		symObj:    make(map[*ir.Var]*Object),
+		heap:      make(map[*ir.Stmt]*Object),
+		pts:       make(map[string]CellSet),
+		cellIndex: make(map[int]map[int]bool),
+	}
+	pt.seed()
+	pt.solve()
+	return pt
+}
+
+func (pt *PointsTo) newObject(kind ObjKind, name string) *Object {
+	o := &Object{ID: pt.nextID, Kind: kind, Name: name}
+	pt.nextID++
+	return o
+}
+
+// objOfVar returns the storage object of a variable.
+func (pt *PointsTo) objOfVar(v *ir.Var) *Object {
+	if o, ok := pt.varObj[v]; ok {
+		return o
+	}
+	prefix := ""
+	if v.Fn != nil {
+		prefix = v.Fn.Name + "."
+	}
+	o := pt.newObject(ObjVar, prefix+v.Name)
+	o.Var = v
+	pt.varObj[v] = o
+	return o
+}
+
+// symOfVar returns the symbolic pointee object of a pointer variable.
+func (pt *PointsTo) symOfVar(v *ir.Var) *Object {
+	if o, ok := pt.symObj[v]; ok {
+		return o
+	}
+	prefix := ""
+	if v.Fn != nil {
+		prefix = v.Fn.Name + "."
+	}
+	o := pt.newObject(ObjSym, "*"+prefix+v.Name)
+	o.Var = v
+	pt.symObj[v] = o
+	return o
+}
+
+func (pt *PointsTo) heapOf(s *ir.Stmt) *Object {
+	if o, ok := pt.heap[s]; ok {
+		return o
+	}
+	o := pt.newObject(ObjHeap, fmt.Sprintf("heap@%s:%d", s.Callee, s.Line))
+	o.Site = s
+	pt.heap[s] = o
+	return o
+}
+
+func (pt *PointsTo) get(c Cell) CellSet {
+	k := c.key()
+	if s, ok := pt.pts[k]; ok {
+		return s
+	}
+	s := make(CellSet)
+	pt.pts[k] = s
+	pt.noteCell(c)
+	return s
+}
+
+func (pt *PointsTo) noteCell(c Cell) {
+	m := pt.cellIndex[c.Obj.ID]
+	if m == nil {
+		m = make(map[int]bool)
+		pt.cellIndex[c.Obj.ID] = m
+	}
+	m[c.Off] = true
+}
+
+// seed installs base facts: symbolic pointees for pointer params and
+// pointer globals.
+func (pt *PointsTo) seed() {
+	for _, fn := range pt.prog.FuncList {
+		for _, v := range fn.Params {
+			if v.Type.IsPtr() {
+				pt.get(Cell{Obj: pt.objOfVar(v)}).add(Cell{Obj: pt.symOfVar(v)})
+			}
+		}
+	}
+	for _, g := range pt.prog.GlobalVars {
+		if g.Type.IsPtr() {
+			pt.get(Cell{Obj: pt.objOfVar(g)}).add(Cell{Obj: pt.symOfVar(g)})
+		}
+	}
+	_ = cir.Word
+}
+
+// solve iterates transfer functions over all statements to a fixpoint.
+func (pt *PointsTo) solve() {
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range pt.prog.FuncList {
+			for _, b := range fn.Blocks {
+				for _, s := range b.Stmts {
+					if pt.transfer(fn, s) {
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+func (pt *PointsTo) transfer(fn *ir.Func, s *ir.Stmt) bool {
+	switch s.Kind {
+	case ir.StAssign:
+		if s.LHS == nil {
+			return false
+		}
+		lv, _, ok := fn.LvalLoc(s.LHS)
+		if !ok {
+			return false
+		}
+		src := pt.evalPtr(fn, s.RHS)
+		if len(src) == 0 {
+			return false
+		}
+		return pt.storeTo(fn, lv, src)
+	case ir.StCall:
+		changed := false
+		// Result binding.
+		if s.LHS != nil {
+			lv, _, ok := fn.LvalLoc(s.LHS)
+			if ok {
+				if callee, isDef := pt.prog.Funcs[s.Callee]; isDef && s.Callee != "" {
+					// Link all returned pointer values.
+					for _, ret := range callee.ReturnStmts() {
+						if ret.X == nil {
+							continue
+						}
+						src := pt.evalPtr(callee, ret.X)
+						if pt.storeTo(fn, lv, src) {
+							changed = true
+						}
+					}
+				} else if retTypeIsPtr(pt.prog, s) {
+					// External pointer-returning API: allocation site.
+					src := make(CellSet)
+					src.add(Cell{Obj: pt.heapOf(s)})
+					if pt.storeTo(fn, lv, src) {
+						changed = true
+					}
+				}
+			}
+		}
+		// Parameter binding for defined callees.
+		if callee, isDef := pt.prog.Funcs[s.Callee]; isDef && s.Callee != "" {
+			for i, arg := range s.Args {
+				if i >= len(callee.Params) {
+					break
+				}
+				formal := callee.Params[i]
+				if !formal.Type.IsPtr() {
+					continue
+				}
+				src := pt.evalPtr(fn, arg)
+				if len(src) == 0 {
+					continue
+				}
+				dst := pt.get(Cell{Obj: pt.objOfVar(formal)})
+				if dst.addAll(src) {
+					changed = true
+				}
+			}
+		}
+		return changed
+	}
+	return false
+}
+
+func retTypeIsPtr(prog *ir.Program, s *ir.Stmt) bool {
+	if s.Callee == "" {
+		return false
+	}
+	if proto, ok := prog.Protos[s.Callee]; ok {
+		return proto.Ret.IsPtr()
+	}
+	return false
+}
+
+// storeTo unions src into the cells addressed by lv.
+func (pt *PointsTo) storeTo(fn *ir.Func, lv ir.Loc, src CellSet) bool {
+	cells := pt.cellsOfLoc(fn, lv)
+	changed := false
+	for _, c := range cells.Slice() {
+		if pt.get(c).addAll(src) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// cellsOfLoc resolves an access path to the set of cells it denotes.
+func (pt *PointsTo) cellsOfLoc(fn *ir.Func, l ir.Loc) CellSet {
+	cur := make(CellSet)
+	cur.add(Cell{Obj: pt.objOfVar(l.Base)})
+	for _, st := range l.Path {
+		next := make(CellSet)
+		switch st.Kind {
+		case ir.StepOff:
+			for _, c := range cur {
+				off := c.Off
+				if off == ir.AnyOff || st.Off == ir.AnyOff {
+					off = ir.AnyOff
+				} else {
+					off += st.Off
+				}
+				next.add(Cell{Obj: c.Obj, Off: off})
+			}
+		case ir.StepDeref:
+			for _, c := range cur {
+				next.addAll(pt.lookup(c))
+			}
+		}
+		cur = next
+	}
+	for _, c := range cur {
+		pt.noteCell(c)
+	}
+	return cur
+}
+
+// lookup reads pts at a cell, expanding AnyOff wildcards in both directions.
+func (pt *PointsTo) lookup(c Cell) CellSet {
+	out := make(CellSet)
+	out.addAll(pt.get(c))
+	if c.Off == ir.AnyOff {
+		// Summary read: union over all recorded offsets of the object.
+		for off := range pt.cellIndex[c.Obj.ID] {
+			if off == ir.AnyOff {
+				continue
+			}
+			out.addAll(pt.get(Cell{Obj: c.Obj, Off: off}))
+		}
+	} else {
+		// A concrete read also sees the object's summary cell.
+		out.addAll(pt.get(Cell{Obj: c.Obj, Off: ir.AnyOff}))
+	}
+	return out
+}
+
+// evalPtr computes the cells a pointer-valued expression may hold.
+func (pt *PointsTo) evalPtr(fn *ir.Func, e cir.Expr) CellSet {
+	out := make(CellSet)
+	switch x := e.(type) {
+	case nil:
+		return out
+	case *cir.Ident:
+		if v := fn.VarByName(x.Name); v != nil {
+			out.addAll(pt.lookup(Cell{Obj: pt.objOfVar(v)}))
+		}
+		return out
+	case *cir.UnaryExpr:
+		if x.Op == cir.TokAmp {
+			// Address-of: the cells of the lvalue path themselves.
+			if lv, _, ok := fn.LvalLoc(x.X); ok {
+				return pt.cellsOfLoc(fn, lv)
+			}
+			return out
+		}
+		if x.Op == cir.TokStar {
+			if lv, _, ok := fn.LvalLoc(x); ok {
+				return pt.readLoc(fn, lv)
+			}
+		}
+		return pt.evalPtr(fn, x.X)
+	case *cir.FieldExpr, *cir.IndexExpr:
+		if lv, _, ok := fn.LvalLoc(e); ok {
+			return pt.readLoc(fn, lv)
+		}
+		return out
+	case *cir.CastExpr:
+		return pt.evalPtr(fn, x.X)
+	case *cir.CondExpr:
+		out.addAll(pt.evalPtr(fn, x.Then))
+		out.addAll(pt.evalPtr(fn, x.Else))
+		return out
+	case *cir.BinaryExpr:
+		// Pointer arithmetic: propagate base pointers.
+		out.addAll(pt.evalPtr(fn, x.X))
+		out.addAll(pt.evalPtr(fn, x.Y))
+		return out
+	}
+	return out
+}
+
+// readLoc reads the pointer value stored at an access path.
+func (pt *PointsTo) readLoc(fn *ir.Func, l ir.Loc) CellSet {
+	cells := pt.cellsOfLoc(fn, l)
+	out := make(CellSet)
+	for _, c := range cells {
+		out.addAll(pt.lookup(c))
+	}
+	return out
+}
+
+// CellsOf exposes access-path resolution for other analyses.
+func (pt *PointsTo) CellsOf(fn *ir.Func, l ir.Loc) []Cell {
+	return pt.cellsOfLoc(fn, l).Slice()
+}
+
+// MayAlias reports whether two access paths may denote overlapping memory.
+// Two cells overlap when they share the object and have equal offsets or
+// either side is the AnyOff summary.
+func (pt *PointsTo) MayAlias(fn1 *ir.Func, l1 ir.Loc, fn2 *ir.Func, l2 ir.Loc) bool {
+	c1 := pt.cellsOfLoc(fn1, l1)
+	c2 := pt.cellsOfLoc(fn2, l2)
+	for _, a := range c1 {
+		for _, b := range c2 {
+			if a.Obj != b.Obj {
+				continue
+			}
+			if a.Off == b.Off || a.Off == ir.AnyOff || b.Off == ir.AnyOff {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// PointeeString renders the points-to set of a variable for debugging.
+func (pt *PointsTo) PointeeString(fn *ir.Func, name string) string {
+	v := fn.VarByName(name)
+	if v == nil {
+		return "<unknown var>"
+	}
+	cells := pt.lookup(Cell{Obj: pt.objOfVar(v)})
+	var parts []string
+	for _, c := range cells.Slice() {
+		parts = append(parts, c.String())
+	}
+	return strings.Join(parts, ", ")
+}

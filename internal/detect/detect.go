@@ -1,0 +1,536 @@
+// Package detect implements SEAL's stage ④ (paper §6.4): given inferred
+// specifications, it delineates bug-detection regions (other
+// implementations of the same function pointer, or other usages of the
+// same API), instantiates the specification's value and use components,
+// searches for realizable value-flow paths, and reports violations of
+// reachability, condition, and order constraints.
+package detect
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"seal/internal/cir"
+	"seal/internal/infer"
+	"seal/internal/ir"
+	"seal/internal/pdg"
+	"seal/internal/solver"
+	"seal/internal/spec"
+	"seal/internal/vfp"
+)
+
+// Bug is one reported violation.
+type Bug struct {
+	Spec *spec.Spec
+	// Fn is the function containing the violation.
+	Fn *ir.Func
+	// Kind is the detector's bug-type label (NPD, MemLeak, WrongEC, OOB,
+	// UAF, DbZ, UninitVal, …).
+	Kind string
+	// Trace is the witness path for Forbidden specs (nil for Required
+	// specs, whose violation is the absence of a path).
+	Trace *vfp.Path
+	// Trace2 is the second path of an order violation.
+	Trace2 *vfp.Path
+	// Message is a one-line summary.
+	Message string
+}
+
+// Key is a dedup identity for the report list.
+func (b *Bug) Key() string {
+	return b.Fn.Name + "|" + b.Spec.Key()
+}
+
+// String implements fmt.Stringer.
+func (b *Bug) String() string {
+	return fmt.Sprintf("%s in %s (%s): %s", b.Kind, b.Fn.Name, b.Fn.File, b.Message)
+}
+
+// Detector checks specifications against a target program.
+type Detector struct {
+	G  *pdg.Graph
+	sl *vfp.Slicer
+	ab *infer.Abstracter
+
+	// pathCache memoizes PathsFrom per source statement — the summary
+	// reuse of paper §6.4.1 ("memorization strategies to cache
+	// value-flow paths as summaries").
+	pathCache map[*ir.Stmt][]*vfp.Path
+	// MaxCalleeDepth bounds the callee closure of a detection region.
+	MaxCalleeDepth int
+	// DisableMemo turns off the path cache (ablation benchmark).
+	DisableMemo bool
+	// GlobalRegions widens detection to every function rather than the
+	// interface/API scope (ablation; the paper argues scoping is needed
+	// for precision and scalability, §5 Remark).
+	GlobalRegions bool
+	// IgnoreConditions disables path-condition consistency checking
+	// (ablation: quasi-path-sensitivity off — every syntactic path is
+	// treated as realizable).
+	IgnoreConditions bool
+}
+
+// New creates a detector over the target program.
+func New(prog *ir.Program) *Detector {
+	g := pdg.New(prog)
+	return &Detector{
+		G:              g,
+		sl:             vfp.NewSlicer(g),
+		ab:             infer.NewAbstracter(g),
+		pathCache:      make(map[*ir.Stmt][]*vfp.Path),
+		MaxCalleeDepth: 3,
+	}
+}
+
+// NewOnGraph creates a detector reusing an existing PDG.
+func NewOnGraph(g *pdg.Graph) *Detector {
+	return &Detector{
+		G:              g,
+		sl:             vfp.NewSlicer(g),
+		ab:             infer.NewAbstracter(g),
+		pathCache:      make(map[*ir.Stmt][]*vfp.Path),
+		MaxCalleeDepth: 3,
+	}
+}
+
+// ValidateSpecs implements the quantifier validation of paper §6.3.3: a
+// candidate specification must hold inside the patched (post-patch) code
+// itself. A Forbidden relation still realizable there is evidently allowed
+// (quantifier ∃, not ∄); a Required relation the patched code violates is
+// not actually required. Such specs are dropped.
+func ValidateSpecs(postProg *ir.Program, specs []*spec.Spec) []*spec.Spec {
+	d := New(postProg)
+	var out []*spec.Spec
+	for _, s := range specs {
+		if len(d.DetectSpec(s)) == 0 {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Detect checks every spec and returns the deduplicated bug reports.
+func (d *Detector) Detect(specs []*spec.Spec) []*Bug {
+	var out []*Bug
+	seen := make(map[string]bool)
+	for _, s := range specs {
+		for _, b := range d.DetectSpec(s) {
+			if !seen[b.Key()] {
+				seen[b.Key()] = true
+				out = append(out, b)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Fn.Name != out[j].Fn.Name {
+			return out[i].Fn.Name < out[j].Fn.Name
+		}
+		return out[i].Spec.ID < out[j].Spec.ID
+	})
+	return out
+}
+
+// DetectSpec checks one spec against its detection regions.
+func (d *Detector) DetectSpec(s *spec.Spec) []*Bug {
+	var out []*Bug
+	for _, fn := range d.Regions(s) {
+		if b := d.checkRegion(s, fn); b != nil {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Regions returns the bug-detection regions of a spec (paper §6.4.1):
+// other implementations of the same function pointer, or — when no
+// function-pointer elements are involved — other usages of the same API.
+func (d *Detector) Regions(s *spec.Spec) []*ir.Func {
+	if d.GlobalRegions {
+		return d.G.Prog.FuncList
+	}
+	if s.Iface != "" {
+		dot := strings.IndexByte(s.Iface, '.')
+		if dot < 0 {
+			return nil
+		}
+		return d.G.Prog.ImplsOf(s.Iface[:dot], s.Iface[dot+1:])
+	}
+	if s.API != "" {
+		seen := make(map[*ir.Func]bool)
+		var out []*ir.Func
+		for _, call := range d.G.Prog.CallersOfAPI(s.API) {
+			if !seen[call.Fn] {
+				seen[call.Fn] = true
+				out = append(out, call.Fn)
+			}
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+		return out
+	}
+	return nil
+}
+
+// regionFuncs returns fn plus its defined callees up to MaxCalleeDepth
+// ("bottom-up" closure, §6.4.1).
+func (d *Detector) regionFuncs(fn *ir.Func) []*ir.Func {
+	depth := d.MaxCalleeDepth
+	seen := map[*ir.Func]bool{fn: true}
+	frontier := []*ir.Func{fn}
+	out := []*ir.Func{fn}
+	for i := 0; i < depth && len(frontier) > 0; i++ {
+		var next []*ir.Func
+		for _, f := range frontier {
+			for _, st := range f.Stmts() {
+				if st.Kind != ir.StCall || st.Callee == "" {
+					continue
+				}
+				if callee, ok := d.G.Prog.Funcs[st.Callee]; ok && !seen[callee] {
+					seen[callee] = true
+					next = append(next, callee)
+					out = append(out, callee)
+				}
+			}
+		}
+		frontier = next
+	}
+	return out
+}
+
+// checkRegion evaluates the spec inside one region function.
+func (d *Detector) checkRegion(s *spec.Spec, fn *ir.Func) *Bug {
+	// Materialize the PDG of the whole region first: inter-procedural
+	// edges into a callee only exist once its caller is built.
+	for _, f := range d.regionFuncs(fn) {
+		d.G.Ensure(f)
+	}
+	rel := s.Constraint.Rel
+	switch rel.Kind {
+	case spec.RelReach:
+		if s.Constraint.Forbidden {
+			return d.checkForbiddenReach(s, fn)
+		}
+		return d.checkRequiredReach(s, fn)
+	case spec.RelOrder:
+		return d.checkOrder(s, fn)
+	}
+	return nil
+}
+
+// paths returns the memoized value-flow paths from a source statement.
+func (d *Detector) paths(src *ir.Stmt) []*vfp.Path {
+	if !d.DisableMemo {
+		if ps, ok := d.pathCache[src]; ok {
+			return ps
+		}
+	}
+	ps := d.sl.PathsFrom(src)
+	if !d.DisableMemo {
+		d.pathCache[src] = ps
+	}
+	return ps
+}
+
+// sources instantiates the spec's V inside the region (the inverse of
+// mapping 𝔸, §6.4.1).
+func (d *Detector) sources(v spec.Value, fn *ir.Func) []*ir.Stmt {
+	var out []*ir.Stmt
+	funcs := d.regionFuncs(fn)
+	switch v.Kind {
+	case spec.VIfaceArg:
+		for _, ps := range fn.Entry.Stmts {
+			if ps.IsParamDef() && ps.ParamVar().ParamIndex == v.ArgIndex {
+				out = append(out, ps)
+			}
+		}
+	case spec.VAPIRet:
+		for _, f := range funcs {
+			for _, st := range f.Stmts() {
+				if st.IsCallTo(v.API) && st.LHS != nil {
+					out = append(out, st)
+				}
+			}
+		}
+	case spec.VLiteral:
+		for _, f := range funcs {
+			for _, st := range f.Stmts() {
+				switch st.Kind {
+				case ir.StAssign:
+					if lit, ok := st.RHS.(*cir.IntLit); ok && lit.Val == v.Lit {
+						out = append(out, st)
+					}
+				case ir.StReturn:
+					if lit, ok := st.X.(*cir.IntLit); ok && lit.Val == v.Lit {
+						out = append(out, st)
+					}
+				}
+			}
+		}
+	case spec.VGlobal:
+		for _, f := range funcs {
+			flow := d.G.Flow(f)
+			for _, u := range flow.Unrooted {
+				if u.Loc.Base.Kind == ir.VarGlobal && u.Loc.Base.Name == v.Global {
+					out = append(out, u.Use)
+				}
+			}
+		}
+	case spec.VUninit:
+		for _, f := range funcs {
+			flow := d.G.Flow(f)
+			for _, u := range flow.Unrooted {
+				if u.Loc.Base.Kind == ir.VarLocal && !u.Loc.Base.Initialized {
+					out = append(out, u.Use)
+				}
+			}
+		}
+	}
+	return dedupStmts(out)
+}
+
+// useMatches reports whether a found path's sink realizes the spec's U.
+func useMatches(u spec.Use, snk vfp.Endpoint, prog *ir.Program) bool {
+	switch u.Kind {
+	case spec.UAPIArg:
+		return snk.Kind == vfp.SnkAPIArg && snk.API == u.API && snk.ArgIndex == u.ArgIndex
+	case spec.UIfaceRet:
+		return snk.Kind == vfp.SnkIfaceRet
+	case spec.UGlobalStore:
+		return snk.Kind == vfp.SnkGlobalStore
+	case spec.UDeref:
+		return snk.Kind == vfp.SnkDeref
+	case spec.UIndex:
+		return snk.Kind == vfp.SnkIndex || snk.Kind == vfp.SnkDeref
+	case spec.UDiv:
+		return snk.Kind == vfp.SnkDiv
+	case spec.UParamStore:
+		return snk.Kind == vfp.SnkParamStore && snk.ParamIndex == u.ArgIndex
+	}
+	return false
+}
+
+// regionHasAPI reports whether the region invokes the API (instantiation
+// precondition for specs whose condition depends on it).
+func (d *Detector) regionHasAPI(fn *ir.Func, api string) bool {
+	if api == "" {
+		return true
+	}
+	for _, f := range d.regionFuncs(fn) {
+		for _, st := range f.Stmts() {
+			if st.IsCallTo(api) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkRequiredReach: the relation must hold — absence of any realizable,
+// condition-consistent path is a violation.
+func (d *Detector) checkRequiredReach(s *spec.Spec, fn *ir.Func) *Bug {
+	rel := s.Constraint.Rel
+	// Instantiation precondition: the APIs the condition talks about must
+	// be present, otherwise the spec does not apply here.
+	if !d.regionHasAPI(fn, s.API) {
+		return nil
+	}
+	if !d.condAPIsPresent(rel.Cond, fn) {
+		return nil
+	}
+	srcs := d.sources(rel.V, fn)
+	for _, src := range srcs {
+		for _, p := range d.paths(src) {
+			if p.Sink.Fn != nil && p.Sink.Kind == vfp.SnkIfaceRet && p.Sink.Fn != fn {
+				continue // a return of some other impl reached via shared helpers
+			}
+			if !useMatches(rel.U, p.Sink, d.G.Prog) {
+				continue
+			}
+			if d.condConsistent(p, rel.Cond) {
+				return nil // satisfied
+			}
+		}
+	}
+	msg := fmt.Sprintf("required value flow %s is missing (no realizable path under %s)",
+		rel.V.Key()+" -> "+rel.U.Key(), solver.String(rel.Cond))
+	if rel.U.Kind == spec.UAPIArg {
+		if alt := d.similarAPICalled(fn, rel.U.API); alt != "" {
+			msg += fmt.Sprintf("; note: region calls %s, possibly an equivalent post-operation", alt)
+		}
+	}
+	return &Bug{
+		Spec:    s,
+		Fn:      fn,
+		Kind:    ClassifyKind(s),
+		Message: msg,
+	}
+}
+
+// similarAPICalled looks for an API invoked in the region whose name
+// shares a prefix with the expected one — the "equivalent post-operations"
+// the paper identifies as an FP source (e.g. kfree vs kfree_sensitive).
+// Surfacing the candidate in the report helps triage.
+func (d *Detector) similarAPICalled(fn *ir.Func, want string) string {
+	for _, f := range d.regionFuncs(fn) {
+		for _, st := range f.Stmts() {
+			if st.Kind != ir.StCall || st.Callee == "" || st.Callee == want {
+				continue
+			}
+			if !d.G.Prog.IsAPI(st.Callee) {
+				continue
+			}
+			if strings.HasPrefix(st.Callee, want) || strings.HasPrefix(want, st.Callee) {
+				return st.Callee
+			}
+		}
+	}
+	return ""
+}
+
+// checkForbiddenReach: any realizable path consistent with the (delta)
+// condition is a violation.
+func (d *Detector) checkForbiddenReach(s *spec.Spec, fn *ir.Func) *Bug {
+	rel := s.Constraint.Rel
+	for _, src := range d.sources(rel.V, fn) {
+		for _, p := range d.paths(src) {
+			if !useMatches(rel.U, p.Sink, d.G.Prog) {
+				continue
+			}
+			if p.Sink.Fn != nil && p.Sink.Fn != fn && !inRegion(d, fn, p.Sink.Fn) {
+				continue
+			}
+			if d.condConsistent(p, rel.Cond) {
+				return &Bug{
+					Spec:  s,
+					Fn:    fn,
+					Kind:  ClassifyKind(s),
+					Trace: p,
+					Message: fmt.Sprintf("forbidden value flow %s -> %s realizable under %s",
+						rel.V.Key(), rel.U.Key(), solver.String(rel.Cond)),
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkOrder: the forbidden arrangement is U2's site executing before U1's
+// site for the same source datum.
+func (d *Detector) checkOrder(s *spec.Spec, fn *ir.Func) *Bug {
+	rel := s.Constraint.Rel
+	for _, src := range d.sources(rel.V, fn) {
+		ps := d.paths(src)
+		var u1Paths, u2Paths []*vfp.Path
+		for _, p := range ps {
+			if useMatches(rel.U1, p.Sink, d.G.Prog) {
+				u1Paths = append(u1Paths, p)
+			}
+			if useMatches(rel.U2, p.Sink, d.G.Prog) {
+				u2Paths = append(u2Paths, p)
+			}
+		}
+		for _, p1 := range u1Paths {
+			for _, p2 := range u2Paths {
+				s1, s2 := p1.Sink.Stmt, p2.Sink.Stmt
+				if s1 == s2 || s1.Fn != s2.Fn {
+					continue
+				}
+				info := d.G.CFG(s1.Fn)
+				if !info.OrderComparable(s1, s2) {
+					continue
+				}
+				if info.ExecutedBefore(s2, s1) {
+					return &Bug{
+						Spec:   s,
+						Fn:     fn,
+						Kind:   ClassifyKind(s),
+						Trace:  p1,
+						Trace2: p2,
+						Message: fmt.Sprintf("use %s at line %d occurs after %s at line %d (forbidden order)",
+							rel.U1.Key(), s1.Line, rel.U2.Key(), s2.Line),
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func inRegion(d *Detector, region, fn *ir.Func) bool {
+	for _, f := range d.regionFuncs(region) {
+		if f == fn {
+			return true
+		}
+	}
+	return false
+}
+
+// condConsistent evaluates the consistency between a found path's Ψ and
+// the spec condition (paper §6.4.2): the abstracted Ψ must be jointly
+// satisfiable with the condition.
+func (d *Detector) condConsistent(p *vfp.Path, cond solver.Formula) bool {
+	if cond == nil || d.IgnoreConditions {
+		return true
+	}
+	psi := d.ab.AbstractPsi(p)
+	return solver.Sat(solver.MkAnd(psi, cond))
+}
+
+// condAPIsPresent checks that every API mentioned in the condition's
+// symbols is invoked in the region.
+func (d *Detector) condAPIsPresent(cond solver.Formula, fn *ir.Func) bool {
+	for _, sym := range solver.Symbols(cond) {
+		if strings.HasPrefix(sym, "ret[") {
+			api := sym[len("ret[") : len(sym)-1]
+			if idx := strings.IndexByte(api, ']'); idx >= 0 {
+				api = api[:idx]
+			}
+			if !d.regionHasAPI(fn, api) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func dedupStmts(in []*ir.Stmt) []*ir.Stmt {
+	seen := make(map[*ir.Stmt]bool, len(in))
+	var out []*ir.Stmt
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// ClassifyKind labels the bug type a spec's violation manifests as,
+// mirroring Table 2's categories.
+func ClassifyKind(s *spec.Spec) string {
+	rel := s.Constraint.Rel
+	if rel.Kind == spec.RelOrder {
+		return "UAF"
+	}
+	switch {
+	case rel.U.Kind == spec.UDiv:
+		return "DbZ"
+	case rel.U.Kind == spec.UIndex:
+		return "OOB"
+	case rel.V.Kind == spec.VUninit:
+		return "UninitVal"
+	case rel.U.Kind == spec.UDeref:
+		return "NPD"
+	case !s.Constraint.Forbidden && rel.V.Kind == spec.VLiteral && rel.V.Lit < 0 && rel.U.Kind == spec.UIfaceRet:
+		return "WrongEC"
+	case !s.Constraint.Forbidden && rel.U.Kind == spec.UIfaceRet:
+		return "WrongEC"
+	case !s.Constraint.Forbidden && rel.U.Kind == spec.UAPIArg:
+		return "MemLeak"
+	case !s.Constraint.Forbidden && rel.U.Kind == spec.UParamStore:
+		return "UninitVal"
+	case s.Constraint.Forbidden && rel.U.Kind == spec.UAPIArg:
+		return "API-Misuse"
+	}
+	return "Other"
+}

@@ -1,0 +1,66 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"seal/internal/kernelgen"
+)
+
+// ScalePoint is one corpus size in the scaling study.
+type ScalePoint struct {
+	Instances     int
+	Files         int
+	Patches       int
+	Specs         int
+	Reports       int
+	InferPerPatch time.Duration
+	DetectTotal   time.Duration
+}
+
+// ScalingStudy grows the corpus (subsystem instances per family) and
+// measures how inference and detection costs scale — the structural claim
+// of paper RQ4: per-patch inference cost is roughly constant because PDGs
+// are built on demand for patch-related functions only, while detection
+// grows with the number of regions.
+func ScalingStudy(sizes []int) ([]ScalePoint, error) {
+	var out []ScalePoint
+	for _, n := range sizes {
+		cfg := kernelgen.EvalConfig()
+		cfg.Instances = n
+		run, err := NewRun(cfg)
+		if err != nil {
+			return nil, err
+		}
+		pt := ScalePoint{
+			Instances:   n,
+			Files:       len(run.Corpus.Files),
+			Patches:     len(run.Corpus.Patches),
+			Specs:       len(run.Specs),
+			Reports:     len(run.Bugs),
+			DetectTotal: run.DetectTime,
+		}
+		if pt.Patches > 0 {
+			pt.InferPerPatch = run.InferTime / time.Duration(pt.Patches)
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// FormatScaling renders the study.
+func FormatScaling(points []ScalePoint) string {
+	var sb strings.Builder
+	sb.WriteString("Scaling study (corpus size vs. analysis cost, RQ4 structure)\n")
+	fmt.Fprintf(&sb, "  %9s %6s %8s %6s %8s %14s %12s\n",
+		"instances", "files", "patches", "specs", "reports", "infer/patch", "detect")
+	for _, p := range points {
+		fmt.Fprintf(&sb, "  %9d %6d %8d %6d %8d %14v %12v\n",
+			p.Instances, p.Files, p.Patches, p.Specs, p.Reports,
+			p.InferPerPatch.Round(time.Microsecond), p.DetectTotal.Round(time.Millisecond))
+	}
+	sb.WriteString("  (per-patch inference stays near-constant: PDGs are demand-driven\n")
+	sb.WriteString("   over patch-related functions only, paper §7)\n")
+	return sb.String()
+}

@@ -1,0 +1,192 @@
+package infer
+
+import (
+	"strings"
+	"testing"
+
+	"seal/internal/cir"
+	"seal/internal/patch"
+	"seal/internal/solver"
+	"seal/internal/spec"
+)
+
+func analyzeFixture(t *testing.T, id, file, pre, post string) *patch.Analyzed {
+	t.Helper()
+	p := &patch.Patch{
+		ID:   id,
+		Pre:  map[string]string{file: pre},
+		Post: map[string]string{file: post},
+	}
+	a, err := p.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// TestInferSpec41 reproduces paper Example 4.1: from the Fig. 3 patch SEAL
+// must deduce the required reachability -ENOMEM ↪ ret[buf_prepare] under
+// ret[dma_alloc_coherent] == NULL.
+func TestInferSpec41(t *testing.T) {
+	a := analyzeFixture(t, "fig3", "cx23885.c", cir.Fig3PreSource, cir.Fig3Source)
+	res := InferPatch(a)
+	if len(res.Specs) == 0 {
+		t.Fatal("no specs inferred from Fig. 3 patch")
+	}
+	var target *spec.Spec
+	for _, s := range res.Specs {
+		r := s.Constraint.Rel
+		if s.Origin == spec.OriginAdded && !s.Constraint.Forbidden &&
+			r.Kind == spec.RelReach &&
+			r.V.Kind == spec.VLiteral && r.V.Lit == -12 &&
+			r.U.Kind == spec.UIfaceRet && r.U.Iface == "vb2_ops.buf_prepare" {
+			target = s
+		}
+	}
+	if target == nil {
+		t.Fatalf("Spec 4.1 not found; inferred:\n%s", dumpSpecs(res.Specs))
+	}
+	// Condition must mention the API return and entail its NULLness.
+	cond := target.Constraint.Rel.Cond
+	want := solver.Atom{Op: solver.OpEq, A: solver.Sym{Name: "ret[dma_alloc_coherent]"}, B: solver.Const{Val: 0}}
+	if !solver.Implies(cond, want) {
+		t.Errorf("Spec 4.1 condition = %s, want to imply ret[dma_alloc_coherent] == 0", solver.String(cond))
+	}
+	if target.Iface != "vb2_ops.buf_prepare" {
+		t.Errorf("scope = %q, want interface scope", target.Iface)
+	}
+	if target.API == "" {
+		t.Error("spec should record the involved API for instantiation")
+	}
+}
+
+// TestInferSpec42 reproduces paper Example 4.2: from the Fig. 4 patch SEAL
+// must deduce the forbidden flow arg1 ↪ index-use under data->len > MAX.
+func TestInferSpec42(t *testing.T) {
+	a := analyzeFixture(t, "fig4", "i2c.c", cir.Fig4PreSource, cir.Fig4PostSource)
+	res := InferPatch(a)
+	var target *spec.Spec
+	for _, s := range res.Specs {
+		r := s.Constraint.Rel
+		if s.Origin == spec.OriginCondition && s.Constraint.Forbidden &&
+			r.Kind == spec.RelReach &&
+			r.V.Kind == spec.VIfaceArg && r.V.ArgIndex == 1 &&
+			(r.U.Kind == spec.UIndex || r.U.Kind == spec.UDeref) {
+			target = s
+		}
+	}
+	if target == nil {
+		t.Fatalf("Spec 4.2 not found; inferred:\n%s", dumpSpecs(res.Specs))
+	}
+	// Delta condition: data->len > MAX (len is the field at offset 0).
+	cond := target.Constraint.Rel.Cond
+	lenSym := solver.Sym{Name: "arg1[i2c_algorithm.smbus_xfer]@0"}
+	if !solver.Implies(cond, solver.Atom{Op: solver.OpGt, A: lenSym, B: solver.Const{Val: 32}}) {
+		t.Errorf("Spec 4.2 delta = %s, want to imply len > 32", solver.String(cond))
+	}
+	if target.Iface != "i2c_algorithm.smbus_xfer" {
+		t.Errorf("scope = %q", target.Iface)
+	}
+}
+
+// TestInferSpec43 reproduces paper Example 4.3: from the Fig. 5 patch SEAL
+// must deduce the forbidden order "put_device before a later use of
+// arg1.dev" (use-after-free).
+func TestInferSpec43(t *testing.T) {
+	a := analyzeFixture(t, "fig5", "telem.c", cir.Fig5PreSource, cir.Fig5PostSource)
+	res := InferPatch(a)
+	var target *spec.Spec
+	for _, s := range res.Specs {
+		r := s.Constraint.Rel
+		if r.Kind != spec.RelOrder || !s.Constraint.Forbidden {
+			continue
+		}
+		if r.V.Kind != spec.VIfaceArg || r.V.Iface != "platform_driver.remove" {
+			continue
+		}
+		// The use that must come last (U2 in the forbidden pre-order) is
+		// the put_device API argument.
+		if r.U2.Kind == spec.UAPIArg && r.U2.API == "put_device" {
+			target = s
+		}
+	}
+	if target == nil {
+		t.Fatalf("Spec 4.3 not found; inferred:\n%s", dumpSpecs(res.Specs))
+	}
+	if target.Origin != spec.OriginOrder {
+		t.Errorf("origin = %s, want PΩ", target.Origin)
+	}
+}
+
+// TestInferNoisePatchYieldsNothing: a patch not touching interaction data
+// produces zero relations (paper §8.2: 1,529 such patches).
+func TestInferNoisePatchYieldsNothing(t *testing.T) {
+	pre := `
+int helper(int x) {
+	int y = x + 1;
+	return y;
+}`
+	post := `
+int helper(int x) {
+	int y = 1 + x;
+	return y;
+}`
+	a := analyzeFixture(t, "noise", "n.c", pre, post)
+	res := InferPatch(a)
+	if len(res.Specs) != 0 {
+		t.Errorf("noise patch produced specs:\n%s", dumpSpecs(res.Specs))
+	}
+}
+
+// TestInferStatsOrigins: the three figure patches populate the three
+// distinct origin counters.
+func TestInferStatsOrigins(t *testing.T) {
+	a3 := analyzeFixture(t, "fig3", "f3.c", cir.Fig3PreSource, cir.Fig3Source)
+	a4 := analyzeFixture(t, "fig4", "f4.c", cir.Fig4PreSource, cir.Fig4PostSource)
+	a5 := analyzeFixture(t, "fig5", "f5.c", cir.Fig5PreSource, cir.Fig5PostSource)
+	r3, r4, r5 := InferPatch(a3), InferPatch(a4), InferPatch(a5)
+	if r3.Stats.PPlus == 0 {
+		t.Errorf("Fig. 3 should contribute P+ relations: %+v", r3.Stats)
+	}
+	if r4.Stats.PPsi == 0 {
+		t.Errorf("Fig. 4 should contribute PΨ relations: %+v", r4.Stats)
+	}
+	if r5.Stats.POmega == 0 {
+		t.Errorf("Fig. 5 should contribute PΩ relations: %+v", r5.Stats)
+	}
+}
+
+// TestSpecSerializationRoundTrip: inferred specs survive JSON round-trips
+// including their conditions.
+func TestSpecSerializationRoundTrip(t *testing.T) {
+	a := analyzeFixture(t, "fig3", "f3.c", cir.Fig3PreSource, cir.Fig3Source)
+	res := InferPatch(a)
+	db := &spec.DB{Specs: res.Specs}
+	data, err := db.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back spec.DB
+	if err := back.UnmarshalJSON(data); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Specs) != len(db.Specs) {
+		t.Fatalf("round trip lost specs: %d vs %d", len(back.Specs), len(db.Specs))
+	}
+	for i := range db.Specs {
+		c1 := db.Specs[i].Constraint.Rel.Cond
+		c2 := back.Specs[i].Constraint.Rel.Cond
+		if !solver.Equiv(c1, c2) {
+			t.Errorf("condition changed in round trip: %s vs %s", solver.String(c1), solver.String(c2))
+		}
+	}
+}
+
+func dumpSpecs(specs []*spec.Spec) string {
+	var sb strings.Builder
+	for _, s := range specs {
+		sb.WriteString(s.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

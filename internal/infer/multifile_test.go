@@ -1,0 +1,187 @@
+package infer
+
+import (
+	"testing"
+
+	"seal/internal/patch"
+	"seal/internal/spec"
+)
+
+// TestInferMultiFilePatch: a patch whose changed function lives in one
+// translation unit while the helper with the root cause lives in another.
+// Cross-file linking plus inter-procedural slicing must still recover the
+// Fig. 3-style error-propagation spec.
+func TestInferMultiFilePatch(t *testing.T) {
+	header := `
+struct mf_risc { int *cpu; int size; };
+struct mf_buf { struct mf_risc risc; int state; };
+struct mf_ops { int (*prep)(struct mf_buf *vb); };
+int *mf_dma_alloc(int size);
+int mf_risc_alloc(struct mf_risc *risc);
+`
+	helper := header + `
+int mf_risc_alloc(struct mf_risc *risc) {
+	risc->cpu = mf_dma_alloc(risc->size);
+	if (risc->cpu == NULL)
+		return -ENOMEM;
+	return 0;
+}
+`
+	implPre := header + `
+int mf_prep(struct mf_buf *vb) {
+	mf_risc_alloc(&vb->risc);
+	return 0;
+}
+struct mf_ops mf_qops = { .prep = mf_prep, };
+`
+	implPost := header + `
+int mf_prep(struct mf_buf *vb) {
+	return mf_risc_alloc(&vb->risc);
+}
+struct mf_ops mf_qops = { .prep = mf_prep, };
+`
+	p := &patch.Patch{
+		ID: "multifile",
+		Pre: map[string]string{
+			"drivers/mf/helper.c": helper,
+			"drivers/mf/impl.c":   implPre,
+		},
+		Post: map[string]string{
+			"drivers/mf/helper.c": helper, // untouched context file
+			"drivers/mf/impl.c":   implPost,
+		},
+	}
+	a, err := p.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only impl.c has changes.
+	if len(a.PreChanged["drivers/mf/helper.c"])+len(a.PostChanged["drivers/mf/helper.c"]) != 0 {
+		t.Error("helper.c should have no changed lines")
+	}
+	res := InferPatch(a)
+	found := false
+	for _, s := range res.Specs {
+		r := s.Constraint.Rel
+		if !s.Constraint.Forbidden && r.Kind == spec.RelReach &&
+			r.V.Kind == spec.VLiteral && r.V.Lit == -12 &&
+			r.U.Kind == spec.UIfaceRet && r.U.Iface == "mf_ops.prep" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing cross-file error-propagation spec; got:\n%s", dumpSpecs(res.Specs))
+	}
+}
+
+// TestInferWholeFunctionAddition: a patch that introduces a brand-new
+// helper function along with its use must not crash and should still
+// yield the post-side paths.
+func TestInferWholeFunctionAddition(t *testing.T) {
+	pre := `
+struct wf_dev { int id; };
+struct wf_ops { int (*start)(struct wf_dev *d); };
+int wf_hw_init(struct wf_dev *d);
+int wf_start(struct wf_dev *d) {
+	wf_hw_init(d);
+	return 0;
+}
+struct wf_ops wf_qops = { .start = wf_start, };
+`
+	post := `
+struct wf_dev { int id; };
+struct wf_ops { int (*start)(struct wf_dev *d); };
+int wf_hw_init(struct wf_dev *d);
+int wf_check(struct wf_dev *d) {
+	int ret = wf_hw_init(d);
+	if (ret != 0)
+		return ret;
+	return 0;
+}
+int wf_start(struct wf_dev *d) {
+	return wf_check(d);
+}
+struct wf_ops wf_qops = { .start = wf_start, };
+`
+	p := &patch.Patch{
+		ID:   "newfunc",
+		Pre:  map[string]string{"wf.c": pre},
+		Post: map[string]string{"wf.c": post},
+	}
+	a, err := p.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := InferPatch(a)
+	if res.Stats.PostPaths == 0 {
+		t.Error("post-side paths expected for the new error-handling flow")
+	}
+}
+
+// TestInferGotoErrorPath: the kernel's goto-based error-path idiom. The
+// patch adds the missing kfree on the error label; inference must recover
+// the required ret[kmalloc] ↪ arg0[kfree] relation across the goto CFG.
+func TestInferGotoErrorPath(t *testing.T) {
+	header := `
+struct gt_dev { int id; int state; };
+struct gt_ops { int (*probe)(struct gt_dev *d); };
+int *gt_kmalloc(int size);
+void gt_kfree(int *p);
+int gt_register(struct gt_dev *d, int *buf);
+`
+	pre := header + `
+int gt_probe(struct gt_dev *d) {
+	int ret;
+	int *buf = gt_kmalloc(64);
+	if (buf == NULL)
+		return -ENOMEM;
+	ret = gt_register(d, buf);
+	if (ret != 0)
+		goto err;
+	d->state = 1;
+	return 0;
+err:
+	return ret;
+}
+struct gt_ops gt_qops = { .probe = gt_probe, };
+`
+	post := header + `
+int gt_probe(struct gt_dev *d) {
+	int ret;
+	int *buf = gt_kmalloc(64);
+	if (buf == NULL)
+		return -ENOMEM;
+	ret = gt_register(d, buf);
+	if (ret != 0)
+		goto err_free;
+	d->state = 1;
+	return 0;
+err_free:
+	gt_kfree(buf);
+	return ret;
+}
+struct gt_ops gt_qops = { .probe = gt_probe, };
+`
+	p := &patch.Patch{
+		ID:   "goto-leak",
+		Pre:  map[string]string{"gt.c": pre},
+		Post: map[string]string{"gt.c": post},
+	}
+	a, err := p.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := InferPatch(a)
+	found := false
+	for _, s := range res.Specs {
+		r := s.Constraint.Rel
+		if !s.Constraint.Forbidden && r.Kind == spec.RelReach &&
+			r.V.Kind == spec.VAPIRet && r.V.API == "gt_kmalloc" &&
+			r.U.Kind == spec.UAPIArg && r.U.API == "gt_kfree" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing kmalloc->kfree spec from goto error path; got:\n%s", dumpSpecs(res.Specs))
+	}
+}

@@ -1,0 +1,454 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+
+	"seal/internal/cir"
+)
+
+func mustProg(t *testing.T, src string) *Program {
+	t.Helper()
+	f, err := cir.ParseFile("test.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewProgram(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestLowerFig3(t *testing.T) {
+	p := mustProg(t, cir.Fig3Source)
+	if len(p.Funcs) != 2 {
+		t.Fatalf("funcs: %d", len(p.Funcs))
+	}
+	if !p.IsAPI("dma_alloc_coherent") {
+		t.Error("dma_alloc_coherent should be an API")
+	}
+	if p.IsAPI("buffer_prepare") {
+		t.Error("buffer_prepare should not be an API")
+	}
+	// Interface discovery via ops table.
+	if len(p.OpsAssigns) != 1 {
+		t.Fatalf("ops assigns: %+v", p.OpsAssigns)
+	}
+	oa := p.OpsAssigns[0]
+	if oa.InterfaceName() != "vb2_ops.buf_prepare" || oa.FuncName != "buffer_prepare" {
+		t.Fatalf("ops assign: %+v", oa)
+	}
+	impls := p.ImplsOf("vb2_ops", "buf_prepare")
+	if len(impls) != 1 || impls[0].Name != "buffer_prepare" {
+		t.Fatalf("impls: %+v", impls)
+	}
+
+	vbi := p.Funcs["cx23885_vbibuffer"]
+	// The API call must be a single StCall with LHS risc->cpu.
+	var apiCall *Stmt
+	for _, s := range vbi.Stmts() {
+		if s.IsCallTo("dma_alloc_coherent") {
+			apiCall = s
+		}
+	}
+	if apiCall == nil {
+		t.Fatal("missing API call")
+	}
+	if apiCall.LHS == nil || cir.ExprString(apiCall.LHS) != "risc->cpu" {
+		t.Fatalf("api call LHS: %v", cir.ExprString(apiCall.LHS))
+	}
+	if len(apiCall.Defs) != 1 || apiCall.Defs[0].String() != "risc*+0" {
+		t.Fatalf("api call defs: %v", apiCall.Defs)
+	}
+	// The call reads risc (pointer base) and risc->size.
+	var useStrs []string
+	for _, u := range apiCall.Uses {
+		useStrs = append(useStrs, u.String())
+	}
+	joined := strings.Join(useStrs, " ")
+	if !strings.Contains(joined, "risc*+8") || !strings.Contains(joined, "risc") {
+		t.Fatalf("api call uses: %v", useStrs)
+	}
+
+	// Returns: -ENOMEM literal and 0.
+	rets := vbi.ReturnStmts()
+	if len(rets) != 2 {
+		t.Fatalf("returns: %d", len(rets))
+	}
+
+	// buffer_prepare: return of nested call is hoisted to temp.
+	bp := p.Funcs["buffer_prepare"]
+	var callSeen, retSeen bool
+	for _, s := range bp.Stmts() {
+		if s.IsCallTo("cx23885_vbibuffer") {
+			callSeen = true
+			if s.LHS == nil {
+				t.Error("hoisted call must define a temp")
+			}
+		}
+		if s.Kind == StReturn && s.X != nil {
+			retSeen = true
+		}
+	}
+	if !callSeen || !retSeen {
+		t.Fatalf("call=%v ret=%v\n%s", callSeen, retSeen, bp.Dump())
+	}
+}
+
+func TestParamDefNodes(t *testing.T) {
+	p := mustProg(t, `int f(int a, int b) { return a + b; }`)
+	fn := p.Funcs["f"]
+	var params []*Var
+	for _, s := range fn.Stmts() {
+		if s.IsParamDef() {
+			params = append(params, s.ParamVar())
+		}
+	}
+	if len(params) != 2 || params[0].Name != "a" || params[1].Name != "b" {
+		t.Fatalf("param defs: %+v", params)
+	}
+	if params[0].ParamIndex != 0 || params[1].ParamIndex != 1 {
+		t.Fatalf("param indices: %d %d", params[0].ParamIndex, params[1].ParamIndex)
+	}
+}
+
+func TestLowerIfCFG(t *testing.T) {
+	p := mustProg(t, `
+int f(int x) {
+	int r = 0;
+	if (x > 0) {
+		r = 1;
+	} else {
+		r = 2;
+	}
+	return r;
+}`)
+	fn := p.Funcs["f"]
+	var branch *Stmt
+	for _, s := range fn.Stmts() {
+		if s.Kind == StBranch {
+			branch = s
+		}
+	}
+	if branch == nil {
+		t.Fatalf("no branch:\n%s", fn.Dump())
+	}
+	blk := branch.Blk
+	if len(blk.Succs) != 2 {
+		t.Fatalf("branch succs: %d", len(blk.Succs))
+	}
+	if blk.Negated[0] || !blk.Negated[1] {
+		t.Fatalf("negation flags: %v", blk.Negated)
+	}
+	if blk.EdgeConds[0] == nil || blk.EdgeConds[1] == nil {
+		t.Fatal("missing edge conds")
+	}
+}
+
+func TestLowerLoopCFG(t *testing.T) {
+	p := mustProg(t, `
+int sum(int n) {
+	int s = 0;
+	int i;
+	for (i = 0; i < n; i++) {
+		s += i;
+	}
+	return s;
+}`)
+	fn := p.Funcs["sum"]
+	// The loop header must have two predecessors (entry path + back edge).
+	var header *Block
+	for _, b := range fn.Blocks {
+		if b.Terminator() != nil && b.Terminator().Kind == StBranch {
+			header = b
+		}
+	}
+	if header == nil {
+		t.Fatalf("no loop header:\n%s", fn.Dump())
+	}
+	if len(header.Preds) != 2 {
+		t.Fatalf("header preds = %d, want 2\n%s", len(header.Preds), fn.Dump())
+	}
+}
+
+func TestLowerSwitchEdges(t *testing.T) {
+	p := mustProg(t, `
+int f(int size) {
+	int r;
+	switch (size) {
+	case 1:
+		r = 10;
+		break;
+	case 2:
+	case 3:
+		r = 20;
+		break;
+	default:
+		r = 30;
+	}
+	return r;
+}`)
+	fn := p.Funcs["f"]
+	var sw *Stmt
+	for _, s := range fn.Stmts() {
+		if s.Kind == StSwitch {
+			sw = s
+		}
+	}
+	if sw == nil {
+		t.Fatal("no switch")
+	}
+	blk := sw.Blk
+	if len(blk.Succs) != 3 {
+		t.Fatalf("switch succs = %d, want 3\n%s", len(blk.Succs), fn.Dump())
+	}
+	// Every edge out of the switch must carry a condition.
+	for i, c := range blk.EdgeConds {
+		if c == nil {
+			t.Errorf("edge %d has no condition", i)
+		}
+	}
+	// The stacked case 2/3 edge condition must mention both values.
+	c1 := cir.ExprString(blk.EdgeConds[1])
+	if !strings.Contains(c1, "2") || !strings.Contains(c1, "3") {
+		t.Errorf("stacked case cond: %s", c1)
+	}
+	// Default edge mentions negations.
+	c2 := cir.ExprString(blk.EdgeConds[2])
+	if !strings.Contains(c2, "!") {
+		t.Errorf("default cond: %s", c2)
+	}
+}
+
+func TestNestedCallHoisting(t *testing.T) {
+	p := mustProg(t, `
+int g(int x);
+int h(int x);
+int f(int x) {
+	return g(h(x)) + 1;
+}`)
+	fn := p.Funcs["f"]
+	var calls []string
+	for _, s := range fn.Stmts() {
+		if s.Kind == StCall {
+			calls = append(calls, s.Callee)
+		}
+	}
+	if len(calls) != 2 || calls[0] != "h" || calls[1] != "g" {
+		t.Fatalf("calls: %v (want h before g)\n%s", calls, fn.Dump())
+	}
+}
+
+func TestIndirectCallLowering(t *testing.T) {
+	p := mustProg(t, `
+struct vb2_buffer { int n; };
+struct vb2_ops { int (*buf_prepare)(struct vb2_buffer *vb); };
+int prepare_map(struct vb2_ops *ops, struct vb2_buffer *vb) {
+	return ops->buf_prepare(vb);
+}`)
+	fn := p.Funcs["prepare_map"]
+	var ind *Stmt
+	for _, s := range fn.Stmts() {
+		if s.Kind == StCall && s.Callee == "" {
+			ind = s
+		}
+	}
+	if ind == nil {
+		t.Fatalf("no indirect call:\n%s", fn.Dump())
+	}
+	if cir.ExprString(ind.CalleeExpr) != "ops->buf_prepare" {
+		t.Fatalf("callee expr: %s", cir.ExprString(ind.CalleeExpr))
+	}
+}
+
+func TestDefUseFieldOffsets(t *testing.T) {
+	p := mustProg(t, `
+struct device { int devt; int refcount; };
+struct platform_device { struct device dev; };
+void put_device(struct device *dev);
+void ida_free(int id);
+int telem_remove(struct platform_device *pdev) {
+	ida_free(pdev->dev.devt);
+	put_device(&pdev->dev);
+	return 0;
+}`)
+	fn := p.Funcs["telem_remove"]
+	var idaCall, putCall *Stmt
+	for _, s := range fn.Stmts() {
+		if s.IsCallTo("ida_free") {
+			idaCall = s
+		}
+		if s.IsCallTo("put_device") {
+			putCall = s
+		}
+	}
+	// pdev->dev.devt = deref + offset 0 (dev at 0, devt at 0).
+	found := false
+	for _, u := range idaCall.Uses {
+		if u.String() == "pdev*+0" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("ida_free uses: %v", idaCall.Uses)
+	}
+	// &pdev->dev reads only the pointer pdev, not the pointee.
+	for _, u := range putCall.Uses {
+		if u.HasDeref() {
+			t.Errorf("put_device(&pdev->dev) should not deref, uses: %v", putCall.Uses)
+		}
+	}
+}
+
+func TestUninitializedLocalTracked(t *testing.T) {
+	p := mustProg(t, `
+int f(void) {
+	int a;
+	int b = 1;
+	a = b;
+	return a;
+}`)
+	fn := p.Funcs["f"]
+	va := fn.VarByName("a")
+	vb := fn.VarByName("b")
+	if va.Initialized {
+		t.Error("a should be uninitialized at decl")
+	}
+	if !vb.Initialized {
+		t.Error("b should be initialized at decl")
+	}
+}
+
+func TestDuplicateFunctionRejected(t *testing.T) {
+	f1 := cir.MustParseFile("a.c", "int f(void) { return 1; }")
+	f2 := cir.MustParseFile("b.c", "int f(void) { return 2; }")
+	if _, err := NewProgram(f1, f2); err == nil {
+		t.Fatal("expected duplicate-function error")
+	}
+}
+
+func TestCrossFileLinking(t *testing.T) {
+	f1 := cir.MustParseFile("api.c", `
+struct device { int devt; };
+void put_device(struct device *dev);
+`)
+	f2 := cir.MustParseFile("drv.c", `
+struct device { int devt; };
+void put_device(struct device *dev);
+int drv_remove(struct device *d) {
+	put_device(d);
+	return 0;
+}`)
+	p, err := NewProgram(f1, f2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.IsAPI("put_device") {
+		t.Error("put_device should be API after linking")
+	}
+	if len(p.CallersOfAPI("put_device")) != 1 {
+		t.Error("expected one caller of put_device")
+	}
+}
+
+func TestLocSameShapeAcrossVersions(t *testing.T) {
+	p1 := mustProg(t, `struct s { int a; int b; }; int f(struct s *p) { return p->b; }`)
+	f2, _ := cir.ParseFile("test2.c", `struct s { int a; int b; }; int f(struct s *p) { int x = 0; return p->b; }`)
+	p2, _ := NewProgram(f2)
+	u1 := lastReturnUses(p1.Funcs["f"])
+	u2 := lastReturnUses(p2.Funcs["f"])
+	var l1, l2 *Loc
+	for i := range u1 {
+		if u1[i].HasDeref() {
+			l1 = &u1[i]
+		}
+	}
+	for i := range u2 {
+		if u2[i].HasDeref() {
+			l2 = &u2[i]
+		}
+	}
+	if l1 == nil || l2 == nil {
+		t.Fatal("missing deref uses")
+	}
+	if !l1.SameShape(*l2) {
+		t.Errorf("locs should have same shape: %v vs %v", l1, l2)
+	}
+}
+
+func lastReturnUses(fn *Func) []Loc {
+	rets := fn.ReturnStmts()
+	return rets[len(rets)-1].Uses
+}
+
+func TestLowerGotoErrorPath(t *testing.T) {
+	p := mustProg(t, `
+int *kmalloc(int size);
+void kfree(int *p);
+int setup(int *p);
+int f(int n) {
+	int ret;
+	int *buf = kmalloc(n);
+	if (buf == NULL)
+		return -ENOMEM;
+	ret = setup(buf);
+	if (ret != 0)
+		goto err_free;
+	return 0;
+err_free:
+	kfree(buf);
+	return ret;
+}`)
+	fn := p.Funcs["f"]
+	kfreeCall := findStmtCall(fn, "kfree")
+	if kfreeCall == nil {
+		t.Fatalf("missing kfree call:\n%s", fn.Dump())
+	}
+	// The error-path block must be reachable: it has a predecessor.
+	if len(kfreeCall.Blk.Preds) == 0 {
+		t.Fatalf("goto target block unreachable:\n%s", fn.Dump())
+	}
+}
+
+func TestLowerGotoUndefinedLabel(t *testing.T) {
+	f, err := cir.ParseFile("t.c", `int f(void) { goto nowhere; return 0; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewProgram(f); err == nil {
+		t.Fatal("expected undefined-label error")
+	}
+}
+
+func TestLowerDoWhile(t *testing.T) {
+	p := mustProg(t, `
+int f(int n) {
+	int i = 0;
+	do {
+		i = i + 1;
+	} while (i < n);
+	return i;
+}`)
+	fn := p.Funcs["f"]
+	// The loop must produce a branch with a back edge shape: some block
+	// has two predecessors (entry path + loop-around).
+	multi := false
+	for _, b := range fn.Blocks {
+		if len(b.Preds) >= 2 {
+			multi = true
+		}
+	}
+	if !multi {
+		t.Fatalf("do-while CFG missing join:\n%s", fn.Dump())
+	}
+}
+
+func findStmtCall(fn *Func, callee string) *Stmt {
+	for _, s := range fn.Stmts() {
+		if s.IsCallTo(callee) {
+			return s
+		}
+	}
+	return nil
+}

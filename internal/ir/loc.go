@@ -1,0 +1,362 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+
+	"seal/internal/cir"
+)
+
+// StepKind is one constructor of an access path.
+type StepKind int
+
+// Access path step kinds.
+const (
+	// StepDeref dereferences the current pointer value.
+	StepDeref StepKind = iota
+	// StepOff adds a byte offset (struct field); Off == AnyOff models
+	// array-element accesses field-insensitively.
+	StepOff
+)
+
+// AnyOff marks an unknown offset (array indexing).
+const AnyOff = -1
+
+// Step is one element of an access path.
+type Step struct {
+	Kind StepKind
+	Off  int
+}
+
+// String implements fmt.Stringer.
+func (s Step) String() string {
+	if s.Kind == StepDeref {
+		return "*"
+	}
+	if s.Off == AnyOff {
+		return "[?]"
+	}
+	return fmt.Sprintf("+%d", s.Off)
+}
+
+// Loc is an access path: a base variable followed by deref/offset steps.
+// It is the unit of data-dependence tracking ("the structure fields are
+// distinguished by the byte offsets from the base pointer", paper §7).
+type Loc struct {
+	Base *Var
+	Path []Step
+}
+
+// IsDirect reports whether the loc is the plain variable (no steps).
+func (l Loc) IsDirect() bool { return len(l.Path) == 0 }
+
+// HasDeref reports whether the path goes through memory.
+func (l Loc) HasDeref() bool {
+	for _, s := range l.Path {
+		if s.Kind == StepDeref {
+			return true
+		}
+	}
+	return false
+}
+
+// Key returns a stable map key for the loc.
+func (l Loc) Key() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "v%d", l.Base.ID)
+	for _, s := range l.Path {
+		sb.WriteString(s.String())
+	}
+	return sb.String()
+}
+
+// String implements fmt.Stringer.
+func (l Loc) String() string {
+	var sb strings.Builder
+	sb.WriteString(l.Base.Name)
+	for _, s := range l.Path {
+		sb.WriteString(s.String())
+	}
+	return sb.String()
+}
+
+// Equal reports exact structural equality of two locs.
+func (l Loc) Equal(o Loc) bool {
+	if l.Base != o.Base || len(l.Path) != len(o.Path) {
+		return false
+	}
+	for i := range l.Path {
+		if l.Path[i] != o.Path[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SameShape reports path equality ignoring base identity; used when
+// comparing locs across pre-/post-patch program versions where the base
+// variables are distinct objects with the same name.
+func (l Loc) SameShape(o Loc) bool {
+	if l.Base.Name != o.Base.Name || l.Base.Kind != o.Base.Kind || len(l.Path) != len(o.Path) {
+		return false
+	}
+	for i := range l.Path {
+		a, b := l.Path[i], o.Path[i]
+		if a.Kind != b.Kind {
+			return false
+		}
+		if a.Kind == StepOff && a.Off != b.Off && a.Off != AnyOff && b.Off != AnyOff {
+			return false
+		}
+	}
+	return true
+}
+
+// normalizePath merges consecutive offset steps.
+func normalizePath(path []Step) []Step {
+	var out []Step
+	for _, s := range path {
+		if s.Kind == StepOff && len(out) > 0 && out[len(out)-1].Kind == StepOff {
+			last := &out[len(out)-1]
+			if last.Off == AnyOff || s.Off == AnyOff {
+				last.Off = AnyOff
+			} else {
+				last.Off += s.Off
+			}
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// LvalLoc computes the access path written by an lvalue expression, plus
+// the locations read while evaluating it (pointer bases, indices).
+// Returns ok=false for expressions that are not assignable paths rooted at
+// a variable (e.g. literal targets, call results).
+func (f *Func) LvalLoc(e cir.Expr) (loc Loc, reads []Loc, ok bool) {
+	switch x := e.(type) {
+	case *cir.Ident:
+		v := f.VarByName(x.Name)
+		if v == nil {
+			return Loc{}, nil, false
+		}
+		return Loc{Base: v}, nil, true
+	case *cir.FieldExpr:
+		off := f.fieldOffset(x)
+		if x.Arrow {
+			// base->f : value of base, deref, +off
+			baseLoc, rds, ok := f.LvalLoc(x.X)
+			if !ok {
+				return Loc{}, nil, false
+			}
+			rds = append(rds, baseLoc) // reading the pointer
+			path := append(append([]Step{}, baseLoc.Path...), Step{Kind: StepDeref}, Step{Kind: StepOff, Off: off})
+			return Loc{Base: baseLoc.Base, Path: normalizePath(path)}, rds, true
+		}
+		baseLoc, rds, ok := f.LvalLoc(x.X)
+		if !ok {
+			return Loc{}, nil, false
+		}
+		path := append(append([]Step{}, baseLoc.Path...), Step{Kind: StepOff, Off: off})
+		return Loc{Base: baseLoc.Base, Path: normalizePath(path)}, rds, true
+	case *cir.UnaryExpr:
+		if x.Op == cir.TokStar {
+			baseLoc, rds, ok := f.LvalLoc(x.X)
+			if !ok {
+				return Loc{}, nil, false
+			}
+			rds = append(rds, baseLoc)
+			path := append(append([]Step{}, baseLoc.Path...), Step{Kind: StepDeref})
+			return Loc{Base: baseLoc.Base, Path: normalizePath(path)}, rds, true
+		}
+	case *cir.IndexExpr:
+		baseLoc, rds, ok := f.LvalLoc(x.X)
+		if !ok {
+			return Loc{}, nil, false
+		}
+		rds = append(rds, f.UsesOf(x.Index)...)
+		var path []Step
+		if isPointerTyped(f, x.X) {
+			rds = append(rds, baseLoc)
+			path = append(append([]Step{}, baseLoc.Path...), Step{Kind: StepDeref}, Step{Kind: StepOff, Off: AnyOff})
+		} else {
+			path = append(append([]Step{}, baseLoc.Path...), Step{Kind: StepOff, Off: AnyOff})
+		}
+		return Loc{Base: baseLoc.Base, Path: normalizePath(path)}, rds, true
+	case *cir.CastExpr:
+		return f.LvalLoc(x.X)
+	}
+	return Loc{}, nil, false
+}
+
+// fieldOffset resolves a field access to a byte offset; AnyOff if unknown.
+func (f *Func) fieldOffset(x *cir.FieldExpr) int {
+	t := f.typeOf(x.X)
+	if t == nil {
+		return AnyOff
+	}
+	st := t
+	if x.Arrow {
+		if !t.IsPtr() {
+			return AnyOff
+		}
+		st = t.Elem
+	}
+	if !st.IsStruct() || st.Struct == nil {
+		return AnyOff
+	}
+	fd := st.Struct.Field(x.Name)
+	if fd == nil {
+		return AnyOff
+	}
+	return fd.Offset
+}
+
+// TypeOf computes a best-effort static type for an expression.
+func (f *Func) TypeOf(e cir.Expr) *cir.Type { return f.typeOf(e) }
+
+// typeOf computes a best-effort static type for an expression.
+func (f *Func) typeOf(e cir.Expr) *cir.Type {
+	switch x := e.(type) {
+	case *cir.Ident:
+		if v := f.VarByName(x.Name); v != nil {
+			return v.Type
+		}
+	case *cir.IntLit:
+		return cir.IntType
+	case *cir.UnaryExpr:
+		t := f.typeOf(x.X)
+		if x.Op == cir.TokStar && t.IsPtr() {
+			return t.Elem
+		}
+		if x.Op == cir.TokAmp && t != nil {
+			return cir.PtrTo(t)
+		}
+		return t
+	case *cir.BinaryExpr:
+		return f.typeOf(x.X)
+	case *cir.CondExpr:
+		return f.typeOf(x.Then)
+	case *cir.FieldExpr:
+		t := f.typeOf(x.X)
+		st := t
+		if x.Arrow {
+			if !t.IsPtr() {
+				return nil
+			}
+			st = t.Elem
+		}
+		if st.IsStruct() && st.Struct != nil {
+			if fd := st.Struct.Field(x.Name); fd != nil {
+				return fd.Type
+			}
+		}
+	case *cir.IndexExpr:
+		t := f.typeOf(x.X)
+		if t != nil && (t.Kind == cir.TypeArray || t.IsPtr()) {
+			return t.Elem
+		}
+	case *cir.CastExpr:
+		return x.Type
+	case *cir.CallExpr:
+		if id, ok := x.Fun.(*cir.Ident); ok && f.Prog != nil {
+			if callee, ok := f.Prog.Funcs[id.Name]; ok {
+				return callee.Decl.Ret
+			}
+			if proto, ok := f.Prog.Protos[id.Name]; ok {
+				return proto.Ret
+			}
+		}
+	}
+	return nil
+}
+
+func isPointerTyped(f *Func, e cir.Expr) bool {
+	t := f.typeOf(e)
+	return t.IsPtr()
+}
+
+// UsesOf collects every location read by an rvalue expression.
+func (f *Func) UsesOf(e cir.Expr) []Loc {
+	var out []Loc
+	f.collectUses(e, &out)
+	return out
+}
+
+func (f *Func) collectUses(e cir.Expr, out *[]Loc) {
+	switch x := e.(type) {
+	case nil:
+	case *cir.Ident:
+		if v := f.VarByName(x.Name); v != nil {
+			*out = append(*out, Loc{Base: v})
+		}
+	case *cir.IntLit, *cir.StrLit, *cir.SizeofExpr:
+	case *cir.UnaryExpr:
+		if x.Op == cir.TokAmp {
+			// &lv reads nothing of the pointee, but evaluating the base
+			// pointer chain reads intermediates.
+			if _, rds, ok := f.LvalLoc(x.X); ok {
+				*out = append(*out, rds...)
+				return
+			}
+			f.collectUses(x.X, out)
+			return
+		}
+		if x.Op == cir.TokStar {
+			if loc, rds, ok := f.LvalLoc(x); ok {
+				*out = append(*out, loc)
+				*out = append(*out, rds...)
+				return
+			}
+		}
+		f.collectUses(x.X, out)
+	case *cir.BinaryExpr:
+		f.collectUses(x.X, out)
+		f.collectUses(x.Y, out)
+	case *cir.CondExpr:
+		f.collectUses(x.Cond, out)
+		f.collectUses(x.Then, out)
+		f.collectUses(x.Else, out)
+	case *cir.CallExpr:
+		// Calls are hoisted before DEF/USE extraction; a residual CallExpr
+		// only contributes its arguments (defensive).
+		f.collectUses(x.Fun, out)
+		for _, a := range x.Args {
+			f.collectUses(a, out)
+		}
+	case *cir.IndexExpr, *cir.FieldExpr:
+		if loc, rds, ok := f.LvalLoc(e); ok {
+			*out = append(*out, loc)
+			*out = append(*out, rds...)
+			return
+		}
+		switch y := e.(type) {
+		case *cir.IndexExpr:
+			f.collectUses(y.X, out)
+			f.collectUses(y.Index, out)
+		case *cir.FieldExpr:
+			f.collectUses(y.X, out)
+		}
+	case *cir.CastExpr:
+		f.collectUses(x.X, out)
+	case *cir.StructInitExpr:
+		for _, fld := range x.Fields {
+			f.collectUses(fld.Value, out)
+		}
+	}
+}
+
+// dedupLocs removes duplicate locations preserving order.
+func dedupLocs(locs []Loc) []Loc {
+	seen := make(map[string]bool, len(locs))
+	var out []Loc
+	for _, l := range locs {
+		k := l.Key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, l)
+		}
+	}
+	return out
+}

@@ -1,0 +1,59 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dump renders the function CFG for debugging and golden tests.
+func (f *Func) Dump() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "func %s (%s)\n", f.Name, f.File)
+	for _, b := range f.Blocks {
+		fmt.Fprintf(&sb, "  b%d:", b.ID)
+		if len(b.Preds) > 0 {
+			sb.WriteString(" preds=")
+			for i, p := range b.Preds {
+				if i > 0 {
+					sb.WriteByte(',')
+				}
+				fmt.Fprintf(&sb, "b%d", p.ID)
+			}
+		}
+		sb.WriteByte('\n')
+		for _, s := range b.Stmts {
+			fmt.Fprintf(&sb, "    #%d L%d %s", s.ID, s.Line, s.String())
+			if len(s.Defs) > 0 {
+				sb.WriteString("  def:")
+				for i, d := range s.Defs {
+					if i > 0 {
+						sb.WriteByte(',')
+					}
+					sb.WriteString(d.String())
+				}
+			}
+			if len(s.Uses) > 0 {
+				sb.WriteString("  use:")
+				for i, u := range s.Uses {
+					if i > 0 {
+						sb.WriteByte(',')
+					}
+					sb.WriteString(u.String())
+				}
+			}
+			sb.WriteByte('\n')
+		}
+		for i, succ := range b.Succs {
+			lbl := ""
+			if b.EdgeConds[i] != nil {
+				if b.Negated[i] {
+					lbl = " if-false"
+				} else {
+					lbl = " if-true"
+				}
+			}
+			fmt.Fprintf(&sb, "    -> b%d%s\n", succ.ID, lbl)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,567 @@
+// Package kernelgen generates a deterministic synthetic "mini-Linux"
+// corpus: subsystems exposing ops-struct interfaces, drivers implementing
+// them (correct, buggy, and confuser variants), historical security
+// patches fixing a subset of the bugs, and exact ground truth. It
+// substitutes for Linux v6.2 + 12,571 historical patches (DESIGN.md §2),
+// reproducing the bug families of paper Table 2:
+//
+//	NPD        missing NULL check on an allocation API result
+//	WrongEC    wrong / dropped error code on an API failure path
+//	OOB        missing bounds check on an interface argument field
+//	UAF        refcount drop (put) ordered before a later use
+//	MemLeak    missing deallocation on an error path
+//	DbZ        missing zero check before division
+//	UninitVal  output consumed while conditionally uninitialized
+//	RefPut     missing node put on an error path (leak; with an
+//	           ownership-transfer confuser reproducing the paper's Fig. 9
+//	           incorrect-spec class)
+package kernelgen
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Variant selects which flavour of a driver a family renders.
+type Variant int
+
+// Driver variants.
+const (
+	// Correct follows the latent interface rule.
+	Correct Variant = iota
+	// Buggy violates it (the seeded bug).
+	Buggy
+	// Confuser is semantically correct code that an inferred spec is
+	// likely to flag — the controlled false-positive population (paper
+	// §8.3 FP analysis: equivalent APIs, checks beyond the interface,
+	// ownership transfer).
+	Confuser
+)
+
+// Family describes one bug family: how to render a subsystem header and
+// each driver variant.
+type Family struct {
+	// Name is the family key ("npd", "oob", ...).
+	Name string
+	// BugKind is the paper Table 2 bug type seeded by Buggy variants.
+	BugKind string
+	// Subsystem is the Table 1 location prefix ("drivers/media/usb").
+	Subsystem string
+	// EntryPoint classifies how the interface is reached ("syscall",
+	// "interrupt", "internal") for the exploitability analysis of paper
+	// §8.1 (33.1% of found bugs in system-call handlers, 5.3% in
+	// interrupt handlers).
+	EntryPoint string
+	// HasConfuser reports whether the family defines a Confuser variant.
+	HasConfuser bool
+	// Render emits the complete driver translation unit. sub is the
+	// subsystem instance prefix (e.g. "media0"), drv the driver prefix
+	// (e.g. "tw68").
+	Render func(sub, drv string, v Variant) string
+	// IfaceName returns the interface identifier ("<ops struct>.<field>")
+	// for a subsystem instance.
+	IfaceName func(sub string) string
+	// EntryFunc returns the interface implementation's function name (the
+	// ground-truth bug location for Buggy variants).
+	EntryFunc func(sub, drv string) string
+}
+
+// Families lists every bug family in a fixed order.
+var Families = []*Family{npdFamily, wrongECFamily, oobFamily, uafFamily,
+	memleakFamily, dbzFamily, uninitFamily, refputFamily}
+
+// jitter returns small semantics-preserving structural variations keyed by
+// the driver name, so sibling implementations are not textual clones of
+// each other: detection must work through the abstracted specification,
+// never through surface similarity.
+func jitter(drv string, n int) bool {
+	h := 0
+	for i := 0; i < len(drv); i++ {
+		h = h*31 + int(drv[i])
+	}
+	if h < 0 {
+		h = -h
+	}
+	return h%n == 0
+}
+
+// uafPrelude gives some remove() implementations an unrelated prologue.
+func uafPrelude(drv string) string {
+	if jitter(drv, 3) {
+		return `	int minor = pdev->dev.devt + 1;
+	if (minor < 0)
+		return -EINVAL;
+`
+	}
+	return ""
+}
+
+// FamilyByName returns the named family or nil.
+func FamilyByName(name string) *Family {
+	for _, f := range Families {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// NPD: API result dereferenced without a NULL check. The patch adds the
+// check, yielding a PΨ spec: forbidden ret[alloc] ↪ deref under ret == 0.
+
+var npdFamily = &Family{
+	Name:        "npd",
+	BugKind:     "NPD",
+	Subsystem:   "drivers/media/usb",
+	EntryPoint:  "syscall",
+	HasConfuser: true,
+	IfaceName:   func(sub string) string { return sub + "_ops.buf_prepare" },
+	EntryFunc:   func(sub, drv string) string { return drv + "_buf_prepare" },
+	Render: func(sub, drv string, v Variant) string {
+		var body string
+		switch v {
+		case Correct:
+			body = `	buf->cpu = ` + sub + `_alloc_mem(buf->size);
+	if (buf->cpu == NULL)
+		return -ENOMEM;
+	buf->cpu[0] = 7;
+	buf->state = 1;
+	return 0;`
+		case Buggy:
+			body = `	buf->cpu = ` + sub + `_alloc_mem(buf->size);
+	buf->cpu[0] = 7;
+	buf->state = 1;
+	return 0;`
+		case Confuser:
+			// The NULL check lives behind an indirect call that the
+			// analysis refuses to cross (paper FP cause: "necessary
+			// conditional checks may be placed beyond the current
+			// interface").
+			body = `	buf->cpu = ` + sub + `_alloc_mem(buf->size);
+	if (` + drv + `_qops.validate(buf))
+		return -ENOMEM;
+	buf->cpu[0] = 7;
+	buf->state = 1;
+	return 0;`
+		}
+		prelude := ""
+		if jitter(drv, 2) {
+			prelude = `	int tries = buf->size + 1;
+	if (tries > 4096)
+		return -EINVAL;
+`
+		}
+		validate := ""
+		validateInit := ""
+		if v == Confuser {
+			validate = `
+int ` + drv + `_validate(struct ` + sub + `_buf *buf) {
+	if (buf->cpu == NULL)
+		return 1;
+	return 0;
+}
+`
+			validateInit = `
+	.validate = ` + drv + `_validate,`
+		}
+		return `struct ` + sub + `_buf {
+	int *cpu;
+	int size;
+	int state;
+};
+struct ` + sub + `_ops {
+	int (*buf_prepare)(struct ` + sub + `_buf *buf);
+	int (*validate)(struct ` + sub + `_buf *buf);
+};
+int *` + sub + `_alloc_mem(int size);
+void pr_debug(int level);
+` + validate + `
+int ` + drv + `_buf_prepare(struct ` + sub + `_buf *buf) {
+	pr_debug(3);
+` + prelude + body + `
+}
+struct ` + sub + `_ops ` + drv + `_qops = {
+	.buf_prepare = ` + drv + `_buf_prepare,` + validateInit + `
+};
+`
+	},
+}
+
+// ---------------------------------------------------------------------------
+// WrongEC: the Fig. 3 shape — a helper returns -ENOMEM on API failure and
+// the interface implementation must propagate it. The patch makes the
+// return value flow out, yielding a P+ spec: required lit[-ENOMEM] ↪
+// ret[iface] under ret[dma] == 0.
+
+var wrongECFamily = &Family{
+	Name:       "wrongec",
+	BugKind:    "WrongEC",
+	Subsystem:  "drivers/media/pci",
+	EntryPoint: "syscall",
+	IfaceName:  func(sub string) string { return sub + "_vops.vbuf_prepare" },
+	EntryFunc:  func(sub, drv string) string { return drv + "_vbuf_prepare" },
+	Render: func(sub, drv string, v Variant) string {
+		call := `	return ` + drv + `_risc_alloc(&vb->risc);`
+		if v == Buggy {
+			call = `	` + drv + `_risc_alloc(&vb->risc);
+	return 0;`
+		}
+		return `struct ` + sub + `_risc {
+	int *cpu;
+	int size;
+};
+struct ` + sub + `_vbuf {
+	struct ` + sub + `_risc risc;
+	int state;
+};
+struct ` + sub + `_vops {
+	int (*vbuf_prepare)(struct ` + sub + `_vbuf *vb);
+};
+int *` + sub + `_dma_alloc(int size);
+int ` + drv + `_risc_alloc(struct ` + sub + `_risc *risc) {
+	risc->cpu = ` + sub + `_dma_alloc(risc->size);
+	if (risc->cpu == NULL)
+		return -ENOMEM;
+	return 0;
+}
+int ` + drv + `_vbuf_prepare(struct ` + sub + `_vbuf *vb) {
+` + call + `
+}
+struct ` + sub + `_vops ` + drv + `_vqops = {
+	.vbuf_prepare = ` + drv + `_vbuf_prepare,
+};
+`
+	},
+}
+
+// ---------------------------------------------------------------------------
+// OOB: the Fig. 4 shape — a length field must be sanity-checked before the
+// copy loop. PΨ spec: forbidden arg ↪ index under len > MAX.
+
+var oobFamily = &Family{
+	Name:       "oob",
+	BugKind:    "OOB",
+	Subsystem:  "drivers/i2c/busses",
+	EntryPoint: "syscall",
+	IfaceName:  func(sub string) string { return sub + "_algorithm.xfer" },
+	EntryFunc:  func(sub, drv string) string { return drv + "_xfer" },
+	Render: func(sub, drv string, v Variant) string {
+		loop := `		for (i = 1; i <= data->len; i++)
+			` + sub + `_msgbuf[i] = data->block[i];`
+		if v == Correct {
+			loop = `		if (data->len <= ` + strings.ToUpper(sub) + `_MAX) {
+			for (i = 1; i <= data->len; i++)
+				` + sub + `_msgbuf[i] = data->block[i];
+		}`
+		}
+		return `#define ` + strings.ToUpper(sub) + `_BLOCK_CMD 8
+#define ` + strings.ToUpper(sub) + `_MAX 32
+struct ` + sub + `_data {
+	int len;
+	char block[34];
+};
+struct ` + sub + `_algorithm {
+	int (*xfer)(int size, struct ` + sub + `_data *data);
+};
+char ` + sub + `_msgbuf[34];
+int ` + drv + `_xfer(int size, struct ` + sub + `_data *data) {
+	int i;
+	switch (size) {
+	case ` + strings.ToUpper(sub) + `_BLOCK_CMD:
+` + loop + `
+		break;
+	}
+	return 0;
+}
+struct ` + sub + `_algorithm ` + drv + `_algo = {
+	.xfer = ` + drv + `_xfer,
+};
+`
+	},
+}
+
+// ---------------------------------------------------------------------------
+// UAF: the Fig. 5 shape — put_device ordered before a later use of the
+// device memory. PΩ spec: forbidden order (put ≺ use).
+
+var uafFamily = &Family{
+	Name:       "uaf",
+	BugKind:    "UAF",
+	Subsystem:  "drivers/platform",
+	EntryPoint: "internal",
+	IfaceName:  func(sub string) string { return sub + "_driver.remove" },
+	EntryFunc:  func(sub, drv string) string { return drv + "_remove" },
+	Render: func(sub, drv string, v Variant) string {
+		body := `	` + sub + `_ida_free(&` + drv + `_ida, pdev->dev.devt);
+	` + sub + `_put_device(&pdev->dev);`
+		if v == Buggy {
+			body = `	` + sub + `_put_device(&pdev->dev);
+	` + sub + `_ida_free(&` + drv + `_ida, pdev->dev.devt);`
+		}
+		return `struct ` + sub + `_device { int devt; int refcount; };
+struct ` + sub + `_pdev { struct ` + sub + `_device dev; };
+struct ` + sub + `_ida { int bits; };
+struct ` + sub + `_driver {
+	int (*remove)(struct ` + sub + `_pdev *pdev);
+};
+void ` + sub + `_put_device(struct ` + sub + `_device *dev);
+void ` + sub + `_ida_free(struct ` + sub + `_ida *ida, int id);
+struct ` + sub + `_ida ` + drv + `_ida;
+int ` + drv + `_remove(struct ` + sub + `_pdev *pdev) {
+` + uafPrelude(drv) + body + `
+	return 0;
+}
+struct ` + sub + `_driver ` + drv + `_driver = {
+	.remove = ` + drv + `_remove,
+};
+`
+	},
+}
+
+// ---------------------------------------------------------------------------
+// MemLeak: allocation must be released on the registration error path.
+// P+ spec: required ret[kmalloc] ↪ arg0[kfree] under ret[register] != 0.
+// Confuser: releases through the equivalent sensitive-free API (paper FP
+// cause: "unknown equivalent post-operations").
+
+var memleakFamily = &Family{
+	Name:        "memleak",
+	BugKind:     "MemLeak",
+	Subsystem:   "drivers/mmc/host",
+	EntryPoint:  "internal",
+	HasConfuser: true,
+	IfaceName:   func(sub string) string { return sub + "_hdrv.probe" },
+	EntryFunc:   func(sub, drv string) string { return drv + "_probe" },
+	Render: func(sub, drv string, v Variant) string {
+		free := `		` + sub + `_kfree(buf);
+`
+		switch v {
+		case Buggy:
+			free = ""
+		case Confuser:
+			free = `		` + sub + `_kfree_sensitive(buf);
+`
+		}
+		return `struct ` + sub + `_host { int id; int state; };
+struct ` + sub + `_hdrv {
+	int (*probe)(struct ` + sub + `_host *host);
+};
+int *` + sub + `_kmalloc(int size);
+void ` + sub + `_kfree(int *p);
+void ` + sub + `_kfree_sensitive(int *p);
+int ` + sub + `_register_host(struct ` + sub + `_host *host, int *buf);
+void pr_debug(int level);
+int ` + drv + `_probe(struct ` + sub + `_host *host) {
+	pr_debug(3);
+	int *buf = ` + sub + `_kmalloc(64);
+	if (buf == NULL)
+		return -ENOMEM;
+	int ret = ` + sub + `_register_host(host, buf);
+	if (ret != 0) {
+` + free + `		return ret;
+	}
+	host->state = 1;
+	return 0;
+}
+struct ` + sub + `_hdrv ` + drv + `_hdrv = {
+	.probe = ` + drv + `_probe,
+};
+`
+	},
+}
+
+// ---------------------------------------------------------------------------
+// DbZ: a hardware-controlled field used as divisor must be checked against
+// zero first. PΨ spec: forbidden arg ↪ div under pixclock == 0.
+
+var dbzFamily = &Family{
+	Name:       "dbz",
+	BugKind:    "DbZ",
+	Subsystem:  "drivers/video/fbdev",
+	EntryPoint: "syscall",
+	IfaceName:  func(sub string) string { return sub + "_fbops.check_var" },
+	EntryFunc:  func(sub, drv string) string { return drv + "_check_var" },
+	Render: func(sub, drv string, v Variant) string {
+		guard := ""
+		if v == Correct {
+			guard = `	if (var->pixclock == 0)
+		return -EINVAL;
+`
+		}
+		return `struct ` + sub + `_var {
+	int pixclock;
+	int xres;
+};
+struct ` + sub + `_fbops {
+	int (*check_var)(struct ` + sub + `_var *var);
+};
+void pr_debug(int level);
+int ` + drv + `_check_var(struct ` + sub + `_var *var) {
+	pr_debug(3);
+` + guard + `	int rate = 100000 / var->pixclock;
+	if (rate > var->xres)
+		return -ERANGE;
+	return 0;
+}
+struct ` + sub + `_fbops ` + drv + `_fbops = {
+	.check_var = ` + drv + `_check_var,
+};
+`
+	},
+}
+
+// ---------------------------------------------------------------------------
+// UninitVal: the reported value is only written on one branch; the patch
+// adds the unconditional initialization. P− spec: forbidden uninit ↪
+// arg0[report].
+
+var uninitFamily = &Family{
+	Name:       "uninit",
+	BugKind:    "UninitVal",
+	Subsystem:  "drivers/net/wireless",
+	EntryPoint: "interrupt",
+	IfaceName:  func(sub string) string { return sub + "_nops.get_stats" },
+	EntryFunc:  func(sub, drv string) string { return drv + "_get_stats" },
+	Render: func(sub, drv string, v Variant) string {
+		init := ""
+		if v == Correct {
+			init = `	val = 0;
+`
+		}
+		return `struct ` + sub + `_net { int mtu; int flags; };
+struct ` + sub + `_nops {
+	int (*get_stats)(struct ` + sub + `_net *dev);
+};
+int ` + sub + `_read_reg(struct ` + sub + `_net *dev);
+void ` + sub + `_report(int v);
+int ` + drv + `_get_stats(struct ` + sub + `_net *dev) {
+	int val;
+` + init + `	if (dev->mtu > 100) {
+		val = ` + sub + `_read_reg(dev);
+	}
+	` + sub + `_report(val);
+	return 0;
+}
+struct ` + sub + `_nops ` + drv + `_nops = {
+	.get_stats = ` + drv + `_get_stats,
+};
+`
+	},
+}
+
+// ---------------------------------------------------------------------------
+// RefPut: a child node obtained from the firmware tree must be put on the
+// property-read error path (the paper's Fig. 9 patch). P+ spec: required
+// ret[get_child] ↪ arg0[node_put] under ret[read_prop] != 0. Confuser:
+// ownership is transferred to the registry, so the put is rightly absent —
+// the inferred spec flags it anyway (the paper's dominant incorrect-spec
+// class).
+
+var refputFamily = &Family{
+	Name:        "refput",
+	BugKind:     "MemLeak",
+	Subsystem:   "drivers/firmware",
+	EntryPoint:  "internal",
+	HasConfuser: true,
+	IfaceName:   func(sub string) string { return sub + "_fwdrv.parse" },
+	EntryFunc:   func(sub, drv string) string { return drv + "_parse" },
+	Render: func(sub, drv string, v Variant) string {
+		var errPath, tail string
+		switch v {
+		case Correct:
+			errPath = `		` + sub + `_node_put(sub_node);
+`
+			tail = `	` + sub + `_node_put(sub_node);
+	return 0;`
+		case Buggy:
+			errPath = ""
+			tail = `	` + sub + `_node_put(sub_node);
+	return 0;`
+		case Confuser:
+			errPath = `		` + sub + `_node_put(sub_node);
+`
+			tail = `	` + sub + `_register_node(sub_node);
+	return 0;`
+		}
+		return `struct ` + sub + `_node { int id; };
+struct ` + sub + `_fwdrv {
+	int (*parse)(struct ` + sub + `_node *parent);
+};
+struct ` + sub + `_node *` + sub + `_get_child(struct ` + sub + `_node *parent);
+int ` + sub + `_read_prop(struct ` + sub + `_node *n);
+void ` + sub + `_node_put(struct ` + sub + `_node *n);
+void ` + sub + `_register_node(struct ` + sub + `_node *n);
+void pr_debug(int level);
+int ` + drv + `_parse(struct ` + sub + `_node *parent) {
+	pr_debug(3);
+	struct ` + sub + `_node *sub_node = ` + sub + `_get_child(parent);
+	if (sub_node == NULL)
+		return -EINVAL;
+	int ret = ` + sub + `_read_prop(sub_node);
+	if (ret != 0) {
+` + errPath + `		return ret;
+	}
+` + tail + `
+}
+struct ` + sub + `_fwdrv ` + drv + `_fwdrv = {
+	.parse = ` + drv + `_parse,
+};
+`
+	},
+}
+
+// AdhocSource renders drivers for the "ad-hoc patch" population: a tuner
+// interface whose instance-0 driver received an idiosyncratic fix pairing
+// the shared register-write API with a sync call. The inferred pairing
+// rule is genuinely ad-hoc — other drivers legitimately write registers
+// without syncing — so the specification it produces is incorrect and its
+// violations are false positives (the paper's dominant incorrect-spec
+// class, §8.2 Fig. 9).
+//
+// All adhoc drivers share the adhoc_reg_write / adhoc_reg_sync APIs so the
+// ad-hoc rule generalizes across them.
+// apiPrefix selects the register-API namespace: the shared "adhoc" prefix
+// lets the ad-hoc rule (wrongly) generalize across instances; a unique
+// prefix makes the rule restrictive — it applies nowhere else and its spec
+// is simply dead weight, like most of the paper's sampled-incorrect specs.
+func AdhocSource(sub, drv, apiPrefix string, fixed bool, patched bool) string {
+	sync := ""
+	if fixed && patched {
+		sync = `		` + apiPrefix + `_reg_sync(st);
+`
+	}
+	return `struct ` + sub + `_ctx { int mode; int state; };
+struct ` + sub + `_tops {
+	int (*tune)(struct ` + sub + `_ctx *ctx);
+};
+int ` + apiPrefix + `_reg_write(int op);
+void ` + apiPrefix + `_reg_sync(int st);
+int ` + drv + `_tune(struct ` + sub + `_ctx *ctx) {
+	int st = ` + apiPrefix + `_reg_write(ctx->mode);
+	if (st != 0) {
+` + sync + `		return st;
+	}
+	ctx->state = 1;
+	return 0;
+}
+struct ` + sub + `_tops ` + drv + `_tops = {
+	.tune = ` + drv + `_tune,
+};
+`
+}
+
+// NoiseSource renders a behaviour-preserving refactor pair (a patch that
+// yields zero relations, paper §8.2: 1,529 such patches).
+func NoiseSource(idx int, post bool) string {
+	expr := "a + b"
+	if post {
+		expr = "b + a"
+	}
+	return fmt.Sprintf(`int noise%d_helper(int a, int b) {
+	int s = %s;
+	int t = s * 2;
+	return t;
+}
+`, idx, expr)
+}

@@ -1,0 +1,110 @@
+package kernelgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"seal/internal/patch"
+)
+
+// WriteTo materializes the corpus on disk:
+//
+//	dir/tree/...            the current source tree (with latent bugs)
+//	dir/patches/<id>/pre/   pre-patch sources
+//	dir/patches/<id>/post/  post-patch sources
+//	dir/groundtruth.json    seeded bugs + driver metadata
+func (c *Corpus) WriteTo(dir string) error {
+	for name, src := range c.Files {
+		p := filepath.Join(dir, "tree", filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			return err
+		}
+		if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+			return err
+		}
+	}
+	for _, pt := range c.Patches {
+		for side, files := range map[string]map[string]string{"pre": pt.Pre, "post": pt.Post} {
+			for name, src := range files {
+				p := filepath.Join(dir, "patches", pt.ID, side, filepath.FromSlash(name))
+				if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+					return err
+				}
+				if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+					return err
+				}
+			}
+		}
+		meta := map[string]interface{}{"id": pt.ID, "description": pt.Description, "tags": pt.Tags}
+		data, _ := json.MarshalIndent(meta, "", "  ")
+		if err := os.WriteFile(filepath.Join(dir, "patches", pt.ID, "patch.json"), data, 0o644); err != nil {
+			return err
+		}
+	}
+	gt := struct {
+		Bugs    []SeededBug  `json:"bugs"`
+		Drivers []DriverInfo `json:"drivers"`
+	}{c.Bugs, c.Drivers}
+	data, err := json.MarshalIndent(gt, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "groundtruth.json"), data, 0o644)
+}
+
+// LoadPatches reads a dir/patches/... layout back into patch values.
+func LoadPatches(dir string) ([]*patch.Patch, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var ids []string
+	for _, e := range entries {
+		if e.IsDir() {
+			ids = append(ids, e.Name())
+		}
+	}
+	sort.Strings(ids)
+	var out []*patch.Patch
+	for _, id := range ids {
+		p := &patch.Patch{ID: id, Pre: map[string]string{}, Post: map[string]string{}, Tags: map[string]string{}}
+		for side, m := range map[string]map[string]string{"pre": p.Pre, "post": p.Post} {
+			root := filepath.Join(dir, id, side)
+			err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+				if err != nil || info.IsDir() {
+					return err
+				}
+				data, err := os.ReadFile(path)
+				if err != nil {
+					return err
+				}
+				rel, err := filepath.Rel(root, path)
+				if err != nil {
+					return err
+				}
+				m[filepath.ToSlash(rel)] = string(data)
+				return nil
+			})
+			if err != nil {
+				return nil, fmt.Errorf("patch %s/%s: %w", id, side, err)
+			}
+		}
+		if metaData, err := os.ReadFile(filepath.Join(dir, id, "patch.json")); err == nil {
+			var meta struct {
+				Description string            `json:"description"`
+				Tags        map[string]string `json:"tags"`
+			}
+			if json.Unmarshal(metaData, &meta) == nil {
+				p.Description = meta.Description
+				if meta.Tags != nil {
+					p.Tags = meta.Tags
+				}
+			}
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

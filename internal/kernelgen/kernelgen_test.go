@@ -1,0 +1,175 @@
+package kernelgen
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"seal/internal/cir"
+	"seal/internal/ir"
+	"seal/internal/patch"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	c1 := Generate(DefaultConfig())
+	c2 := Generate(DefaultConfig())
+	if len(c1.Files) != len(c2.Files) {
+		t.Fatalf("file counts differ: %d vs %d", len(c1.Files), len(c2.Files))
+	}
+	for name, src := range c1.Files {
+		if c2.Files[name] != src {
+			t.Fatalf("file %s differs between runs", name)
+		}
+	}
+	if len(c1.Patches) != len(c2.Patches) || len(c1.Bugs) != len(c2.Bugs) {
+		t.Fatal("patches or bugs differ between runs")
+	}
+}
+
+func TestGeneratedCorpusParsesAndLinks(t *testing.T) {
+	c := Generate(DefaultConfig())
+	var files []*cir.File
+	for _, name := range c.SortedFileNames() {
+		f, err := cir.ParseFile(name, c.Files[name])
+		if err != nil {
+			t.Fatalf("generated file does not parse: %v\n%s", err, c.Files[name])
+		}
+		files = append(files, f)
+	}
+	prog, err := ir.NewProgram(files...)
+	if err != nil {
+		t.Fatalf("generated corpus does not link: %v", err)
+	}
+	if len(prog.FuncList) == 0 || len(prog.OpsAssigns) == 0 {
+		t.Fatal("corpus has no functions or ops registrations")
+	}
+	// Every ground-truth bug function must exist.
+	for _, b := range c.Bugs {
+		if prog.Funcs[b.Func] == nil {
+			t.Errorf("ground-truth function %s missing from program", b.Func)
+		}
+	}
+}
+
+func TestGeneratedPatchesAnalyzable(t *testing.T) {
+	c := Generate(DefaultConfig())
+	if len(c.Patches) == 0 {
+		t.Fatal("no patches generated")
+	}
+	famPatches := 0
+	for _, p := range c.Patches {
+		a, err := p.Analyze()
+		if err != nil {
+			t.Fatalf("patch %s: %v", p.ID, err)
+		}
+		if p.Tags["family"] != "noise" {
+			famPatches++
+			pre := a.ChangedStmts(patch.PreSide)
+			post := a.ChangedStmts(patch.PostSide)
+			if len(pre)+len(post) == 0 {
+				t.Errorf("family patch %s has no changed statements", p.ID)
+			}
+		}
+	}
+	cfg := DefaultConfig()
+	want := len(Families)*cfg.Instances + cfg.AdhocInstances
+	if famPatches != want+cfg.AdhocQuiet {
+		t.Errorf("non-noise patches = %d, want %d", famPatches, want)
+	}
+}
+
+func TestAllVariantsParse(t *testing.T) {
+	for _, fam := range Families {
+		variants := []Variant{Correct, Buggy}
+		if fam.HasConfuser {
+			variants = append(variants, Confuser)
+		}
+		for _, v := range variants {
+			src := fam.Render("t0", "t0_dev", v)
+			if _, err := cir.ParseFile("t.c", src); err != nil {
+				t.Errorf("family %s variant %d: %v\n%s", fam.Name, v, err, src)
+			}
+		}
+	}
+}
+
+func TestYearDistribution(t *testing.T) {
+	cfg := EvalConfig()
+	c := Generate(cfg)
+	if len(c.Bugs) < 10 {
+		t.Skip("too few bugs for distribution check")
+	}
+	over10, sum := 0, 0
+	for _, b := range c.Bugs {
+		age := cfg.YearNow - b.Year
+		sum += age
+		if age > 10 {
+			over10++
+		}
+	}
+	mean := float64(sum) / float64(len(c.Bugs))
+	frac := float64(over10) / float64(len(c.Bugs))
+	if mean < 5 || mean > 11 {
+		t.Errorf("mean latent age = %.1f, want ≈7.7 (band 5-11)", mean)
+	}
+	if frac < 0.12 || frac > 0.5 {
+		t.Errorf("over-10y fraction = %.2f, want ≈0.29 (band 0.12-0.5)", frac)
+	}
+}
+
+func TestGroundTruthConsistency(t *testing.T) {
+	c := Generate(DefaultConfig())
+	byFunc := c.DriverByFunc()
+	for _, b := range c.Bugs {
+		d, ok := byFunc[b.Func]
+		if !ok {
+			t.Errorf("bug %s has no driver metadata", b.Func)
+			continue
+		}
+		if d.Variant != Buggy {
+			t.Errorf("bug %s points at a %v driver", b.Func, d.Variant)
+		}
+		if d.Patched {
+			t.Errorf("bug %s is marked patched; patched drivers are fixed in-tree", b.Func)
+		}
+	}
+	// Patched drivers are correct in the tree.
+	for _, d := range c.Drivers {
+		if d.Patched && d.Variant != Correct {
+			t.Errorf("patched driver %s stored as %v", d.Name, d.Variant)
+		}
+	}
+}
+
+func TestJitterVariesSiblingSources(t *testing.T) {
+	// Sibling drivers of one family instance must not all be textual
+	// clones of each other (modulo names): the corpus carries structural
+	// variation so detection cannot succeed by surface similarity.
+	c := Generate(EvalConfig())
+	bodies := make(map[string][]string) // family+variant -> normalized bodies
+	for _, d := range c.Drivers {
+		if d.Family != "npd" && d.Family != "uaf" {
+			continue
+		}
+		src := c.Files[d.File]
+		norm := strings.ReplaceAll(src, d.Name, "DRV")
+		// Also erase the subsystem prefix.
+		if i := strings.Index(d.Name, "_"); i > 0 {
+			norm = strings.ReplaceAll(norm, d.Name[:i], "SUB")
+		}
+		key := d.Family + "/" + fmt.Sprint(d.Variant)
+		bodies[key] = append(bodies[key], norm)
+	}
+	for key, list := range bodies {
+		if len(list) < 3 {
+			continue
+		}
+		distinct := make(map[string]bool)
+		for _, b := range list {
+			distinct[b] = true
+		}
+		if len(distinct) < 2 {
+			t.Errorf("%s: all %d sibling drivers are textual clones", key, len(list))
+		}
+	}
+}

@@ -1,0 +1,213 @@
+// Package patch models security patches as (pre, post) source-file pairs,
+// computes changed-line sets via an LCS diff, and links both versions into
+// analyzable programs. Patch descriptions are carried as metadata only —
+// SEAL's input is the code change alone (paper §5: "patch descriptions are
+// excluded").
+package patch
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"seal/internal/cir"
+	"seal/internal/ir"
+)
+
+// Patch is one security patch: the pre- and post-patch versions of the
+// affected translation units (plus any unchanged context files needed to
+// link the program).
+type Patch struct {
+	ID          string
+	Description string            // metadata only, never analyzed
+	Pre         map[string]string // file name -> source
+	Post        map[string]string
+	// Tags carries generator ground truth ("bug-kind", …) for evaluation.
+	Tags map[string]string
+}
+
+// Analyzed is a patch with both program versions linked and the changed
+// line sets computed.
+type Analyzed struct {
+	Patch    *Patch
+	PreProg  *ir.Program
+	PostProg *ir.Program
+	// PreChanged / PostChanged: file -> set of changed line numbers.
+	PreChanged  map[string]map[int]bool
+	PostChanged map[string]map[int]bool
+}
+
+// Analyze parses both versions and computes the line-level diff.
+func (p *Patch) Analyze() (*Analyzed, error) {
+	a := &Analyzed{
+		Patch:       p,
+		PreChanged:  make(map[string]map[int]bool),
+		PostChanged: make(map[string]map[int]bool),
+	}
+	var err error
+	a.PreProg, err = parseAll(p.Pre)
+	if err != nil {
+		return nil, fmt.Errorf("patch %s pre: %w", p.ID, err)
+	}
+	a.PostProg, err = parseAll(p.Post)
+	if err != nil {
+		return nil, fmt.Errorf("patch %s post: %w", p.ID, err)
+	}
+	files := make(map[string]bool)
+	for f := range p.Pre {
+		files[f] = true
+	}
+	for f := range p.Post {
+		files[f] = true
+	}
+	for f := range files {
+		preLines := splitLines(p.Pre[f])
+		postLines := splitLines(p.Post[f])
+		cPre, cPost := DiffLines(preLines, postLines)
+		if len(cPre) > 0 {
+			a.PreChanged[f] = cPre
+		}
+		if len(cPost) > 0 {
+			a.PostChanged[f] = cPost
+		}
+	}
+	return a, nil
+}
+
+func parseAll(files map[string]string) (*ir.Program, error) {
+	names := make([]string, 0, len(files))
+	for n := range files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var parsed []*cir.File
+	for _, n := range names {
+		f, err := cir.ParseFile(n, files[n])
+		if err != nil {
+			return nil, err
+		}
+		parsed = append(parsed, f)
+	}
+	return ir.NewProgram(parsed...)
+}
+
+func splitLines(s string) []string {
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, "\n")
+}
+
+// DiffLines computes the changed (non-LCS) line numbers of both sides
+// (1-based).
+func DiffLines(pre, post []string) (changedPre, changedPost map[int]bool) {
+	n, m := len(pre), len(post)
+	// DP LCS table.
+	dp := make([][]int32, n+1)
+	for i := range dp {
+		dp[i] = make([]int32, m+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := m - 1; j >= 0; j-- {
+			if strings.TrimSpace(pre[i]) == strings.TrimSpace(post[j]) {
+				dp[i][j] = dp[i+1][j+1] + 1
+			} else if dp[i+1][j] >= dp[i][j+1] {
+				dp[i][j] = dp[i+1][j]
+			} else {
+				dp[i][j] = dp[i][j+1]
+			}
+		}
+	}
+	changedPre = make(map[int]bool)
+	changedPost = make(map[int]bool)
+	i, j := 0, 0
+	for i < n && j < m {
+		if strings.TrimSpace(pre[i]) == strings.TrimSpace(post[j]) {
+			i++
+			j++
+		} else if dp[i+1][j] >= dp[i][j+1] {
+			changedPre[i+1] = true
+			i++
+		} else {
+			changedPost[j+1] = true
+			j++
+		}
+	}
+	for ; i < n; i++ {
+		changedPre[i+1] = true
+	}
+	for ; j < m; j++ {
+		changedPost[j+1] = true
+	}
+	// Blank-only changes are noise.
+	for ln := range changedPre {
+		if strings.TrimSpace(pre[ln-1]) == "" {
+			delete(changedPre, ln)
+		}
+	}
+	for ln := range changedPost {
+		if strings.TrimSpace(post[ln-1]) == "" {
+			delete(changedPost, ln)
+		}
+	}
+	return changedPre, changedPost
+}
+
+// Side selects the pre- or post-patch program.
+type Side int
+
+// Sides.
+const (
+	PreSide Side = iota
+	PostSide
+)
+
+// Prog returns the program of the given side.
+func (a *Analyzed) Prog(side Side) *ir.Program {
+	if side == PreSide {
+		return a.PreProg
+	}
+	return a.PostProg
+}
+
+// changed returns the changed-line sets of the given side.
+func (a *Analyzed) changed(side Side) map[string]map[int]bool {
+	if side == PreSide {
+		return a.PreChanged
+	}
+	return a.PostChanged
+}
+
+// ChangedStmts returns the IR statements on changed lines of the given
+// side (the primary slicing criteria, paper §6.2.1 bullet 1).
+func (a *Analyzed) ChangedStmts(side Side) []*ir.Stmt {
+	prog := a.Prog(side)
+	changed := a.changed(side)
+	var out []*ir.Stmt
+	for _, fn := range prog.FuncList {
+		lines := changed[fn.File]
+		if len(lines) == 0 {
+			continue
+		}
+		for _, s := range fn.Stmts() {
+			if lines[s.Line] {
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}
+
+// PatchedFuncs returns the functions containing changed lines on the given
+// side.
+func (a *Analyzed) PatchedFuncs(side Side) []*ir.Func {
+	seen := make(map[*ir.Func]bool)
+	var out []*ir.Func
+	for _, s := range a.ChangedStmts(side) {
+		if !seen[s.Fn] {
+			seen[s.Fn] = true
+			out = append(out, s.Fn)
+		}
+	}
+	return out
+}

@@ -1,0 +1,152 @@
+package patch
+
+import (
+	"testing"
+	"testing/quick"
+
+	"seal/internal/cir"
+	"seal/internal/ir"
+)
+
+func TestDiffLinesBasic(t *testing.T) {
+	pre := []string{"a", "b", "c"}
+	post := []string{"a", "x", "c"}
+	cPre, cPost := DiffLines(pre, post)
+	if !cPre[2] || len(cPre) != 1 {
+		t.Errorf("changedPre = %v, want {2}", cPre)
+	}
+	if !cPost[2] || len(cPost) != 1 {
+		t.Errorf("changedPost = %v, want {2}", cPost)
+	}
+}
+
+func TestDiffLinesInsertion(t *testing.T) {
+	pre := []string{"a", "b"}
+	post := []string{"a", "new1", "new2", "b"}
+	cPre, cPost := DiffLines(pre, post)
+	if len(cPre) != 0 {
+		t.Errorf("changedPre = %v, want empty", cPre)
+	}
+	if !cPost[2] || !cPost[3] || len(cPost) != 2 {
+		t.Errorf("changedPost = %v, want {2,3}", cPost)
+	}
+}
+
+func TestDiffLinesMove(t *testing.T) {
+	// Fig. 5: a statement moved later in the file shows up as one removed
+	// and one added line.
+	pre := []string{"f(", "put();", "ida();", ")"}
+	post := []string{"f(", "ida();", "put();", ")"}
+	cPre, cPost := DiffLines(pre, post)
+	if len(cPre) != 1 || len(cPost) != 1 {
+		t.Errorf("move diff: pre=%v post=%v, want one change each", cPre, cPost)
+	}
+}
+
+func TestDiffLinesIdentical(t *testing.T) {
+	lines := []string{"a", "b", "c"}
+	cPre, cPost := DiffLines(lines, lines)
+	if len(cPre)+len(cPost) != 0 {
+		t.Errorf("identical inputs diff: %v %v", cPre, cPost)
+	}
+}
+
+// Property: every changed line index is within bounds and LCS symmetry
+// holds (diffing X against X yields nothing).
+func TestDiffLinesProperties(t *testing.T) {
+	f := func(a, b []uint8) bool {
+		mk := func(xs []uint8) []string {
+			out := make([]string, len(xs))
+			for i, x := range xs {
+				out[i] = string(rune('a' + x%4))
+			}
+			return out
+		}
+		pre, post := mk(a), mk(b)
+		cPre, cPost := DiffLines(pre, post)
+		for ln := range cPre {
+			if ln < 1 || ln > len(pre) {
+				return false
+			}
+		}
+		for ln := range cPost {
+			if ln < 1 || ln > len(post) {
+				return false
+			}
+		}
+		selfPre, selfPost := DiffLines(pre, pre)
+		return len(selfPre) == 0 && len(selfPost) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAnalyzeFig3(t *testing.T) {
+	p := &Patch{
+		ID:   "fig3",
+		Pre:  map[string]string{"cx23885.c": cir.Fig3PreSource},
+		Post: map[string]string{"cx23885.c": cir.Fig3Source},
+	}
+	a, err := p.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	preStmts := a.ChangedStmts(PreSide)
+	postStmts := a.ChangedStmts(PostSide)
+	if len(preStmts) == 0 || len(postStmts) == 0 {
+		t.Fatalf("changed stmts: pre=%d post=%d", len(preStmts), len(postStmts))
+	}
+	// All changed statements are inside buffer_prepare.
+	for _, s := range append(preStmts, postStmts...) {
+		if s.Fn.Name != "buffer_prepare" {
+			t.Errorf("changed stmt outside buffer_prepare: %s in %s", s, s.Fn.Name)
+		}
+	}
+	fns := a.PatchedFuncs(PostSide)
+	if len(fns) != 1 || fns[0].Name != "buffer_prepare" {
+		t.Errorf("patched funcs: %v", fns)
+	}
+}
+
+func TestAnalyzeFig5MoveCriteria(t *testing.T) {
+	p := &Patch{
+		ID:   "fig5",
+		Pre:  map[string]string{"telem.c": cir.Fig5PreSource},
+		Post: map[string]string{"telem.c": cir.Fig5PostSource},
+	}
+	a, err := p.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The moved put_device call must appear as changed on both sides.
+	hasPut := func(stmts []*ir.Stmt) bool {
+		for _, s := range stmts {
+			if s.IsCallTo("put_device") {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasPut(a.ChangedStmts(PreSide)) {
+		t.Error("pre-side changed stmts missing put_device")
+	}
+	if !hasPut(a.ChangedStmts(PostSide)) {
+		t.Error("post-side changed stmts missing put_device")
+	}
+}
+
+func TestAnalyzeNoChange(t *testing.T) {
+	p := &Patch{
+		ID:   "noop",
+		Pre:  map[string]string{"a.c": "int f(void) { return 0; }"},
+		Post: map[string]string{"a.c": "int f(void) { return 0; }"},
+	}
+	a, err := p.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.ChangedStmts(PreSide))+len(a.ChangedStmts(PostSide)) != 0 {
+		t.Error("no-op patch should have no changed statements")
+	}
+}

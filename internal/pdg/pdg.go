@@ -1,0 +1,298 @@
+// Package pdg assembles the Program Dependence Graph of paper Def. 6.1:
+// nodes are IR statements; Ed (data dependence) comes from intra-procedural
+// def-use chains plus inter-procedural actual/formal, return/receiver, and
+// global store/load edges; Ec (control dependence) from post-dominance
+// frontiers; Eo (flow order) from the CFG topological order. Construction
+// is demand-driven per function (paper §7 "Demand-driven PDG Generation").
+package pdg
+
+import (
+	"sort"
+
+	"seal/internal/callgraph"
+	"seal/internal/cfg"
+	"seal/internal/cir"
+	"seal/internal/dataflow"
+	"seal/internal/ir"
+	"seal/internal/solver"
+)
+
+// EdgeKind classifies data-dependence edges.
+type EdgeKind int
+
+// Edge kinds.
+const (
+	// EdgeIntra is an in-function def-use chain.
+	EdgeIntra EdgeKind = iota
+	// EdgeParam links a call site to a callee parameter-definition node.
+	EdgeParam
+	// EdgeReturn links a callee return to the call-site result.
+	EdgeReturn
+	// EdgeGlobal links a global store to a global load across functions.
+	EdgeGlobal
+)
+
+// String implements fmt.Stringer.
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgeIntra:
+		return "intra"
+	case EdgeParam:
+		return "param"
+	case EdgeReturn:
+		return "return"
+	case EdgeGlobal:
+		return "global"
+	}
+	return "?"
+}
+
+// Edge is one data-dependence edge (Ed) of the PDG.
+type Edge struct {
+	From *ir.Stmt
+	To   *ir.Stmt
+	Loc  ir.Loc // the location carried (zero Loc for return edges)
+	Kind EdgeKind
+	// ArgIndex is the parameter position for EdgeParam edges.
+	ArgIndex int
+}
+
+// Graph is the (demand-driven) PDG over a program.
+type Graph struct {
+	Prog *ir.Program
+	PTS  *dataflow.PointsTo
+	CG   *callgraph.Graph
+
+	flows map[*ir.Func]*dataflow.FuncFlow
+	cfgs  map[*ir.Func]*cfg.Info
+
+	succs map[*ir.Stmt][]Edge
+	preds map[*ir.Stmt][]Edge
+
+	// built tracks which functions' intra edges are materialized.
+	built map[*ir.Func]bool
+	// globalsLinked tracks whether cross-function global edges exist
+	// between built functions.
+	globalStores map[string][]*ir.Stmt // global name -> store stmts
+	globalLoads  map[string][]*ir.Stmt
+}
+
+// New creates a PDG manager for prog; per-function subgraphs are built on
+// demand via Ensure.
+func New(prog *ir.Program) *Graph {
+	return &Graph{
+		Prog:         prog,
+		PTS:          dataflow.Analyze(prog),
+		CG:           callgraph.Build(prog),
+		flows:        make(map[*ir.Func]*dataflow.FuncFlow),
+		cfgs:         make(map[*ir.Func]*cfg.Info),
+		succs:        make(map[*ir.Stmt][]Edge),
+		preds:        make(map[*ir.Stmt][]Edge),
+		built:        make(map[*ir.Func]bool),
+		globalStores: make(map[string][]*ir.Stmt),
+		globalLoads:  make(map[string][]*ir.Stmt),
+	}
+}
+
+// BuildAll materializes the PDG for every function (used by whole-corpus
+// phases; patch processing uses Ensure on the patch-related region only).
+func BuildAll(prog *ir.Program) *Graph {
+	g := New(prog)
+	for _, fn := range prog.FuncList {
+		g.Ensure(fn)
+	}
+	return g
+}
+
+func (g *Graph) addEdge(e Edge) {
+	g.succs[e.From] = append(g.succs[e.From], e)
+	g.preds[e.To] = append(g.preds[e.To], e)
+}
+
+// Ensure materializes the PDG subgraph of fn (idempotent).
+func (g *Graph) Ensure(fn *ir.Func) {
+	if fn == nil || g.built[fn] {
+		return
+	}
+	g.built[fn] = true
+
+	ff := dataflow.FlowAnalyze(fn, g.PTS)
+	g.flows[fn] = ff
+	g.cfgs[fn] = cfg.Analyze(fn)
+
+	// Intra-procedural Ed.
+	for _, d := range ff.Deps {
+		g.addEdge(Edge{From: d.Def, To: d.Use, Loc: d.Loc, Kind: EdgeIntra})
+	}
+
+	// Inter-procedural Ed: actual -> formal and return -> receiver, for
+	// defined callees.
+	for _, s := range fn.Stmts() {
+		if s.Kind != ir.StCall {
+			continue
+		}
+		for _, callee := range g.CG.CalleesOf(s) {
+			g.Ensure(callee)
+			// Parameter edges: call site -> parameter definition nodes.
+			for _, ps := range callee.Entry.Stmts {
+				if !ps.IsParamDef() {
+					continue
+				}
+				pv := ps.ParamVar()
+				if pv == nil || pv.ParamIndex >= len(s.Args) {
+					continue
+				}
+				g.addEdge(Edge{From: s, To: ps, Loc: ir.Loc{Base: pv}, Kind: EdgeParam, ArgIndex: pv.ParamIndex})
+			}
+			// Return edges: callee returns -> call site (its result def).
+			if s.LHS != nil {
+				for _, r := range callee.ReturnStmts() {
+					if r.X != nil {
+						g.addEdge(Edge{From: r, To: s, Kind: EdgeReturn})
+					}
+				}
+			}
+		}
+	}
+
+	// Global store/load registration and linking.
+	for _, s := range fn.Stmts() {
+		for _, d := range dataflow.EffectiveDefs(fn, s) {
+			if d.Base.Kind == ir.VarGlobal && !d.HasDeref() {
+				g.linkGlobalStore(d.Base.Name, s)
+			}
+		}
+		for _, u := range dataflow.EffectiveUses(fn, s) {
+			if u.Base.Kind == ir.VarGlobal && !u.HasDeref() {
+				g.linkGlobalLoad(u.Base.Name, s, u)
+			}
+		}
+	}
+}
+
+func (g *Graph) linkGlobalStore(name string, s *ir.Stmt) {
+	for _, prev := range g.globalStores[name] {
+		if prev == s {
+			return
+		}
+	}
+	g.globalStores[name] = append(g.globalStores[name], s)
+	for _, load := range g.globalLoads[name] {
+		if load.Fn != s.Fn {
+			g.addEdge(Edge{From: s, To: load, Loc: ir.Loc{Base: g.Prog.GlobalVars[name]}, Kind: EdgeGlobal})
+		}
+	}
+}
+
+func (g *Graph) linkGlobalLoad(name string, s *ir.Stmt, loc ir.Loc) {
+	for _, prev := range g.globalLoads[name] {
+		if prev == s {
+			return
+		}
+	}
+	g.globalLoads[name] = append(g.globalLoads[name], s)
+	for _, store := range g.globalStores[name] {
+		if store.Fn != s.Fn {
+			g.addEdge(Edge{From: store, To: s, Loc: loc, Kind: EdgeGlobal})
+		}
+	}
+}
+
+// DataSuccs returns the outgoing Ed edges of a statement.
+func (g *Graph) DataSuccs(s *ir.Stmt) []Edge {
+	g.Ensure(s.Fn)
+	return g.succs[s]
+}
+
+// DataPreds returns the incoming Ed edges of a statement.
+func (g *Graph) DataPreds(s *ir.Stmt) []Edge {
+	g.Ensure(s.Fn)
+	return g.preds[s]
+}
+
+// Flow returns the def-use solution of fn.
+func (g *Graph) Flow(fn *ir.Func) *dataflow.FuncFlow {
+	g.Ensure(fn)
+	return g.flows[fn]
+}
+
+// CFG returns the control-flow facts of fn.
+func (g *Graph) CFG(fn *ir.Func) *cfg.Info {
+	g.Ensure(fn)
+	return g.cfgs[fn]
+}
+
+// CtrlDeps returns the transitive control dependences (Ec closure) of s.
+func (g *Graph) CtrlDeps(s *ir.Stmt) []cfg.CtrlDep {
+	return g.CFG(s.Fn).StmtDeps(s)
+}
+
+// Order returns Ω(s): the topological flow order within s's function.
+func (g *Graph) Order(s *ir.Stmt) int {
+	return g.CFG(s.Fn).Order[s]
+}
+
+// PathCondition computes Ψ for a statement: the conjunction of the branch
+// conditions governing its execution, as a solver formula with symbols
+// named by expression spelling (stable across program versions).
+func (g *Graph) PathCondition(s *ir.Stmt) solver.Formula {
+	return g.PathConditionWith(s, nil)
+}
+
+// PathConditionWith is PathCondition with a custom leaf-naming function
+// (e.g. qualifying symbols by function to avoid cross-function collisions).
+func (g *Graph) PathConditionWith(s *ir.Stmt, leaf solver.LeafFn) solver.Formula {
+	deps := g.CtrlDeps(s)
+	var parts []solver.Formula
+	for _, d := range deps {
+		blk := d.Branch.Blk
+		if d.EdgeIdx >= len(blk.EdgeConds) {
+			continue
+		}
+		condExpr := blk.EdgeConds[d.EdgeIdx]
+		if condExpr == nil {
+			continue
+		}
+		f := solver.FromCond(condExpr, leaf)
+		if blk.Negated[d.EdgeIdx] {
+			f = solver.MkNot(f)
+		}
+		parts = append(parts, f)
+	}
+	return solver.MkAnd(parts...)
+}
+
+// QualifiedLeaf names condition symbols as "fn::expr", keeping symbols
+// distinct across functions yet identical across program versions.
+func QualifiedLeaf(fn *ir.Func) solver.LeafFn {
+	return func(e cir.Expr) solver.Term {
+		if lit, ok := e.(*cir.IntLit); ok {
+			return solver.Const{Val: lit.Val}
+		}
+		return solver.Sym{Name: fn.Name + "::" + cir.ExprString(e)}
+	}
+}
+
+// EdgeConditionExprs returns, for diagnostics, the guarding (expr, negated)
+// pairs of a statement.
+func (g *Graph) EdgeConditionExprs(s *ir.Stmt) []GuardExpr {
+	deps := g.CtrlDeps(s)
+	var out []GuardExpr
+	for _, d := range deps {
+		blk := d.Branch.Blk
+		if d.EdgeIdx >= len(blk.EdgeConds) || blk.EdgeConds[d.EdgeIdx] == nil {
+			continue
+		}
+		out = append(out, GuardExpr{Cond: blk.EdgeConds[d.EdgeIdx], Negated: blk.Negated[d.EdgeIdx]})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return cir.ExprString(out[i].Cond) < cir.ExprString(out[j].Cond)
+	})
+	return out
+}
+
+// GuardExpr is a branch condition guarding a statement.
+type GuardExpr struct {
+	Cond    cir.Expr
+	Negated bool
+}

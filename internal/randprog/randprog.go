@@ -1,0 +1,190 @@
+// Package randprog generates random structured kernel-C programs for
+// property-based testing: the analyses must terminate, stay consistent,
+// and uphold their structural invariants on arbitrary control flow, not
+// just on the curated corpus.
+package randprog
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Options controls program shape.
+type Options struct {
+	// MaxDepth bounds statement nesting.
+	MaxDepth int
+	// MaxStmts bounds statements per block.
+	MaxStmts int
+	// Loops enables while/for generation (disable to get acyclic CFGs).
+	Loops bool
+	// Calls enables calls to the helper APIs.
+	Calls bool
+}
+
+// Default returns moderately complex programs.
+func Default() Options {
+	return Options{MaxDepth: 3, MaxStmts: 4, Loops: true, Calls: true}
+}
+
+// Gen is a seeded generator.
+type Gen struct {
+	r    *rand.Rand
+	opts Options
+	vars []string
+	sb   strings.Builder
+	ind  int
+}
+
+// New creates a generator.
+func New(seed int64, opts Options) *Gen {
+	return &Gen{r: rand.New(rand.NewSource(seed)), opts: opts}
+}
+
+// Program emits a full translation unit with nFuncs random functions plus
+// the helper API prototypes and a struct with fields.
+func Program(seed int64, nFuncs int, opts Options) string {
+	g := New(seed, opts)
+	var sb strings.Builder
+	sb.WriteString(`struct rp_ctx { int a; int b; int *ptr; };
+int rp_api_get(int x);
+int *rp_api_alloc(int size);
+void rp_api_put(int *p);
+void rp_api_log(int v);
+`)
+	for i := 0; i < nFuncs; i++ {
+		sb.WriteString(g.Func(fmt.Sprintf("rp_func%d", i)))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Func emits one random function.
+func (g *Gen) Func(name string) string {
+	g.sb.Reset()
+	g.vars = []string{"p0", "p1"}
+	g.ind = 0
+	g.line("int %s(int p0, struct rp_ctx *p1x) {", name)
+	g.ind++
+	g.line("int p1 = p1x->a;")
+	n := 1 + g.r.Intn(g.opts.MaxStmts)
+	for i := 0; i < n; i++ {
+		g.stmt(g.opts.MaxDepth)
+	}
+	g.line("return %s;", g.expr(1))
+	g.ind--
+	g.line("}")
+	return g.sb.String()
+}
+
+func (g *Gen) line(format string, args ...interface{}) {
+	g.sb.WriteString(strings.Repeat("\t", g.ind))
+	fmt.Fprintf(&g.sb, format, args...)
+	g.sb.WriteByte('\n')
+}
+
+func (g *Gen) freshVar() string {
+	v := fmt.Sprintf("v%d", len(g.vars))
+	g.vars = append(g.vars, v)
+	return v
+}
+
+func (g *Gen) someVar() string {
+	return g.vars[g.r.Intn(len(g.vars))]
+}
+
+// expr emits a random integer expression.
+func (g *Gen) expr(depth int) string {
+	if depth == 0 || g.r.Intn(3) == 0 {
+		if g.r.Intn(2) == 0 {
+			return g.someVar()
+		}
+		return fmt.Sprintf("%d", g.r.Intn(20)-5)
+	}
+	ops := []string{"+", "-", "*"}
+	return fmt.Sprintf("(%s %s %s)", g.expr(depth-1), ops[g.r.Intn(len(ops))], g.expr(depth-1))
+}
+
+// cond emits a random condition.
+func (g *Gen) cond() string {
+	ops := []string{"==", "!=", "<", "<=", ">", ">="}
+	return fmt.Sprintf("%s %s %s", g.someVar(), ops[g.r.Intn(len(ops))], g.expr(1))
+}
+
+// stmt emits a random statement at the given remaining depth.
+func (g *Gen) stmt(depth int) {
+	choices := 4
+	if depth > 0 {
+		choices = 6
+		if g.opts.Loops {
+			choices = 7
+		}
+	}
+	switch g.r.Intn(choices) {
+	case 0: // declaration
+		v := g.freshVar()
+		g.line("int %s = %s;", v, g.expr(2))
+	case 1: // assignment
+		g.line("%s = %s;", g.someVar(), g.expr(2))
+	case 2: // call
+		if g.opts.Calls {
+			switch g.r.Intn(3) {
+			case 0:
+				v := g.freshVar()
+				g.line("int %s = rp_api_get(%s);", v, g.someVar())
+			case 1:
+				g.line("rp_api_log(%s);", g.someVar())
+			default:
+				g.line("p1x->b = %s;", g.expr(1))
+			}
+		} else {
+			g.line("%s = %s;", g.someVar(), g.expr(1))
+		}
+	case 3: // early return (sometimes)
+		if g.r.Intn(3) == 0 {
+			g.line("if (%s)", g.cond())
+			g.ind++
+			g.line("return %s;", g.expr(1))
+			g.ind--
+		} else {
+			g.line("%s = %s + 1;", g.someVar(), g.someVar())
+		}
+	case 4: // if
+		g.line("if (%s) {", g.cond())
+		g.ind++
+		g.stmt(depth - 1)
+		g.ind--
+		if g.r.Intn(2) == 0 {
+			g.line("} else {")
+			g.ind++
+			g.stmt(depth - 1)
+			g.ind--
+		}
+		g.line("}")
+	case 5: // switch
+		g.line("switch (%s) {", g.someVar())
+		g.line("case 1:")
+		g.ind++
+		g.stmt(depth - 1)
+		g.line("break;")
+		g.ind--
+		g.line("case 2:")
+		g.ind++
+		g.stmt(depth - 1)
+		g.line("break;")
+		g.ind--
+		g.line("default:")
+		g.ind++
+		g.stmt(depth - 1)
+		g.ind--
+		g.line("}")
+	case 6: // loop
+		v := g.freshVar()
+		g.line("int %s;", v)
+		g.line("for (%s = 0; %s < %d; %s++) {", v, v, 2+g.r.Intn(8), v)
+		g.ind++
+		g.stmt(depth - 1)
+		g.ind--
+		g.line("}")
+	}
+}

@@ -1,0 +1,427 @@
+// Package solver is the logical-satisfiability substrate substituting Z3
+// (paper §7): a decision procedure for boolean combinations of integer
+// comparisons, sufficient for the path conditions occurring in interface
+// code (NULL checks, error-code comparisons, bounds checks). It provides
+// satisfiability, equivalence, implication, and delta constraints
+// (Ψδ = Ψ− ∧ ¬Ψ+, paper Alg. 2 line 8).
+package solver
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CmpOp is a comparison operator of an atom.
+type CmpOp int
+
+// Comparison operators.
+const (
+	OpEq CmpOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+// String implements fmt.Stringer.
+func (op CmpOp) String() string {
+	switch op {
+	case OpEq:
+		return "=="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	}
+	return "?"
+}
+
+// negate returns the complementary operator.
+func (op CmpOp) negate() CmpOp {
+	switch op {
+	case OpEq:
+		return OpNe
+	case OpNe:
+		return OpEq
+	case OpLt:
+		return OpGe
+	case OpLe:
+		return OpGt
+	case OpGt:
+		return OpLe
+	case OpGe:
+		return OpLt
+	}
+	return op
+}
+
+// Term is an integer-valued term: a constant, a symbol, or an arithmetic
+// combination.
+type Term interface {
+	termString() string
+}
+
+// Const is an integer constant term.
+type Const struct{ Val int64 }
+
+func (c Const) termString() string { return fmt.Sprintf("%d", c.Val) }
+
+// Sym is a symbolic integer (a program value).
+type Sym struct{ Name string }
+
+func (s Sym) termString() string { return s.Name }
+
+// TermOp is an arithmetic operator.
+type TermOp int
+
+// Arithmetic operators.
+const (
+	TAdd TermOp = iota
+	TSub
+	TMul
+)
+
+// BinTerm is an arithmetic combination of terms.
+type BinTerm struct {
+	Op   TermOp
+	A, B Term
+}
+
+func (b BinTerm) termString() string {
+	op := "+"
+	switch b.Op {
+	case TSub:
+		op = "-"
+	case TMul:
+		op = "*"
+	}
+	return "(" + b.A.termString() + op + b.B.termString() + ")"
+}
+
+// Formula is a boolean combination of atoms.
+type Formula interface {
+	fString() string
+}
+
+// TrueF is the always-true formula.
+type TrueF struct{}
+
+func (TrueF) fString() string { return "true" }
+
+// FalseF is the always-false formula.
+type FalseF struct{}
+
+func (FalseF) fString() string { return "false" }
+
+// Atom is a single comparison.
+type Atom struct {
+	Op   CmpOp
+	A, B Term
+}
+
+func (a Atom) fString() string {
+	return a.A.termString() + " " + a.Op.String() + " " + a.B.termString()
+}
+
+// Not negates a formula.
+type Not struct{ F Formula }
+
+func (n Not) fString() string { return "!(" + n.F.fString() + ")" }
+
+// And is an n-ary conjunction.
+type And struct{ Fs []Formula }
+
+func (a And) fString() string {
+	if len(a.Fs) == 0 {
+		return "true"
+	}
+	parts := make([]string, len(a.Fs))
+	for i, f := range a.Fs {
+		parts[i] = f.fString()
+	}
+	return "(" + strings.Join(parts, " && ") + ")"
+}
+
+// Or is an n-ary disjunction.
+type Or struct{ Fs []Formula }
+
+func (o Or) fString() string {
+	if len(o.Fs) == 0 {
+		return "false"
+	}
+	parts := make([]string, len(o.Fs))
+	for i, f := range o.Fs {
+		parts[i] = f.fString()
+	}
+	return "(" + strings.Join(parts, " || ") + ")"
+}
+
+// String renders a formula.
+func String(f Formula) string {
+	if f == nil {
+		return "true"
+	}
+	return f.fString()
+}
+
+// MkAnd builds a conjunction, flattening, deduplicating, and
+// short-circuiting.
+func MkAnd(fs ...Formula) Formula {
+	var parts []Formula
+	seen := make(map[string]bool)
+	var push func(f Formula) bool
+	push = func(f Formula) bool {
+		switch x := f.(type) {
+		case nil, TrueF:
+			return true
+		case FalseF:
+			return false
+		case And:
+			for _, k := range x.Fs {
+				if !push(k) {
+					return false
+				}
+			}
+			return true
+		default:
+			key := f.fString()
+			if !seen[key] {
+				seen[key] = true
+				parts = append(parts, f)
+			}
+			return true
+		}
+	}
+	for _, f := range fs {
+		if !push(f) {
+			return FalseF{}
+		}
+	}
+	if len(parts) == 0 {
+		return TrueF{}
+	}
+	if len(parts) == 1 {
+		return parts[0]
+	}
+	return And{Fs: parts}
+}
+
+// MkOr builds a disjunction, flattening, deduplicating, and
+// short-circuiting.
+func MkOr(fs ...Formula) Formula {
+	var parts []Formula
+	seen := make(map[string]bool)
+	var push func(f Formula) bool
+	push = func(f Formula) bool {
+		switch x := f.(type) {
+		case nil, FalseF:
+			return true
+		case TrueF:
+			return false
+		case Or:
+			for _, k := range x.Fs {
+				if !push(k) {
+					return false
+				}
+			}
+			return true
+		default:
+			key := f.fString()
+			if !seen[key] {
+				seen[key] = true
+				parts = append(parts, f)
+			}
+			return true
+		}
+	}
+	for _, f := range fs {
+		if !push(f) {
+			return TrueF{}
+		}
+	}
+	if len(parts) == 0 {
+		return FalseF{}
+	}
+	if len(parts) == 1 {
+		return parts[0]
+	}
+	return Or{Fs: parts}
+}
+
+// MkNot builds a negation, pushing through constants.
+func MkNot(f Formula) Formula {
+	switch x := f.(type) {
+	case nil, TrueF:
+		return FalseF{}
+	case FalseF:
+		return TrueF{}
+	case Not:
+		return x.F
+	case Atom:
+		return Atom{Op: x.Op.negate(), A: x.A, B: x.B}
+	}
+	return Not{F: f}
+}
+
+// Symbols returns the sorted symbol names occurring in a formula.
+func Symbols(f Formula) []string {
+	set := make(map[string]bool)
+	collectSyms(f, set)
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func collectSyms(f Formula, set map[string]bool) {
+	switch x := f.(type) {
+	case Atom:
+		collectTermSyms(x.A, set)
+		collectTermSyms(x.B, set)
+	case Not:
+		collectSyms(x.F, set)
+	case And:
+		for _, s := range x.Fs {
+			collectSyms(s, set)
+		}
+	case Or:
+		for _, s := range x.Fs {
+			collectSyms(s, set)
+		}
+	}
+}
+
+func collectTermSyms(t Term, set map[string]bool) {
+	switch x := t.(type) {
+	case Sym:
+		set[x.Name] = true
+	case BinTerm:
+		collectTermSyms(x.A, set)
+		collectTermSyms(x.B, set)
+	}
+}
+
+// Rename returns a copy of f with symbol names mapped through ren; names
+// absent from ren are kept.
+func Rename(f Formula, ren map[string]string) Formula {
+	switch x := f.(type) {
+	case nil:
+		return nil
+	case TrueF, FalseF:
+		return x
+	case Atom:
+		return Atom{Op: x.Op, A: renameTerm(x.A, ren), B: renameTerm(x.B, ren)}
+	case Not:
+		return Not{F: Rename(x.F, ren)}
+	case And:
+		fs := make([]Formula, len(x.Fs))
+		for i, s := range x.Fs {
+			fs[i] = Rename(s, ren)
+		}
+		return And{Fs: fs}
+	case Or:
+		fs := make([]Formula, len(x.Fs))
+		for i, s := range x.Fs {
+			fs[i] = Rename(s, ren)
+		}
+		return Or{Fs: fs}
+	}
+	return f
+}
+
+func renameTerm(t Term, ren map[string]string) Term {
+	switch x := t.(type) {
+	case Sym:
+		if n, ok := ren[x.Name]; ok {
+			return Sym{Name: n}
+		}
+		return x
+	case BinTerm:
+		return BinTerm{Op: x.Op, A: renameTerm(x.A, ren), B: renameTerm(x.B, ren)}
+	}
+	return t
+}
+
+// Eval evaluates a formula under a full assignment; used by property tests
+// to cross-check the decision procedure against brute force.
+func Eval(f Formula, env map[string]int64) bool {
+	switch x := f.(type) {
+	case nil, TrueF:
+		return true
+	case FalseF:
+		return false
+	case Atom:
+		a, aok := EvalTerm(x.A, env)
+		b, bok := EvalTerm(x.B, env)
+		if !aok || !bok {
+			return false
+		}
+		switch x.Op {
+		case OpEq:
+			return a == b
+		case OpNe:
+			return a != b
+		case OpLt:
+			return a < b
+		case OpLe:
+			return a <= b
+		case OpGt:
+			return a > b
+		case OpGe:
+			return a >= b
+		}
+	case Not:
+		return !Eval(x.F, env)
+	case And:
+		for _, s := range x.Fs {
+			if !Eval(s, env) {
+				return false
+			}
+		}
+		return true
+	case Or:
+		for _, s := range x.Fs {
+			if Eval(s, env) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// EvalTerm evaluates a term under an assignment.
+func EvalTerm(t Term, env map[string]int64) (int64, bool) {
+	switch x := t.(type) {
+	case Const:
+		return x.Val, true
+	case Sym:
+		v, ok := env[x.Name]
+		return v, ok
+	case BinTerm:
+		a, aok := EvalTerm(x.A, env)
+		b, bok := EvalTerm(x.B, env)
+		if !aok || !bok {
+			return 0, false
+		}
+		switch x.Op {
+		case TAdd:
+			return a + b, true
+		case TSub:
+			return a - b, true
+		case TMul:
+			return a * b, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,91 @@
+package solver
+
+import (
+	"seal/internal/cir"
+)
+
+// LeafFn maps a non-boolean program expression (variable, field access,
+// call result temp) to a solver term. Implementations typically name the
+// symbol after the value's defining location or its abstract interaction
+// datum.
+type LeafFn func(e cir.Expr) Term
+
+// DefaultLeaf names symbols by the expression's printed form.
+func DefaultLeaf(e cir.Expr) Term {
+	if lit, ok := e.(*cir.IntLit); ok {
+		return Const{Val: lit.Val}
+	}
+	return Sym{Name: cir.ExprString(e)}
+}
+
+// FromCond converts a branch condition expression into a formula.
+// Comparison and boolean operators become formula structure; any other
+// expression e is interpreted as the C truth test e != 0.
+func FromCond(e cir.Expr, leaf LeafFn) Formula {
+	if leaf == nil {
+		leaf = DefaultLeaf
+	}
+	switch x := e.(type) {
+	case nil:
+		return TrueF{}
+	case *cir.IntLit:
+		if x.Val != 0 {
+			return TrueF{}
+		}
+		return FalseF{}
+	case *cir.UnaryExpr:
+		if x.Op == cir.TokNot {
+			return MkNot(FromCond(x.X, leaf))
+		}
+	case *cir.BinaryExpr:
+		switch x.Op {
+		case cir.TokAndAnd:
+			return MkAnd(FromCond(x.X, leaf), FromCond(x.Y, leaf))
+		case cir.TokOrOr:
+			return MkOr(FromCond(x.X, leaf), FromCond(x.Y, leaf))
+		case cir.TokEq:
+			return Atom{Op: OpEq, A: FromTerm(x.X, leaf), B: FromTerm(x.Y, leaf)}
+		case cir.TokNe:
+			return Atom{Op: OpNe, A: FromTerm(x.X, leaf), B: FromTerm(x.Y, leaf)}
+		case cir.TokLt:
+			return Atom{Op: OpLt, A: FromTerm(x.X, leaf), B: FromTerm(x.Y, leaf)}
+		case cir.TokLe:
+			return Atom{Op: OpLe, A: FromTerm(x.X, leaf), B: FromTerm(x.Y, leaf)}
+		case cir.TokGt:
+			return Atom{Op: OpGt, A: FromTerm(x.X, leaf), B: FromTerm(x.Y, leaf)}
+		case cir.TokGe:
+			return Atom{Op: OpGe, A: FromTerm(x.X, leaf), B: FromTerm(x.Y, leaf)}
+		}
+	}
+	// C truth test.
+	return Atom{Op: OpNe, A: FromTerm(e, leaf), B: Const{Val: 0}}
+}
+
+// FromTerm converts an arithmetic expression into a solver term.
+func FromTerm(e cir.Expr, leaf LeafFn) Term {
+	if leaf == nil {
+		leaf = DefaultLeaf
+	}
+	switch x := e.(type) {
+	case *cir.IntLit:
+		return Const{Val: x.Val}
+	case *cir.SizeofExpr:
+		return Const{Val: x.Size}
+	case *cir.CastExpr:
+		return FromTerm(x.X, leaf)
+	case *cir.UnaryExpr:
+		if x.Op == cir.TokMinus {
+			return BinTerm{Op: TSub, A: Const{Val: 0}, B: FromTerm(x.X, leaf)}
+		}
+	case *cir.BinaryExpr:
+		switch x.Op {
+		case cir.TokPlus:
+			return BinTerm{Op: TAdd, A: FromTerm(x.X, leaf), B: FromTerm(x.Y, leaf)}
+		case cir.TokMinus:
+			return BinTerm{Op: TSub, A: FromTerm(x.X, leaf), B: FromTerm(x.Y, leaf)}
+		case cir.TokStar:
+			return BinTerm{Op: TMul, A: FromTerm(x.X, leaf), B: FromTerm(x.Y, leaf)}
+		}
+	}
+	return leaf(e)
+}

@@ -1,0 +1,229 @@
+package solver
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"seal/internal/cir"
+)
+
+func sym(n string) Term                     { return Sym{Name: n} }
+func k(v int64) Term                        { return Const{Val: v} }
+func atom(a Term, op CmpOp, b Term) Formula { return Atom{Op: op, A: a, B: b} }
+
+func TestSatBasics(t *testing.T) {
+	x := sym("x")
+	cases := []struct {
+		f    Formula
+		want bool
+	}{
+		{TrueF{}, true},
+		{FalseF{}, false},
+		{atom(x, OpEq, k(0)), true},
+		{MkAnd(atom(x, OpEq, k(0)), atom(x, OpEq, k(1))), false},
+		{MkAnd(atom(x, OpLt, k(0)), atom(x, OpGt, k(0))), false},
+		{MkAnd(atom(x, OpLe, k(0)), atom(x, OpGe, k(0))), true},
+		{MkAnd(atom(x, OpLe, k(0)), atom(x, OpGe, k(0)), atom(x, OpNe, k(0))), false},
+		{MkOr(atom(x, OpLt, k(0)), atom(x, OpGe, k(0))), true},
+		{MkAnd(atom(x, OpGt, k(5)), atom(x, OpLt, k(7))), true},  // x == 6
+		{MkAnd(atom(x, OpGt, k(5)), atom(x, OpLt, k(6))), false}, // integers!
+	}
+	for i, c := range cases {
+		if got := Sat(c.f); got != c.want {
+			t.Errorf("case %d: Sat(%s) = %v, want %v", i, String(c.f), got, c.want)
+		}
+	}
+}
+
+func TestSatDifferenceConstraints(t *testing.T) {
+	x, y, z := sym("x"), sym("y"), sym("z")
+	// x < y && y < z && z < x is a negative cycle.
+	f := MkAnd(atom(x, OpLt, y), atom(y, OpLt, z), atom(z, OpLt, x))
+	if Sat(f) {
+		t.Error("cyclic strict ordering should be unsat")
+	}
+	// x <= y && y <= x && x != y.
+	g := MkAnd(atom(x, OpLe, y), atom(y, OpLe, x), atom(x, OpNe, y))
+	if Sat(g) {
+		t.Error("forced equality with disequality should be unsat")
+	}
+	// x <= y && y <= x is fine.
+	h := MkAnd(atom(x, OpLe, y), atom(y, OpLe, x))
+	if !Sat(h) {
+		t.Error("x == y should be sat")
+	}
+}
+
+func TestImpliesAndEquiv(t *testing.T) {
+	x := sym("x")
+	lt5 := atom(x, OpLt, k(5))
+	lt10 := atom(x, OpLt, k(10))
+	if !Implies(lt5, lt10) {
+		t.Error("x<5 should imply x<10")
+	}
+	if Implies(lt10, lt5) {
+		t.Error("x<10 should not imply x<5")
+	}
+	le4 := atom(x, OpLe, k(4))
+	if !Equiv(lt5, le4) {
+		t.Error("x<5 and x<=4 are equivalent over integers")
+	}
+	eq := atom(x, OpEq, k(0))
+	ne := atom(x, OpNe, k(0))
+	if !Equiv(MkNot(eq), ne) {
+		t.Error("!(x==0) should be equivalent to x!=0")
+	}
+}
+
+func TestDelta(t *testing.T) {
+	// Fig. 4: pre-path condition is size==8; post adds len<=MAX. The delta
+	// isolates the removed behaviour: size==8 && len>MAX.
+	size, length := sym("size"), sym("len")
+	pre := atom(size, OpEq, k(8))
+	post := MkAnd(atom(size, OpEq, k(8)), atom(length, OpLe, k(32)))
+	delta := Delta(pre, post)
+	if !Sat(delta) {
+		t.Fatal("delta should be satisfiable (len > 32)")
+	}
+	if !Implies(delta, atom(length, OpGt, k(32))) {
+		t.Errorf("delta %s should imply len > 32", String(delta))
+	}
+	if !Implies(delta, pre) {
+		t.Error("delta should imply the pre condition")
+	}
+	// Delta of identical conditions must be unsat.
+	if Sat(Delta(post, post)) {
+		t.Error("delta of identical formulas should be unsat")
+	}
+}
+
+func TestFromCond(t *testing.T) {
+	parse := func(src string) cir.Expr {
+		f := cir.MustParseFile("t.c", "int g(int x, int y, int len) { return "+src+"; }")
+		ret := f.Funcs[0].Body.Stmts[0].(*cir.ReturnStmt)
+		return ret.X
+	}
+	f1 := FromCond(parse("x == 0"), nil)
+	if !Sat(f1) || !Equiv(f1, atom(sym("x"), OpEq, k(0))) {
+		t.Errorf("x==0 conversion: %s", String(f1))
+	}
+	f2 := FromCond(parse("!x"), nil)
+	if !Equiv(f2, atom(sym("x"), OpEq, k(0))) {
+		t.Errorf("!x should mean x==0: %s", String(f2))
+	}
+	f3 := FromCond(parse("x"), nil)
+	if !Equiv(f3, atom(sym("x"), OpNe, k(0))) {
+		t.Errorf("bare x should mean x!=0: %s", String(f3))
+	}
+	f4 := FromCond(parse("x > 0 && (y < 2 || len != 3)"), nil)
+	if !Sat(f4) {
+		t.Errorf("compound condition should be sat: %s", String(f4))
+	}
+	// -ENOMEM folds to a constant.
+	f5 := FromCond(parse("x == -ENOMEM"), nil)
+	if !Equiv(f5, atom(sym("x"), OpEq, k(-12))) {
+		t.Errorf("x == -ENOMEM: %s", String(f5))
+	}
+}
+
+func TestRename(t *testing.T) {
+	x := atom(sym("ret_dma"), OpEq, k(0))
+	r := Rename(x, map[string]string{"ret_dma": "v0"})
+	syms := Symbols(r)
+	if len(syms) != 1 || syms[0] != "v0" {
+		t.Errorf("renamed symbols: %v", syms)
+	}
+}
+
+// randFormula builds a random formula over nVars symbols with small
+// constants, for brute-force cross-checking.
+func randFormula(r *rand.Rand, depth int, nVars int) Formula {
+	if depth == 0 || r.Intn(3) == 0 {
+		mkTerm := func() Term {
+			if r.Intn(3) == 0 {
+				return Const{Val: int64(r.Intn(7) - 3)}
+			}
+			return Sym{Name: string(rune('a' + r.Intn(nVars)))}
+		}
+		ops := []CmpOp{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe}
+		return Atom{Op: ops[r.Intn(len(ops))], A: mkTerm(), B: mkTerm()}
+	}
+	switch r.Intn(3) {
+	case 0:
+		return MkAnd(randFormula(r, depth-1, nVars), randFormula(r, depth-1, nVars))
+	case 1:
+		return MkOr(randFormula(r, depth-1, nVars), randFormula(r, depth-1, nVars))
+	default:
+		return MkNot(randFormula(r, depth-1, nVars))
+	}
+}
+
+// TestSatSoundVsBruteForce: if brute force over a small domain finds a
+// model, Sat must answer true (the solver must never claim UNSAT for a
+// satisfiable formula). This is the soundness property the pipeline
+// depends on.
+func TestSatSoundVsBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	const nVars = 3
+	domain := []int64{-4, -3, -2, -1, 0, 1, 2, 3, 4}
+	for iter := 0; iter < 500; iter++ {
+		f := randFormula(r, 3, nVars)
+		bruteSat := false
+		env := map[string]int64{}
+		var rec func(i int)
+		rec = func(i int) {
+			if bruteSat {
+				return
+			}
+			if i == nVars {
+				if Eval(f, env) {
+					bruteSat = true
+				}
+				return
+			}
+			for _, v := range domain {
+				env[string(rune('a'+i))] = v
+				rec(i + 1)
+			}
+		}
+		rec(0)
+		if bruteSat && !Sat(f) {
+			t.Fatalf("solver claims UNSAT for satisfiable formula: %s", String(f))
+		}
+	}
+}
+
+// TestEquivReflexiveRandom: every formula is equivalent to itself and to
+// its double negation.
+func TestEquivReflexiveRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 200; iter++ {
+		f := randFormula(r, 3, 3)
+		if !Equiv(f, f) {
+			t.Fatalf("formula not equivalent to itself: %s", String(f))
+		}
+		if !Equiv(f, MkNot(MkNot(f))) {
+			t.Fatalf("double negation broke equivalence: %s", String(f))
+		}
+	}
+}
+
+// Property: Simplify preserves evaluation.
+func TestSimplifyPreservesEval(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	check := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		f := randFormula(rr, 3, 3)
+		g := Simplify(f)
+		env := map[string]int64{
+			"a": int64(r.Intn(9) - 4),
+			"b": int64(r.Intn(9) - 4),
+			"c": int64(r.Intn(9) - 4),
+		}
+		return Eval(f, env) == Eval(g, env)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,139 @@
+package vfp
+
+import (
+	"fmt"
+	"strings"
+
+	"seal/internal/cir"
+	"seal/internal/ir"
+	"seal/internal/pdg"
+	"seal/internal/solver"
+)
+
+// Path is an inter-procedural value-flow path (Def. 6.2): a statement
+// sequence connected by data-dependence edges, from an interaction-data
+// source to an ultimate use.
+type Path struct {
+	Nodes  []*ir.Stmt
+	Source Endpoint
+	Sink   Endpoint
+
+	psi      solver.Formula
+	psiReady bool
+}
+
+// Signature is a version-independent identity: the sequence of statement
+// spellings qualified by function name, with endpoint keys. Statements are
+// "identical despite different line numbers" (paper §5 step 2); lowering
+// temporaries are erased so hoisting differences between versions do not
+// break identity.
+func (p *Path) Signature() string {
+	var sb strings.Builder
+	sb.WriteString(p.Source.Key())
+	sb.WriteString(" => ")
+	for _, n := range p.Nodes {
+		sb.WriteString(n.Fn.Name)
+		sb.WriteByte('|')
+		sb.WriteString(NormalizedStmtString(n))
+		sb.WriteString(" -> ")
+	}
+	sb.WriteString(p.Sink.Key())
+	return sb.String()
+}
+
+// NormalizedStmtString renders a statement with lowering temporaries
+// erased: `__t3 = f(x)` and a bare `f(x)` expression statement spell the
+// same, and `return __t3` becomes `return __t`.
+func NormalizedStmtString(s *ir.Stmt) string {
+	str := s.String()
+	if s.Kind == ir.StCall && s.LHS != nil {
+		if id, ok := s.LHS.(*cir.Ident); ok && strings.HasPrefix(id.Name, "__t") {
+			if i := strings.Index(str, " = "); i >= 0 {
+				str = str[i+3:]
+			}
+		}
+	}
+	return eraseTemps(str)
+}
+
+// eraseTemps rewrites every "__t<digits>" token to "__t".
+func eraseTemps(s string) string {
+	if !strings.Contains(s, "__t") {
+		return s
+	}
+	var sb strings.Builder
+	for i := 0; i < len(s); {
+		if strings.HasPrefix(s[i:], "__t") {
+			sb.WriteString("__t")
+			i += 3
+			for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+				i++
+			}
+			continue
+		}
+		sb.WriteByte(s[i])
+		i++
+	}
+	return sb.String()
+}
+
+// Psi computes (and caches) the path condition Ψ(p): the conjunction of
+// the control-dependence guards of every statement on the path, with
+// symbols qualified per function (quasi-path-sensitive, Def. 6.2).
+func (p *Path) Psi(g *pdg.Graph) solver.Formula {
+	if p.psiReady {
+		return p.psi
+	}
+	var parts []solver.Formula
+	seen := make(map[*ir.Stmt]bool)
+	for _, n := range p.Nodes {
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		parts = append(parts, g.PathConditionWith(n, pdg.QualifiedLeaf(n.Fn)))
+	}
+	p.psi = solver.Simplify(solver.MkAnd(parts...))
+	p.psiReady = true
+	return p.psi
+}
+
+// OrderOfSink returns Ω of the sink statement within its function.
+func (p *Path) OrderOfSink(g *pdg.Graph) int {
+	return g.Order(p.Sink.Stmt)
+}
+
+// String renders the path with line numbers for bug reports.
+func (p *Path) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s", p.Source)
+	for _, n := range p.Nodes {
+		fmt.Fprintf(&sb, "\n  -> [%s:%d] %s", n.Fn.Name, n.Line, n)
+	}
+	fmt.Fprintf(&sb, "\n  => %s", p.Sink)
+	return sb.String()
+}
+
+// Contains reports whether the path visits stmt.
+func (p *Path) Contains(stmt *ir.Stmt) bool {
+	for _, n := range p.Nodes {
+		if n == stmt {
+			return true
+		}
+	}
+	return false
+}
+
+// DedupePaths removes signature duplicates, preserving order.
+func DedupePaths(paths []*Path) []*Path {
+	seen := make(map[string]bool, len(paths))
+	var out []*Path
+	for _, p := range paths {
+		sig := p.Signature()
+		if !seen[sig] {
+			seen[sig] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}

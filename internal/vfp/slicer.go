@@ -1,0 +1,283 @@
+package vfp
+
+import (
+	"seal/internal/ir"
+	"seal/internal/pdg"
+)
+
+// Slicer collects value-flow paths by forward/backward traversal over the
+// PDG's data-dependence edges (paper §6.2: "the collection process is
+// conducted via forward and backward slicings from the slicing criterions").
+type Slicer struct {
+	G *pdg.Graph
+	// MaxDepth bounds the statement count per direction.
+	MaxDepth int
+	// MaxPaths bounds the total paths returned per criterion.
+	MaxPaths int
+	// CrossFunctionPointers, when false (the default and the paper's
+	// choice, §7), stops slicing at indirect-call boundaries.
+	CrossFunctionPointers bool
+}
+
+// NewSlicer returns a slicer with the default bounds.
+func NewSlicer(g *pdg.Graph) *Slicer {
+	return &Slicer{G: g, MaxDepth: 24, MaxPaths: 400}
+}
+
+// segment is a partial path: nodes in source-to-sink order.
+type segment struct {
+	nodes []*ir.Stmt
+	ep    Endpoint
+}
+
+// Collect gathers all source-to-sink value-flow paths passing through the
+// criterion statement (paper §6.2.1-6.2.2).
+func (sl *Slicer) Collect(criterion *ir.Stmt) []*Path {
+	backs := sl.backward(criterion)
+	fwds := sl.forward(criterion)
+	var out []*Path
+	for _, b := range backs {
+		for _, f := range fwds {
+			nodes := make([]*ir.Stmt, 0, len(b.nodes)+len(f.nodes))
+			nodes = append(nodes, b.nodes...)
+			nodes = append(nodes, f.nodes...) // forward nodes exclude criterion
+			out = append(out, &Path{Nodes: nodes, Source: b.ep, Sink: f.ep})
+			if len(out) >= sl.MaxPaths {
+				return DedupePaths(out)
+			}
+		}
+	}
+	return DedupePaths(out)
+}
+
+// PathsFrom gathers the value-flow paths starting at a source statement
+// (used by bug detection: the instantiated V elements are the sources).
+func (sl *Slicer) PathsFrom(source *ir.Stmt) []*Path {
+	ep, ok := classifySource(sl.G, source)
+	if !ok {
+		// Fall back to rootless classification on the statement's uses.
+		if eps := sl.rootlessSources(source); len(eps) > 0 {
+			ep, ok = eps[0], true
+		}
+	}
+	if !ok {
+		return nil
+	}
+	var out []*Path
+	for _, f := range sl.forward(source) {
+		nodes := append([]*ir.Stmt{source}, f.nodes...)
+		out = append(out, &Path{Nodes: nodes, Source: ep, Sink: f.ep})
+		if len(out) >= sl.MaxPaths {
+			break
+		}
+	}
+	return DedupePaths(out)
+}
+
+// crossesIndirect reports whether following the edge would cross an
+// indirect-call boundary.
+func crossesIndirect(e pdg.Edge) bool {
+	switch e.Kind {
+	case pdg.EdgeParam:
+		return e.From.Kind == ir.StCall && e.From.Callee == ""
+	case pdg.EdgeReturn:
+		return e.To.Kind == ir.StCall && e.To.Callee == ""
+	}
+	return false
+}
+
+// rootlessSources classifies the criterion's reads that have no reaching
+// definition (globals, uninitialized locals, raw parameter reads).
+func (sl *Slicer) rootlessSources(s *ir.Stmt) []Endpoint {
+	flow := sl.G.Flow(s.Fn)
+	var out []Endpoint
+	for _, u := range flow.Unrooted {
+		if u.Use != s {
+			continue
+		}
+		if ep, ok := classifyRootless(s, u.Loc); ok {
+			out = append(out, ep)
+		}
+	}
+	return out
+}
+
+// backward returns segments [source .. criterion] (criterion included).
+func (sl *Slicer) backward(criterion *ir.Stmt) []segment {
+	var out []segment
+	emit := func(nodesRev []*ir.Stmt, ep Endpoint) {
+		// nodesRev is criterion-first; reverse it.
+		n := len(nodesRev)
+		nodes := make([]*ir.Stmt, n)
+		for i, s := range nodesRev {
+			nodes[n-1-i] = s
+		}
+		out = append(out, segment{nodes: nodes, ep: ep})
+	}
+	visited := make(map[*ir.Stmt]bool)
+	var dfs func(cur *ir.Stmt, cameByParam bool, trail []*ir.Stmt)
+	dfs = func(cur *ir.Stmt, cameByParam bool, trail []*ir.Stmt) {
+		if len(out) >= sl.MaxPaths || len(trail) >= sl.maxDepth() {
+			return
+		}
+		trail = append(trail, cur)
+
+		if ep, ok := classifySource(sl.G, cur); ok {
+			if ep.Kind == SrcParam && !sl.interfaceImpl(cur.Fn) {
+				// Parameter of a plain helper: extend into direct callers
+				// when possible, otherwise treat the parameter as source.
+				extended := false
+				for _, e := range sl.G.DataPreds(cur) {
+					if e.Kind != pdg.EdgeParam || crossesIndirect(e) || visited[e.From] {
+						continue
+					}
+					visited[e.From] = true
+					dfs(e.From, true, trail)
+					visited[e.From] = false
+					extended = true
+				}
+				if !extended {
+					emit(trail, ep)
+				}
+				return
+			}
+			emit(trail, ep)
+			if ep.Kind != SrcAPIRet || cameByParam {
+				return
+			}
+			// An API call is a source for its result, but its arguments
+			// still carry value flows worth slicing backward through.
+		}
+
+		// Rootless reads at this node are sources rooted here.
+		for _, ep := range sl.rootlessSources(cur) {
+			emit(trail, ep)
+		}
+
+		for _, e := range sl.G.DataPreds(cur) {
+			if crossesIndirect(e) && !sl.CrossFunctionPointers {
+				continue
+			}
+			// Role separation at call nodes (mirror of the forward rule):
+			// walking back from a callee parameter reaches the call via an
+			// argument — continuing backward through the callee's returns
+			// would teleport the value.
+			if cameByParam && cur.Kind == ir.StCall && e.Kind == pdg.EdgeReturn {
+				continue
+			}
+			if visited[e.From] {
+				continue
+			}
+			visited[e.From] = true
+			dfs(e.From, e.Kind == pdg.EdgeParam, trail)
+			visited[e.From] = false
+		}
+	}
+	visited[criterion] = true
+	dfs(criterion, false, nil)
+	return out
+}
+
+// forward returns continuations after the criterion: nodes exclude the
+// criterion itself; each ends at a classified sink.
+func (sl *Slicer) forward(criterion *ir.Stmt) []segment {
+	var out []segment
+	visited := make(map[*ir.Stmt]bool)
+
+	// The criterion itself may be an ultimate use.
+	for _, ep := range sl.criterionSinks(criterion) {
+		out = append(out, segment{nodes: nil, ep: ep})
+	}
+
+	var dfs func(cur *ir.Stmt, came pdg.Edge, trail []*ir.Stmt)
+	dfs = func(cur *ir.Stmt, came pdg.Edge, trail []*ir.Stmt) {
+		if len(out) >= sl.MaxPaths || len(trail) >= sl.maxDepth() {
+			return
+		}
+		trail = append(trail, cur)
+		for _, ep := range classifySinks(sl.G, cur, came.Loc) {
+			seg := segment{nodes: append([]*ir.Stmt{}, trail...), ep: ep}
+			out = append(out, seg)
+		}
+		for _, e := range sl.G.DataSuccs(cur) {
+			if crossesIndirect(e) && !sl.CrossFunctionPointers {
+				continue
+			}
+			// Role separation at call nodes: a value received FROM a
+			// callee's return lives in the call's result — it cannot flow
+			// back into the callee's parameters, nor through the call's
+			// argument-derived side effects.
+			if cur.Kind == ir.StCall && came.Kind == pdg.EdgeReturn {
+				if e.Kind == pdg.EdgeParam {
+					continue
+				}
+				if !flowsFromResult(cur, e) {
+					continue
+				}
+			}
+			if visited[e.To] {
+				continue
+			}
+			visited[e.To] = true
+			dfs(e.To, e, trail)
+			visited[e.To] = false
+		}
+	}
+	visited[criterion] = true
+	for _, e := range sl.G.DataSuccs(criterion) {
+		if crossesIndirect(e) && !sl.CrossFunctionPointers {
+			continue
+		}
+		if visited[e.To] {
+			continue
+		}
+		visited[e.To] = true
+		dfs(e.To, e, nil)
+		visited[e.To] = false
+	}
+	return out
+}
+
+// flowsFromResult reports whether an out-edge of a call statement carries
+// the call's result (LHS) rather than an argument-derived side effect.
+func flowsFromResult(call *ir.Stmt, e pdg.Edge) bool {
+	if len(call.Defs) == 0 {
+		return false
+	}
+	lhs := call.Defs[0]
+	return e.Loc.Base == lhs.Base
+}
+
+// criterionSinks classifies the criterion statement's own ultimate uses.
+func (sl *Slicer) criterionSinks(s *ir.Stmt) []Endpoint {
+	seen := make(map[string]bool)
+	var out []Endpoint
+	add := func(eps []Endpoint) {
+		for _, ep := range eps {
+			k := ep.Key()
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, ep)
+			}
+		}
+	}
+	if len(s.Uses) == 0 {
+		add(classifySinks(sl.G, s, ir.Loc{Base: &ir.Var{ID: -1, Name: "<none>"}}))
+		return out
+	}
+	for _, u := range s.Uses {
+		add(classifySinks(sl.G, s, u))
+	}
+	return out
+}
+
+func (sl *Slicer) maxDepth() int {
+	if sl.MaxDepth <= 0 {
+		return 24
+	}
+	return sl.MaxDepth
+}
+
+func (sl *Slicer) interfaceImpl(fn *ir.Func) bool {
+	return len(sl.G.Prog.InterfacesOf(fn)) > 0
+}

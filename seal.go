@@ -1,0 +1,254 @@
+// Package seal is the public API of SEAL-Go, a reproduction of "SEAL:
+// Towards Diverse Specification Inference for Linux Interfaces from
+// Security Patches" (EuroSys 2025). It infers interface specifications —
+// value-flow properties over interaction data — from security patches, and
+// detects violations in other implementations and usages of the same
+// interfaces.
+//
+// The pipeline mirrors the paper's four stages:
+//
+//  1. PDG construction for the pre-/post-patch programs (internal/pdg).
+//  2. PDG differentiation into changed value-flow paths (internal/vfp,
+//     internal/infer).
+//  3. Specification abstraction (internal/infer, internal/spec).
+//  4. Path-sensitive bug detection in sibling implementations
+//     (internal/detect).
+//
+// Quick start:
+//
+//	res, _ := seal.InferSpecs(patches, seal.Options{Validate: true})
+//	target, _ := seal.LoadFiles(tree)
+//	bugs := seal.Detect(target, res.DB.Specs)
+package seal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"seal/internal/cir"
+	"seal/internal/detect"
+	"seal/internal/infer"
+	"seal/internal/ir"
+	"seal/internal/patch"
+	"seal/internal/spec"
+)
+
+// Re-exported types: the library's public vocabulary.
+type (
+	// Patch is one security patch (pre/post source pairs).
+	Patch = patch.Patch
+	// Spec is an inferred interface specification.
+	Spec = spec.Spec
+	// SpecDB is a serializable specification database.
+	SpecDB = spec.DB
+	// Bug is a reported specification violation.
+	Bug = detect.Bug
+)
+
+// Target is a loaded analysis target: a linked program plus its sources.
+type Target struct {
+	Prog  *ir.Program
+	Files map[string]string
+}
+
+// LoadFiles parses and links a set of sources (name -> kernel-C source).
+func LoadFiles(files map[string]string) (*Target, error) {
+	names := make([]string, 0, len(files))
+	for n := range files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var parsed []*cir.File
+	for _, n := range names {
+		f, err := cir.ParseFile(n, files[n])
+		if err != nil {
+			return nil, err
+		}
+		parsed = append(parsed, f)
+	}
+	prog, err := ir.NewProgram(parsed...)
+	if err != nil {
+		return nil, err
+	}
+	return &Target{Prog: prog, Files: files}, nil
+}
+
+// LoadDir loads every .c file under root (recursively) as one target.
+func LoadDir(root string) (*Target, error) {
+	files := make(map[string]string)
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() || !strings.HasSuffix(path, ".c") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			rel = path
+		}
+		files[rel] = string(data)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("seal: no .c files under %s", root)
+	}
+	return LoadFiles(files)
+}
+
+// Options configures specification inference.
+type Options struct {
+	// Validate runs the quantifier validation of paper §6.3.3: candidate
+	// specs must hold inside the patched code itself. Strongly
+	// recommended; defaults to true via DefaultOptions.
+	Validate bool
+	// Workers is the number of patches processed concurrently
+	// (0 = sequential).
+	Workers int
+}
+
+// DefaultOptions enables validation with sequential processing.
+func DefaultOptions() Options { return Options{Validate: true} }
+
+// PatchOutcome records one patch's inference result.
+type PatchOutcome struct {
+	PatchID string
+	Specs   int
+	Stats   infer.Stats
+	Err     error
+}
+
+// InferenceResult aggregates specification inference over a patch corpus.
+type InferenceResult struct {
+	DB *SpecDB
+	// Outcomes has one entry per input patch, in input order.
+	Outcomes []PatchOutcome
+	// ZeroRelationPatches counts patches yielding no relations (paper
+	// §8.2: 1,529 of 12,571).
+	ZeroRelationPatches int
+}
+
+// Totals sums the per-origin relation counters across all patches.
+func (r *InferenceResult) Totals() infer.Stats {
+	var t infer.Stats
+	for _, o := range r.Outcomes {
+		t.Criteria += o.Stats.Criteria
+		t.PrePaths += o.Stats.PrePaths
+		t.PostPaths += o.Stats.PostPaths
+		t.PMinus += o.Stats.PMinus
+		t.PPlus += o.Stats.PPlus
+		t.PPsi += o.Stats.PPsi
+		t.POmega += o.Stats.POmega
+		t.Relations += o.Stats.Relations
+	}
+	return t
+}
+
+// InferSpecs runs stages ①–③ on every patch and returns the merged,
+// deduplicated specification database.
+func InferSpecs(patches []*Patch, opts Options) (*InferenceResult, error) {
+	res := &InferenceResult{
+		DB:       &SpecDB{},
+		Outcomes: make([]PatchOutcome, len(patches)),
+	}
+	specLists := make([][]*Spec, len(patches))
+
+	run := func(i int) {
+		p := patches[i]
+		out := PatchOutcome{PatchID: p.ID}
+		a, err := p.Analyze()
+		if err != nil {
+			out.Err = err
+			res.Outcomes[i] = out
+			return
+		}
+		ir := infer.InferPatch(a)
+		specs := ir.Specs
+		if opts.Validate {
+			specs = detect.ValidateSpecs(a.PostProg, specs)
+		}
+		out.Stats = ir.Stats
+		out.Specs = len(specs)
+		res.Outcomes[i] = out
+		specLists[i] = specs
+	}
+
+	if opts.Workers > 1 {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, opts.Workers)
+		for i := range patches {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				run(i)
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		for i := range patches {
+			run(i)
+		}
+	}
+
+	var firstErr error
+	for i := range res.Outcomes {
+		if res.Outcomes[i].Err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("patch %s: %w", res.Outcomes[i].PatchID, res.Outcomes[i].Err)
+		}
+		if res.Outcomes[i].Err == nil && len(specLists[i]) == 0 {
+			res.ZeroRelationPatches++
+		}
+		res.DB.Specs = append(res.DB.Specs, specLists[i]...)
+	}
+	res.DB.Dedup()
+	return res, firstErr
+}
+
+// Detect runs stage ④: check every specification against the target and
+// return the deduplicated bug reports.
+func Detect(t *Target, specs []*Spec) []*Bug {
+	d := detect.New(t.Prog)
+	return d.Detect(specs)
+}
+
+// DetectParallel is Detect with the spec list partitioned across workers
+// (each worker owns a private PDG over the shared read-only program; the
+// result is identical to Detect). Implements the paper's parallel
+// path-searching extension (§8.4).
+func DetectParallel(t *Target, specs []*Spec, workers int) []*Bug {
+	return detect.DetectParallel(t.Prog, specs, workers)
+}
+
+// MergeSpecDBs unions specification databases, deduplicating by constraint
+// identity while keeping first-seen provenance. This supports the paper's
+// suggested maintainer workflow (§9): "once new patches are merged,
+// proactively run SEAL to expand the dataset".
+func MergeSpecDBs(dbs ...*SpecDB) *SpecDB {
+	out := &SpecDB{}
+	for _, db := range dbs {
+		if db != nil {
+			out.Specs = append(out.Specs, db.Specs...)
+		}
+	}
+	out.Dedup()
+	return out
+}
+
+// NewDetector exposes the underlying detector for fine-grained use
+// (regions, per-spec checks, ablation switches).
+func NewDetector(t *Target) *detect.Detector {
+	return detect.New(t.Prog)
+}
