@@ -30,13 +30,13 @@ var (
 	benchErr  error
 )
 
-func getBenchRun(b *testing.B) *eval.Run {
-	b.Helper()
+func getBenchRun(tb testing.TB) *eval.Run {
+	tb.Helper()
 	benchOnce.Do(func() {
 		benchRun, benchErr = eval.NewRun(kernelgen.EvalConfig())
 	})
 	if benchErr != nil {
-		b.Fatal(benchErr)
+		tb.Fatal(benchErr)
 	}
 	return benchRun
 }

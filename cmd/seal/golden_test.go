@@ -1,0 +1,97 @@
+package main
+
+// Golden-file tests for the CLI's human-facing output: report formatting
+// changes must show up as reviewable golden diffs, never as silent drift.
+// Regenerate after an intentional formatting change with
+//
+//	go test ./cmd/seal -run TestCLIGolden -update
+
+import (
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+// captureStdout runs fn with os.Stdout redirected into a buffer.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		data, _ := io.ReadAll(r)
+		done <- string(data)
+	}()
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	if runErr != nil {
+		t.Fatalf("command failed: %v\noutput so far:\n%s", runErr, out)
+	}
+	return out
+}
+
+// checkGolden compares got against testdata/<name>.golden (or rewrites it
+// under -update).
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s output differs from %s.\ngot:\n%s\nwant:\n%s\n(run `go test ./cmd/seal -run TestCLIGolden -update` if the change is intentional)",
+			name, path, got, string(want))
+	}
+}
+
+// TestCLIGolden drives gen → infer → detect on the default corpus (fixed
+// seed) and pins the exact stdout of the infer and detect subcommands,
+// with temp paths normalized to $WORK.
+func TestCLIGolden(t *testing.T) {
+	dir := t.TempDir()
+	corpusDir := filepath.Join(dir, "corpus")
+	specFile := filepath.Join(dir, "specs.json")
+	sanitize := func(s string) string {
+		return strings.ReplaceAll(s, dir, "$WORK")
+	}
+
+	if err := cmdGen([]string{"-out", corpusDir}); err != nil {
+		t.Fatal(err)
+	}
+
+	inferOut := captureStdout(t, func() error {
+		return cmdInfer([]string{"-patches", filepath.Join(corpusDir, "patches"), "-out", specFile, "-v"})
+	})
+	checkGolden(t, "infer", sanitize(inferOut))
+
+	detectOut := captureStdout(t, func() error {
+		return cmdDetect([]string{"-target", filepath.Join(corpusDir, "tree"), "-specs", specFile})
+	})
+	checkGolden(t, "detect", sanitize(detectOut))
+
+	reportOut := captureStdout(t, func() error {
+		return cmdDetect([]string{"-target", filepath.Join(corpusDir, "tree"), "-specs", specFile, "-report"})
+	})
+	checkGolden(t, "detect_report", sanitize(reportOut))
+}

@@ -1,0 +1,53 @@
+package cir_test
+
+// Native fuzz target for the kernel-C frontend. The parser is the
+// pipeline's outermost input boundary: whatever bytes reach it, it must
+// either return an error or an AST the IR lowering accepts — never panic,
+// never hang. Run continuously with
+//
+//	go test -run='^$' -fuzz=FuzzParseFile ./internal/cir
+//
+// The checked-in seed corpus lives in testdata/fuzz/FuzzParseFile
+// (regenerate with `go run ./internal/difftest/gencorpus`).
+
+import (
+	"testing"
+
+	"seal/internal/cir"
+	"seal/internal/ir"
+	"seal/internal/randprog"
+)
+
+func FuzzParseFile(f *testing.F) {
+	f.Add(cir.Fig3Source)
+	f.Add(randprog.Program(1, 2, randprog.Default()))
+	f.Add("int f(int a) { return a / 0; }\n")
+	f.Add("#define N 4\nstruct s { int x[N]; };\nint g(struct s *p) { return p->x[1]; }\n")
+	f.Add("int h() { if (1 < 2) return 3; else return 4; }")
+	f.Add("struct o { int (*op)(int); };\nint impl(int v);\nstruct o t = { .op = impl, };\n")
+	f.Add("int broken(") // truncated input must error, not hang
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 64<<10 {
+			t.Skip("oversized input")
+		}
+		file, err := cir.ParseFile("fuzz.c", src)
+		if err != nil {
+			return // rejection is a valid outcome; crashing is not
+		}
+		prog, err := ir.NewProgram(file)
+		if err != nil {
+			return
+		}
+		// The lowered program must be minimally coherent: every statement
+		// belongs to a listed function.
+		fns := make(map[*ir.Func]bool, len(prog.FuncList))
+		for _, fn := range prog.FuncList {
+			fns[fn] = true
+		}
+		for _, s := range prog.AllStmts() {
+			if !fns[s.Fn] {
+				t.Fatalf("statement %v owned by unlisted function", s)
+			}
+		}
+	})
+}

@@ -46,6 +46,9 @@ type StructDef struct {
 	Fields []*FieldDef
 	size   int
 	byName map[string]*FieldDef
+	// laying guards against recursive layout of self-referential struct
+	// definitions (illegal C, but the frontend must not diverge on them).
+	laying bool
 }
 
 // FieldDef is a single struct field.
@@ -151,6 +154,11 @@ func (t *Type) String() string {
 // sequentially with Word alignment for pointers/ints, matching the byte
 // offset field discrimination of the paper.
 func (s *StructDef) Layout() {
+	if s.laying {
+		return // cyclic embedding: treat the inner occurrence as incomplete
+	}
+	s.laying = true
+	defer func() { s.laying = false }()
 	off := 0
 	s.byName = make(map[string]*FieldDef, len(s.Fields))
 	for i, f := range s.Fields {

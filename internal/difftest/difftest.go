@@ -1,0 +1,193 @@
+// Package difftest is the differential and metamorphic testing subsystem:
+// it runs generated patch cases (internal/randprog) through the pipeline
+// twice — a reference configuration (sequential inference, sequential
+// detection) and optimized configurations (parallel inference, parallel
+// detection) — and checks that the normalized results are byte-identical.
+// Because every generated case carries its own injected violation, the
+// runner also checks the ground-truth oracle: the inferred specification
+// must flag exactly the rule-violating siblings.
+//
+// Any future perf work (sharding, caching, new backends) must keep this
+// package green: silent result divergence, not crashes, is how such bugs
+// manifest.
+package difftest
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"seal"
+	"seal/internal/detect"
+	"seal/internal/patch"
+	"seal/internal/randprog"
+	"seal/internal/spec"
+)
+
+// WorkerCounts are the optimized configurations checked against the
+// sequential reference.
+var WorkerCounts = []int{2, 4, 8}
+
+// NormalizeBugs renders a bug list in canonical form: one line per report,
+// already in the detector's deterministic order. Two runs agree iff the
+// normalized strings are byte-identical.
+func NormalizeBugs(bugs []*detect.Bug) string {
+	var sb strings.Builder
+	for _, b := range bugs {
+		fmt.Fprintf(&sb, "%s|%s|%s|%s\n", b.Kind, b.Fn.Name, b.Fn.File, b.Spec.Key())
+	}
+	return sb.String()
+}
+
+// NormalizeDB renders a specification database in canonical form,
+// preserving order (inference order is part of the determinism contract).
+func NormalizeDB(db *spec.DB) string {
+	var sb strings.Builder
+	for _, s := range db.Specs {
+		fmt.Fprintf(&sb, "%s|%s|%s|%s\n", s.ID, s.Key(), s.Origin, s.OriginPatch)
+	}
+	return sb.String()
+}
+
+// Divergence describes one reference-vs-optimized mismatch.
+type Divergence struct {
+	Stage string // "infer" or "detect"
+	Conf  string // the optimized configuration ("workers=4", …)
+	Ref   string // normalized reference result
+	Got   string // normalized optimized result
+}
+
+func (d Divergence) String() string {
+	return fmt.Sprintf("%s diverges at %s:\n-- reference --\n%s-- optimized --\n%s",
+		d.Stage, d.Conf, d.Ref, d.Got)
+}
+
+// CaseResult is the oracle verdict for one generated case.
+type CaseResult struct {
+	Case *randprog.PatchCase
+	// Specs is the reference-inferred database.
+	Specs *spec.DB
+	// Bugs is the reference detection result.
+	Bugs []*detect.Bug
+	// Divergences lists every reference-vs-optimized mismatch (empty on a
+	// healthy pipeline).
+	Divergences []Divergence
+	// MissedFuncs are ground-truth buggy siblings detection did not flag.
+	MissedFuncs []string
+	// SpuriousFuncs are rule-abiding siblings detection flagged.
+	SpuriousFuncs []string
+}
+
+// Ok reports whether the case passed both oracles.
+func (r *CaseResult) Ok() bool {
+	return len(r.Divergences) == 0 && len(r.MissedFuncs) == 0 && len(r.SpuriousFuncs) == 0
+}
+
+// Report renders a reproduction-oriented failure summary.
+func (r *CaseResult) Report() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "case seed=%d kind=%s: ", r.Case.Seed, r.Case.Kind)
+	if r.Ok() {
+		sb.WriteString("ok")
+		return sb.String()
+	}
+	fmt.Fprintf(&sb, "FAIL (reproduce with randprog.GenPatchCase(%d))\n", r.Case.Seed)
+	for _, d := range r.Divergences {
+		sb.WriteString(d.String())
+		sb.WriteByte('\n')
+	}
+	if len(r.MissedFuncs) > 0 {
+		fmt.Fprintf(&sb, "missed ground-truth bugs: %v\n", r.MissedFuncs)
+	}
+	if len(r.SpuriousFuncs) > 0 {
+		fmt.Fprintf(&sb, "spurious reports on correct siblings: %v\n", r.SpuriousFuncs)
+	}
+	return sb.String()
+}
+
+// RunCase executes the full differential protocol for one case:
+//
+//	reference: InferSpecs{Workers:1} then Detect
+//	optimized: InferSpecs{Workers:N} and DetectParallel for each N in
+//	           WorkerCounts, plus a sequential re-run (determinism).
+func RunCase(c *randprog.PatchCase) (*CaseResult, error) {
+	r := &CaseResult{Case: c}
+
+	refInfer, err := seal.InferSpecs([]*patch.Patch{c.Patch}, seal.Options{Validate: true})
+	if err != nil {
+		return nil, fmt.Errorf("seed %d: reference inference: %w", c.Seed, err)
+	}
+	r.Specs = refInfer.DB
+	refDB := NormalizeDB(refInfer.DB)
+
+	// Inference determinism + worker independence.
+	for _, n := range append([]int{1}, WorkerCounts...) {
+		again, err := seal.InferSpecs([]*patch.Patch{c.Patch}, seal.Options{Validate: true, Workers: n})
+		if err != nil {
+			return nil, fmt.Errorf("seed %d: inference workers=%d: %w", c.Seed, n, err)
+		}
+		if got := NormalizeDB(again.DB); got != refDB {
+			r.Divergences = append(r.Divergences, Divergence{
+				Stage: "infer", Conf: fmt.Sprintf("workers=%d", n), Ref: refDB, Got: got,
+			})
+		}
+	}
+
+	target, err := seal.LoadFiles(c.Target)
+	if err != nil {
+		return nil, fmt.Errorf("seed %d: target: %w", c.Seed, err)
+	}
+	r.Bugs = seal.Detect(target, refInfer.DB.Specs)
+	refBugs := NormalizeBugs(r.Bugs)
+
+	// Detection determinism: a second sequential run on a fresh detector.
+	if got := NormalizeBugs(seal.Detect(target, refInfer.DB.Specs)); got != refBugs {
+		r.Divergences = append(r.Divergences, Divergence{
+			Stage: "detect", Conf: "rerun", Ref: refBugs, Got: got,
+		})
+	}
+	// Parallel detection equivalence.
+	for _, n := range WorkerCounts {
+		got := NormalizeBugs(seal.DetectParallel(target, refInfer.DB.Specs, n))
+		if got != refBugs {
+			r.Divergences = append(r.Divergences, Divergence{
+				Stage: "detect", Conf: fmt.Sprintf("workers=%d", n), Ref: refBugs, Got: got,
+			})
+		}
+	}
+
+	// Ground-truth oracle: flagged functions must be exactly the buggy
+	// siblings (for the injected kind).
+	flagged := make(map[string]bool)
+	for _, b := range r.Bugs {
+		flagged[b.Fn.Name] = true
+	}
+	for _, fn := range c.BuggyFuncs {
+		if !flagged[fn] {
+			r.MissedFuncs = append(r.MissedFuncs, fn)
+		}
+	}
+	for _, fn := range c.CorrectFuncs {
+		if flagged[fn] {
+			r.SpuriousFuncs = append(r.SpuriousFuncs, fn)
+		}
+	}
+	sort.Strings(r.MissedFuncs)
+	sort.Strings(r.SpuriousFuncs)
+	return r, nil
+}
+
+// RunSeedRange runs [first, first+n) and returns the failing results.
+func RunSeedRange(first int64, n int) ([]*CaseResult, error) {
+	var failures []*CaseResult
+	for seed := first; seed < first+int64(n); seed++ {
+		res, err := RunCase(randprog.GenPatchCase(seed))
+		if err != nil {
+			return failures, err
+		}
+		if !res.Ok() {
+			failures = append(failures, res)
+		}
+	}
+	return failures, nil
+}

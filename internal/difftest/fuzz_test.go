@@ -1,0 +1,134 @@
+package difftest
+
+// Native fuzz targets over the top-level pipeline. Run with
+//
+//	go test -run='^$' -fuzz=FuzzInferPatch ./internal/difftest
+//	go test -run='^$' -fuzz=FuzzDetectDifferential ./internal/difftest
+//
+// Seed corpora live in testdata/fuzz/<target>/ (regenerate with
+// `go run ./internal/difftest/gencorpus`).
+
+import (
+	"encoding/json"
+	"sort"
+	"sync"
+	"testing"
+
+	"seal"
+	"seal/internal/detect"
+	"seal/internal/infer"
+	"seal/internal/patch"
+	"seal/internal/randprog"
+	"seal/internal/spec"
+)
+
+// FuzzInferPatch feeds arbitrary (pre, post) source pairs through stages
+// ①–③: diffing, linking, PDG differentiation, spec abstraction, and
+// quantifier validation must never panic, and whatever database comes out
+// must survive a JSON round trip unchanged.
+func FuzzInferPatch(f *testing.F) {
+	for _, seed := range []int64{0, 1, 2, 7} {
+		c := randprog.GenPatchCase(seed)
+		for file := range c.Patch.Pre {
+			f.Add(c.Patch.Pre[file], c.Patch.Post[file])
+		}
+	}
+	f.Add("int f() { return 0; }\n", "int f() { return 1; }\n")
+	f.Add("", "int g(int *p) { return p[2]; }\n")
+	f.Fuzz(func(t *testing.T, pre, post string) {
+		if len(pre)+len(post) > 32<<10 {
+			t.Skip("oversized input")
+		}
+		p := &patch.Patch{ID: "fuzz", Pre: map[string]string{"a.c": pre}, Post: map[string]string{"a.c": post}}
+		a, err := p.Analyze()
+		if err != nil {
+			return // unparsable inputs are rejected, not crashed on
+		}
+		res := infer.InferPatch(a)
+		specs := detect.ValidateSpecs(a.PostProg, res.Specs)
+		db := &spec.DB{Specs: specs}
+		before := NormalizeDB(db)
+		data, err := json.Marshal(db)
+		if err != nil {
+			t.Fatalf("marshal inferred DB: %v", err)
+		}
+		var back spec.DB
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal inferred DB: %v", err)
+		}
+		if got := NormalizeDB(&back); got != before {
+			t.Fatalf("JSON round trip changed DB:\n%s\nvs\n%s", got, before)
+		}
+	})
+}
+
+// fuzzSpecs is a fixed specification set (inferred once from generated
+// cases of every mutation kind) that FuzzDetectDifferential checks
+// arbitrary parsed programs against.
+var (
+	fuzzSpecsOnce sync.Once
+	fuzzSpecs     []*spec.Spec
+	fuzzSpecsErr  error
+)
+
+func getFuzzSpecs() ([]*spec.Spec, error) {
+	fuzzSpecsOnce.Do(func() {
+		var dbs []*spec.DB
+		for _, seed := range []int64{0, 1, 2} { // one seed per mutation kind
+			c := randprog.GenPatchCase(seed)
+			res, err := seal.InferSpecs([]*patch.Patch{c.Patch}, seal.Options{Validate: true})
+			if err != nil {
+				fuzzSpecsErr = err
+				return
+			}
+			dbs = append(dbs, res.DB)
+		}
+		fuzzSpecs = seal.MergeSpecDBs(dbs...).Specs
+	})
+	return fuzzSpecs, fuzzSpecsErr
+}
+
+// FuzzDetectDifferential is the differential fuzz target: for any program
+// the frontend accepts, sequential detection and parallel detection (2 and
+// 4 workers) over a fixed spec database must agree byte-for-byte, and
+// repeated sequential runs must be deterministic.
+func FuzzDetectDifferential(f *testing.F) {
+	for _, seed := range []int64{0, 1, 2, 5} {
+		c := randprog.GenPatchCase(seed)
+		for _, name := range sortedKeys(c.Target) {
+			f.Add(c.Target[name])
+		}
+	}
+	f.Add("int lone() { return 0; }\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 32<<10 {
+			t.Skip("oversized input")
+		}
+		specs, err := getFuzzSpecs()
+		if err != nil {
+			t.Fatalf("building fuzz spec set: %v", err)
+		}
+		target, err := seal.LoadFiles(map[string]string{"fuzz.c": src})
+		if err != nil {
+			return
+		}
+		ref := NormalizeBugs(seal.Detect(target, specs))
+		if got := NormalizeBugs(seal.Detect(target, specs)); got != ref {
+			t.Fatalf("sequential detection nondeterministic:\n%s\nvs\n%s", got, ref)
+		}
+		for _, n := range []int{2, 4} {
+			if got := NormalizeBugs(seal.DetectParallel(target, specs, n)); got != ref {
+				t.Fatalf("workers=%d diverged:\n%s\nvs\n%s", n, got, ref)
+			}
+		}
+	})
+}
+
+func sortedKeys(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,101 @@
+// Command gencorpus regenerates the checked-in fuzz seed corpora under
+// internal/cir/testdata/fuzz and internal/difftest/testdata/fuzz. Run from
+// the repository root:
+//
+//	go run ./internal/difftest/gencorpus
+//
+// Corpus entries use the native `go test fuzz v1` encoding, one argument
+// per line, so `go test -fuzz=...` picks them up directly and a failing
+// input written by the fuzzer can be diffed against them.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"seal/internal/cir"
+	"seal/internal/randprog"
+)
+
+func writeEntry(dir, name string, args ...string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	content := "go test fuzz v1\n"
+	for _, a := range args {
+		content += "string(" + strconv.Quote(a) + ")\n"
+	}
+	return os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644)
+}
+
+func main() {
+	parseDir := filepath.Join("internal", "cir", "testdata", "fuzz", "FuzzParseFile")
+	inferDir := filepath.Join("internal", "difftest", "testdata", "fuzz", "FuzzInferPatch")
+	detectDir := filepath.Join("internal", "difftest", "testdata", "fuzz", "FuzzDetectDifferential")
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "gencorpus:", err)
+		os.Exit(1)
+	}
+
+	// Parser seeds: the running example, a random structured program, and
+	// one generated driver of each mutation kind.
+	if err := writeEntry(parseDir, "fig3", cir.Fig3Source); err != nil {
+		fail(err)
+	}
+	if err := writeEntry(parseDir, "randprog", randprog.Program(3, 3, randprog.Default())); err != nil {
+		fail(err)
+	}
+	for i, kind := range randprog.AllMutKinds {
+		c := randprog.GenPatchCase(int64(i)) // seed i yields kind i
+		for file, src := range c.Patch.Post {
+			_ = file
+			if err := writeEntry(parseDir, "case_"+string(kind), src); err != nil {
+				fail(err)
+			}
+		}
+	}
+
+	// Inference seeds: (pre, post) pairs of every mutation kind plus a
+	// no-op refactor pair.
+	for i := range randprog.AllMutKinds {
+		c := randprog.GenPatchCase(int64(i))
+		for file := range c.Patch.Pre {
+			if err := writeEntry(inferDir, "case_"+string(c.Kind), c.Patch.Pre[file], c.Patch.Post[file]); err != nil {
+				fail(err)
+			}
+		}
+	}
+	if err := writeEntry(inferDir, "noop",
+		"int f(int a) { return a + 1; }\n", "int f(int a) { return 1 + a; }\n"); err != nil {
+		fail(err)
+	}
+
+	// Detection seeds: one buggy sibling per mutation kind.
+	for i := range randprog.AllMutKinds {
+		c := randprog.GenPatchCase(int64(i))
+		for _, file := range sorted(c.Target) {
+			if err := writeEntry(detectDir, "target_"+string(c.Kind), c.Target[file]); err != nil {
+				fail(err)
+			}
+			break
+		}
+	}
+
+	fmt.Println("fuzz seed corpora regenerated")
+}
+
+func sorted(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

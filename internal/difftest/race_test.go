@@ -1,0 +1,101 @@
+package difftest
+
+import (
+	"sync"
+	"testing"
+
+	"seal"
+	"seal/internal/kernelgen"
+	"seal/internal/randprog"
+)
+
+// TestSharedProgramConcurrency hammers the shared read-only ir.Program
+// from every concurrent entry point at once: several DetectParallel runs
+// (each spawning 8 workers with private PDGs over the same program),
+// several sequential detectors, and parallel spec inference. The point is
+// the -race build in CI: any unsynchronized lazy initialization reachable
+// from the demand-driven PDG or the ir.Program accessors shows up here as
+// a data race, and any cross-worker state leak shows up as a result
+// divergence.
+func TestSharedProgramConcurrency(t *testing.T) {
+	corpus := kernelgen.Generate(kernelgen.DefaultConfig())
+	res, err := seal.InferSpecs(corpus.Patches, seal.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, err := seal.LoadFiles(corpus.Files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := NormalizeBugs(seal.Detect(target, res.DB.Specs))
+	wantDB := NormalizeDB(res.DB)
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 16)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if got := NormalizeBugs(seal.DetectParallel(target, res.DB.Specs, 8)); got != want {
+				errs <- "concurrent DetectParallel diverged from reference"
+			}
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if got := NormalizeBugs(seal.Detect(target, res.DB.Specs)); got != want {
+				errs <- "concurrent sequential Detect diverged from reference"
+			}
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r, err := seal.InferSpecs(corpus.Patches, seal.Options{Validate: true, Workers: 8})
+			if err != nil {
+				errs <- err.Error()
+				return
+			}
+			if got := NormalizeDB(r.DB); got != wantDB {
+				errs <- "concurrent InferSpecs{Workers:8} diverged from reference"
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}
+
+// TestGeneratedCasesConcurrent runs independent generated cases in
+// parallel goroutines — inference and detection of distinct cases must
+// never interfere (no hidden package-level state anywhere in the
+// pipeline, including the case generator itself).
+func TestGeneratedCasesConcurrent(t *testing.T) {
+	const n = 24
+	var wg sync.WaitGroup
+	failures := make(chan string, n)
+	for seed := int64(0); seed < n; seed++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			res, err := RunCase(randprog.GenPatchCase(seed))
+			if err != nil {
+				failures <- err.Error()
+				return
+			}
+			if !res.Ok() {
+				failures <- res.Report()
+			}
+		}(seed)
+	}
+	wg.Wait()
+	close(failures)
+	for f := range failures {
+		t.Error(f)
+	}
+}

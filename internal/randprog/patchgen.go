@@ -1,0 +1,297 @@
+package randprog
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"seal/internal/patch"
+)
+
+// This file grows randprog from a random-program generator into a random
+// *patch* generator for differential and metamorphic testing
+// (internal/difftest): every generated case is a (pre, post) source pair
+// whose post-patch version fixes a violation injected with full knowledge
+// of where it is — the case carries its own ground-truth oracle. The
+// shapes mirror the interface-misuse families the pipeline is specified
+// to handle (kernelgen families), but every identifier, every filler
+// statement, and the sibling population are drawn from the seed, so two
+// seeds never produce textually similar programs.
+
+// MutKind names the violation injected into the pre-patch side.
+type MutKind string
+
+// Mutation kinds.
+const (
+	// MutNullCheck removes the NULL guard after an allocation (NPD).
+	MutNullCheck MutKind = "nullcheck"
+	// MutErrCheck drops the propagation of a helper's error code (WrongEC).
+	MutErrCheck MutKind = "errcheck"
+	// MutOrder reorders a reference release before a later use (UAF).
+	MutOrder MutKind = "order"
+)
+
+// AllMutKinds lists every mutation in a fixed order.
+var AllMutKinds = []MutKind{MutNullCheck, MutErrCheck, MutOrder}
+
+// BugKind returns the detector label a violation of this kind manifests as.
+func (k MutKind) BugKind() string {
+	switch k {
+	case MutNullCheck:
+		return "NPD"
+	case MutErrCheck:
+		return "WrongEC"
+	case MutOrder:
+		return "UAF"
+	}
+	return "?"
+}
+
+// PatchCase is one generated differential-testing case.
+type PatchCase struct {
+	Seed int64
+	Kind MutKind
+	// Patch is the security patch (pre = buggy, post = fixed).
+	Patch *patch.Patch
+	// Target is the sibling tree to detect in (file -> source). It holds
+	// the patched driver's fixed version plus sibling implementations of
+	// the same interface.
+	Target map[string]string
+	// BuggyFuncs are sibling implementations violating the injected rule
+	// (ground truth: detection must flag each of them).
+	BuggyFuncs []string
+	// CorrectFuncs are rule-abiding siblings (ground truth: detection must
+	// not flag them).
+	CorrectFuncs []string
+}
+
+// caseNamePool keeps generated identifiers kernel-flavoured without
+// colliding with kernelgen's namePool-based corpora (distinct prefixes).
+var caseNamePool = []string{
+	"vx55", "qm31", "rk809", "ad74", "mc33", "tps65", "wm89", "da903",
+	"lp873", "bd718", "max77", "pcf857", "sy7636", "rt49", "mt63",
+}
+
+// GenPatchCase deterministically builds the case for a seed. The mutation
+// kind cycles through AllMutKinds with the seed so a contiguous seed range
+// covers every kind evenly.
+func GenPatchCase(seed int64) *PatchCase {
+	if seed < 0 {
+		seed = -seed
+	}
+	rng := rand.New(rand.NewSource(seed ^ 0x5ea1))
+	kind := AllMutKinds[int(seed)%len(AllMutKinds)]
+	sub := fmt.Sprintf("dt%d%s", seed, caseNamePool[rng.Intn(len(caseNamePool))][:2])
+
+	c := &PatchCase{
+		Seed:   seed,
+		Kind:   kind,
+		Target: make(map[string]string),
+	}
+
+	drvAt := func(i int) string {
+		return fmt.Sprintf("%s_%s", sub, caseNamePool[(int(seed)*5+i*3)%len(caseNamePool)])
+	}
+
+	// The patched driver: pre is buggy, post is fixed; the tree holds the
+	// fixed version. Filler is drawn once per driver so it is identical on
+	// both sides — the diff is exactly the injected mutation.
+	next := 0
+	newDriver := func(buggy bool) (name, file, src string, f filler) {
+		name = drvAt(next)
+		next++
+		f = newFiller(rng)
+		file = fmt.Sprintf("drivers/difftest/%s/%s.c", sub, name)
+		src = renderWith(kind, sub, name, buggy, f)
+		return name, file, src, f
+	}
+
+	pdName, pdFile, pdPost, pdFill := newDriver(false)
+	pdPre := renderWith(kind, sub, pdName, true, pdFill)
+	c.Target[pdFile] = pdPost
+	c.Patch = &patch.Patch{
+		ID:          fmt.Sprintf("fix-%s-%s", kind, pdName),
+		Description: fmt.Sprintf("difftest: fix injected %s in %s", kind.BugKind(), pdName),
+		Pre:         map[string]string{pdFile: pdPre},
+		Post:        map[string]string{pdFile: pdPost},
+		Tags:        map[string]string{"kind": string(kind), "bug": kind.BugKind()},
+	}
+
+	// Sibling population: 1–2 buggy, 1–2 correct, each with its own filler.
+	for i, nb := 0, 1+rng.Intn(2); i < nb; i++ {
+		name, file, src, _ := newDriver(true)
+		c.Target[file] = src
+		c.BuggyFuncs = append(c.BuggyFuncs, entryFunc(kind, name))
+	}
+	for i, nc := 0, 1+rng.Intn(2); i < nc; i++ {
+		name, file, src, _ := newDriver(false)
+		c.Target[file] = src
+		c.CorrectFuncs = append(c.CorrectFuncs, entryFunc(kind, name))
+	}
+	// The patched driver itself is fixed in the tree: rule-abiding.
+	c.CorrectFuncs = append(c.CorrectFuncs, entryFunc(kind, pdName))
+	return c
+}
+
+// entryFunc returns the interface implementation's name for a driver.
+func entryFunc(kind MutKind, drv string) string {
+	switch kind {
+	case MutNullCheck:
+		return drv + "_prepare"
+	case MutErrCheck:
+		return drv + "_setup"
+	case MutOrder:
+		return drv + "_remove"
+	}
+	return drv
+}
+
+// filler is a set of semantics-preserving decorations drawn once per
+// driver: both sides of a patch share the same filler, siblings differ in
+// theirs. Decorations are chosen so they never interact with the injected
+// rule's value flow (they touch only their own locals and benign fields).
+type filler struct {
+	prelude string // optional guard / locals at function entry
+	debug   string // optional pr_debug level call
+	tail    string // optional arithmetic on a scratch local before return
+}
+
+func newFiller(rng *rand.Rand) filler {
+	f := filler{}
+	if rng.Intn(2) == 0 {
+		f.prelude = fmt.Sprintf("\tint scratch = %d;\n\tscratch = scratch * %d;\n",
+			rng.Intn(50), 2+rng.Intn(5))
+	}
+	if rng.Intn(2) == 0 {
+		f.debug = fmt.Sprintf("\tpr_debug(%d);\n", 1+rng.Intn(7))
+	}
+	if rng.Intn(3) == 0 {
+		f.tail = fmt.Sprintf("\tint late = %d + %d;\n\tpr_debug(late);\n",
+			rng.Intn(9), rng.Intn(9))
+	}
+	return f
+}
+
+// renderWith renders one driver variant with the given decorations.
+func renderWith(kind MutKind, sub, drv string, buggy bool, f filler) string {
+	switch kind {
+	case MutNullCheck:
+		return renderNullCheck(sub, drv, buggy, f)
+	case MutErrCheck:
+		return renderErrCheck(sub, drv, buggy, f)
+	case MutOrder:
+		return renderOrder(sub, drv, buggy, f)
+	}
+	return ""
+}
+
+// renderNullCheck: an ops-struct interface whose implementation allocates
+// through the subsystem API and dereferences the result. Correct versions
+// guard the dereference with a NULL check; buggy versions dereference
+// unconditionally. The patch yields a PΨ spec
+// (forbidden ret[alloc] ↪ deref under ret == 0).
+func renderNullCheck(sub, drv string, buggy bool, f filler) string {
+	guard := "\tif (slot->mem == NULL)\n\t\treturn -ENOMEM;\n"
+	if buggy {
+		guard = ""
+	}
+	return `struct ` + sub + `_slot {
+	int *mem;
+	int size;
+	int state;
+};
+struct ` + sub + `_ops {
+	int (*prepare)(struct ` + sub + `_slot *slot);
+};
+int *` + sub + `_alloc_mem(int size);
+void pr_debug(int level);
+int ` + drv + `_prepare(struct ` + sub + `_slot *slot) {
+` + f.prelude + f.debug + `	slot->mem = ` + sub + `_alloc_mem(slot->size);
+` + guard + `	slot->mem[0] = 5;
+	slot->state = 1;
+` + f.tail + `	return 0;
+}
+struct ` + sub + `_ops ` + drv + `_ops = {
+	.prepare = ` + drv + `_prepare,
+};
+`
+}
+
+// renderErrCheck: a local helper returns -ENOMEM when the subsystem
+// allocation fails; the interface implementation must propagate that
+// return value. Buggy versions ignore it and return 0. The patch yields a
+// required lit[-ENOMEM] ↪ ret[iface] spec (P+).
+func renderErrCheck(sub, drv string, buggy bool, f filler) string {
+	call := "\treturn " + drv + "_core_init(&dev->core);"
+	if buggy {
+		call = "\t" + drv + "_core_init(&dev->core);\n\treturn 0;"
+	}
+	return `struct ` + sub + `_core {
+	int *regs;
+	int size;
+};
+struct ` + sub + `_dev {
+	struct ` + sub + `_core core;
+	int state;
+};
+struct ` + sub + `_dops {
+	int (*setup)(struct ` + sub + `_dev *dev);
+};
+int *` + sub + `_map_regs(int size);
+void pr_debug(int level);
+int ` + drv + `_core_init(struct ` + sub + `_core *core) {
+	core->regs = ` + sub + `_map_regs(core->size);
+	if (core->regs == NULL)
+		return -ENOMEM;
+	return 0;
+}
+int ` + drv + `_setup(struct ` + sub + `_dev *dev) {
+` + f.prelude + f.debug + call + `
+}
+struct ` + sub + `_dops ` + drv + `_dops = {
+	.setup = ` + drv + `_setup,
+};
+`
+}
+
+// renderOrder: teardown must release the device reference only after its
+// fields are no longer used. Buggy versions put the reference first and
+// touch the device afterwards. The patch yields a PΩ order spec
+// (forbidden use after arg0[put_ref]).
+func renderOrder(sub, drv string, buggy bool, f filler) string {
+	body := "\t" + sub + "_id_release(&" + drv + "_ids, card->dev.devt);\n" +
+		"\t" + sub + "_put_ref(&card->dev);"
+	if buggy {
+		body = "\t" + sub + "_put_ref(&card->dev);\n" +
+			"\t" + sub + "_id_release(&" + drv + "_ids, card->dev.devt);"
+	}
+	return `struct ` + sub + `_refdev { int devt; int count; };
+struct ` + sub + `_card { struct ` + sub + `_refdev dev; };
+struct ` + sub + `_idtab { int bits; };
+struct ` + sub + `_cdrv {
+	int (*remove)(struct ` + sub + `_card *card);
+};
+void ` + sub + `_put_ref(struct ` + sub + `_refdev *dev);
+void ` + sub + `_id_release(struct ` + sub + `_idtab *tab, int id);
+void pr_debug(int level);
+struct ` + sub + `_idtab ` + drv + `_ids;
+int ` + drv + `_remove(struct ` + sub + `_card *card) {
+` + f.prelude + f.debug + body + `
+` + f.tail + `	return 0;
+}
+struct ` + sub + `_cdrv ` + drv + `_cdrv = {
+	.remove = ` + drv + `_remove,
+};
+`
+}
+
+// SourceDigest is a cheap structural fingerprint of a case (used by tests
+// to assert that distinct seeds yield distinct programs).
+func (c *PatchCase) SourceDigest() string {
+	var sb strings.Builder
+	sb.WriteString(string(c.Kind))
+	for _, src := range c.Target {
+		fmt.Fprintf(&sb, "|%d", len(src))
+	}
+	return sb.String()
+}

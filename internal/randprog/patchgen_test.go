@@ -1,0 +1,109 @@
+package randprog
+
+import (
+	"strings"
+	"testing"
+
+	"seal/internal/cir"
+	"seal/internal/ir"
+)
+
+// TestPatchCasesParse: both sides of every generated patch and every
+// target file are valid kernel-C and lower into linked programs.
+func TestPatchCasesParse(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		c := GenPatchCase(seed)
+		for name, variants := range map[string]map[string]string{
+			"pre": c.Patch.Pre, "post": c.Patch.Post, "target": c.Target,
+		} {
+			var files []*cir.File
+			for fname, src := range variants {
+				f, err := cir.ParseFile(fname, src)
+				if err != nil {
+					t.Fatalf("seed %d %s %s: %v\n%s", seed, name, fname, err, src)
+				}
+				files = append(files, f)
+			}
+			if _, err := ir.NewProgram(files...); err != nil {
+				t.Fatalf("seed %d %s: lowering failed: %v", seed, name, err)
+			}
+		}
+	}
+}
+
+// TestPatchCaseShape: the structural contract every case upholds —
+// a nonempty diff, ground truth on both sides, and the buggy siblings
+// actually containing the violation while correct ones do not.
+func TestPatchCaseShape(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		c := GenPatchCase(seed)
+		if len(c.BuggyFuncs) == 0 || len(c.CorrectFuncs) == 0 {
+			t.Fatalf("seed %d: ground truth missing (%d buggy, %d correct)",
+				seed, len(c.BuggyFuncs), len(c.CorrectFuncs))
+		}
+		if len(c.Target) != len(c.BuggyFuncs)+len(c.CorrectFuncs) {
+			t.Fatalf("seed %d: %d target files for %d+%d ground-truth funcs",
+				seed, len(c.Target), len(c.BuggyFuncs), len(c.CorrectFuncs))
+		}
+		for f, pre := range c.Patch.Pre {
+			if pre == c.Patch.Post[f] {
+				t.Fatalf("seed %d: patch file %s unchanged", seed, f)
+			}
+		}
+		// The marker that distinguishes buggy from correct variants must
+		// be present/absent as claimed.
+		for file, src := range c.Target {
+			var fn string
+			buggy := false
+			for _, bf := range c.BuggyFuncs {
+				if strings.Contains(src, "int "+bf+"(") {
+					fn, buggy = bf, true
+				}
+			}
+			for _, cf := range c.CorrectFuncs {
+				if strings.Contains(src, "int "+cf+"(") {
+					fn = cf
+				}
+			}
+			if fn == "" {
+				t.Fatalf("seed %d %s: no ground-truth function in file", seed, file)
+			}
+			switch c.Kind {
+			case MutNullCheck:
+				if has := strings.Contains(src, "== NULL"); has == buggy {
+					t.Fatalf("seed %d %s: NULL guard presence %v contradicts buggy=%v", seed, file, has, buggy)
+				}
+			case MutErrCheck:
+				drv := strings.TrimSuffix(fn, "_setup")
+				if has := strings.Contains(src, "return "+drv+"_core_init"); has == buggy {
+					t.Fatalf("seed %d %s: error propagation presence %v contradicts buggy=%v", seed, file, has, buggy)
+				}
+			case MutOrder:
+				put := strings.Index(src, "_put_ref(&card->dev)")
+				use := strings.Index(src, "_id_release(&")
+				if put < 0 || use < 0 {
+					t.Fatalf("seed %d %s: order-case calls missing", seed, file)
+				}
+				if (put < use) != buggy {
+					t.Fatalf("seed %d %s: call order contradicts buggy=%v", seed, file, buggy)
+				}
+			}
+		}
+	}
+}
+
+// TestMutKindCoverage: contiguous seeds cycle through every mutation kind.
+func TestMutKindCoverage(t *testing.T) {
+	seen := make(map[MutKind]bool)
+	for seed := int64(0); seed < int64(len(AllMutKinds)); seed++ {
+		seen[GenPatchCase(seed).Kind] = true
+	}
+	for _, k := range AllMutKinds {
+		if !seen[k] {
+			t.Errorf("kind %s not covered by the first %d seeds", k, len(AllMutKinds))
+		}
+	}
+	if GenPatchCase(-5).Seed != 5 {
+		t.Error("negative seeds should fold to their absolute value")
+	}
+}

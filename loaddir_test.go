@@ -1,0 +1,149 @@
+package seal
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const loadDirSrcA = `
+int helper_a(int x) {
+	return x + 1;
+}
+`
+
+const loadDirSrcB = `
+int helper_b(int x) {
+	return x * 2;
+}
+`
+
+// TestLoadDirTable pins the corpus-walking contract: recursion into nested
+// directories, .c-suffix filtering (including directories that happen to be
+// named *.c), and the error paths for empty trees and unreadable files.
+func TestLoadDirTable(t *testing.T) {
+	tests := []struct {
+		name      string
+		setup     func(t *testing.T, root string)
+		wantFiles []string // relative paths expected in Target.Files
+		wantErr   string   // substring of expected error ("" = success)
+	}{
+		{
+			name: "flat dir",
+			setup: func(t *testing.T, root string) {
+				writeFile(t, root, "a.c", loadDirSrcA)
+				writeFile(t, root, "b.c", loadDirSrcB)
+			},
+			wantFiles: []string{"a.c", "b.c"},
+		},
+		{
+			name: "nested dirs walked recursively",
+			setup: func(t *testing.T, root string) {
+				writeFile(t, root, "drivers/net/a.c", loadDirSrcA)
+				writeFile(t, root, "drivers/usb/deep/b.c", loadDirSrcB)
+			},
+			wantFiles: []string{"drivers/net/a.c", "drivers/usb/deep/b.c"},
+		},
+		{
+			name: "non-c files skipped",
+			setup: func(t *testing.T, root string) {
+				writeFile(t, root, "a.c", loadDirSrcA)
+				writeFile(t, root, "README.md", "# not C\n")
+				writeFile(t, root, "a.h", "int helper_a(int x);\n")
+				writeFile(t, root, "Makefile", "obj-y += a.o\n")
+			},
+			wantFiles: []string{"a.c"},
+		},
+		{
+			name: "directory named like a source file skipped",
+			setup: func(t *testing.T, root string) {
+				writeFile(t, root, "a.c", loadDirSrcA)
+				if err := os.MkdirAll(filepath.Join(root, "weird.c"), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				writeFile(t, root, "weird.c/inner.c", loadDirSrcB)
+			},
+			wantFiles: []string{"a.c", "weird.c/inner.c"},
+		},
+		{
+			name:    "empty tree is an error",
+			setup:   func(t *testing.T, root string) {},
+			wantErr: "no .c files",
+		},
+		{
+			name: "only non-c files is an error",
+			setup: func(t *testing.T, root string) {
+				writeFile(t, root, "notes.txt", "nothing to parse\n")
+			},
+			wantErr: "no .c files",
+		},
+		{
+			name: "unreadable file surfaces the error",
+			setup: func(t *testing.T, root string) {
+				// A dangling symlink with a .c name: Walk lists it but
+				// ReadFile fails. (chmod tricks don't work when the test
+				// runs as root.)
+				if err := os.Symlink(filepath.Join(root, "missing-target.c"), filepath.Join(root, "bad.c")); err != nil {
+					t.Skipf("symlinks unavailable: %v", err)
+				}
+			},
+			wantErr: "bad.c",
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			root := t.TempDir()
+			tc.setup(t, root)
+			target, err := LoadDir(root)
+			if tc.wantErr != "" {
+				if err == nil {
+					t.Fatalf("expected error containing %q, got nil", tc.wantErr)
+				}
+				if !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(target.Files) != len(tc.wantFiles) {
+				t.Fatalf("loaded %d files, want %d: %v", len(target.Files), len(tc.wantFiles), fileNames(target))
+			}
+			for _, f := range tc.wantFiles {
+				if _, ok := target.Files[f]; !ok {
+					t.Errorf("file %s missing from target (have %v)", f, fileNames(target))
+				}
+			}
+			if target.Prog == nil || len(target.Prog.FuncList) == 0 {
+				t.Error("target program is empty")
+			}
+		})
+	}
+
+	t.Run("nonexistent root is an error", func(t *testing.T) {
+		if _, err := LoadDir(filepath.Join(t.TempDir(), "does-not-exist")); err == nil {
+			t.Fatal("expected error for nonexistent root")
+		}
+	})
+}
+
+func writeFile(t *testing.T, root, rel, content string) {
+	t.Helper()
+	path := filepath.Join(root, rel)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func fileNames(target *Target) []string {
+	var out []string
+	for f := range target.Files {
+		out = append(out, f)
+	}
+	return out
+}

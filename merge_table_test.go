@@ -1,0 +1,83 @@
+package seal
+
+import (
+	"testing"
+
+	"seal/internal/spec"
+)
+
+// mkSpec builds a minimal spec whose Key is determined by (iface, api):
+// specs with equal scope and constraint collide under dedup regardless of
+// ID/provenance.
+func mkSpec(id, iface, api, originPatch string) *Spec {
+	return &Spec{
+		ID:    id,
+		Iface: iface,
+		API:   api,
+		Constraint: spec.Constraint{
+			Forbidden: true,
+			Rel: spec.Relation{
+				Kind: spec.RelReach,
+				V:    spec.Value{Kind: spec.VAPIRet, API: api},
+				U:    spec.Use{Kind: spec.UDeref},
+			},
+		},
+		Origin:      spec.OriginCondition,
+		OriginPatch: originPatch,
+	}
+}
+
+// TestMergeSpecDBsTable pins the merge contract: duplicates collapse by
+// constraint identity, the first-seen spec wins (provenance included), nil
+// and empty databases are absorbed, and input order is preserved.
+func TestMergeSpecDBsTable(t *testing.T) {
+	a1 := mkSpec("a/S0", "ops.prepare", "alloc", "patch-a")
+	a2 := mkSpec("a/S1", "ops.remove", "put", "patch-a")
+	b1 := mkSpec("b/S0", "ops.prepare", "alloc", "patch-b") // duplicates a1's key
+	b2 := mkSpec("b/S1", "ops.setup", "map", "patch-b")
+
+	tests := []struct {
+		name string
+		dbs  []*SpecDB
+		want []string // expected spec IDs, in order
+	}{
+		{"no inputs", nil, nil},
+		{"single nil", []*SpecDB{nil}, nil},
+		{"empty dbs", []*SpecDB{{}, {}}, nil},
+		{"disjoint union keeps order", []*SpecDB{{Specs: []*Spec{a1}}, {Specs: []*Spec{b2}}},
+			[]string{"a/S0", "b/S1"}},
+		{"duplicate collapses to first-seen", []*SpecDB{{Specs: []*Spec{a1, a2}}, {Specs: []*Spec{b1, b2}}},
+			[]string{"a/S0", "a/S1", "b/S1"}},
+		{"reversed input flips the winner", []*SpecDB{{Specs: []*Spec{b1, b2}}, {Specs: []*Spec{a1, a2}}},
+			[]string{"b/S0", "b/S1", "a/S1"}},
+		{"nil interleaved", []*SpecDB{nil, {Specs: []*Spec{a1}}, nil, {Specs: []*Spec{b1}}},
+			[]string{"a/S0"}},
+		{"self merge is idempotent", []*SpecDB{{Specs: []*Spec{a1, a2}}, {Specs: []*Spec{a1, a2}}},
+			[]string{"a/S0", "a/S1"}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got := MergeSpecDBs(tc.dbs...)
+			if len(got.Specs) != len(tc.want) {
+				t.Fatalf("got %d specs, want %d", len(got.Specs), len(tc.want))
+			}
+			for i, id := range tc.want {
+				if got.Specs[i].ID != id {
+					t.Errorf("spec %d: got ID %s, want %s", i, got.Specs[i].ID, id)
+				}
+			}
+		})
+	}
+
+	// Provenance: the surviving duplicate carries the first-seen patch.
+	merged := MergeSpecDBs(&SpecDB{Specs: []*Spec{a1}}, &SpecDB{Specs: []*Spec{b1}})
+	if len(merged.Specs) != 1 || merged.Specs[0].OriginPatch != "patch-a" {
+		t.Fatalf("provenance not first-seen: %+v", merged.Specs[0])
+	}
+	// Merging never mutates its inputs.
+	in := &SpecDB{Specs: []*Spec{a1, b1}}
+	MergeSpecDBs(in, in)
+	if len(in.Specs) != 2 {
+		t.Fatalf("input DB mutated by merge: %d specs", len(in.Specs))
+	}
+}
