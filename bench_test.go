@@ -11,8 +11,10 @@ package seal
 // log doubles as the experiment record (see EXPERIMENTS.md).
 
 import (
+	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"seal/internal/cir"
 	"seal/internal/detect"
@@ -22,6 +24,7 @@ import (
 	"seal/internal/kernelgen"
 	"seal/internal/patch"
 	"seal/internal/pdg"
+	"seal/internal/vfp"
 )
 
 var (
@@ -193,6 +196,101 @@ func BenchmarkRQ4_Detection(b *testing.B) {
 		bugs := d.Detect(r.Specs)
 		if len(bugs) == 0 {
 			b.Fatal("no reports")
+		}
+	}
+}
+
+// BenchmarkDetectScaling measures stage-④ detection over the eval corpus
+// at 1/2/4/8 workers sharing one analysis substrate per iteration: one
+// PDG, one program index, one path cache. It reports wall-clock speedup
+// relative to the 1-worker run plus the substrate counters (how many PDGs
+// were built and the path-cache hit rate), which is what distinguishes
+// "cost scales with the program" from "cost scales with workers × specs".
+// The final private-substrates-4 case replays the pre-substrate scheme —
+// four workers each building a private PDG over round-robin-partitioned
+// specs — and reports its cost relative to the shared 4-worker run; that
+// ratio holds even on a single-core host, where it is pure work reduction.
+func BenchmarkDetectScaling(b *testing.B) {
+	r := getBenchRun(b)
+	var baseline, shared4 float64 // ns/op at workers=1 and workers=4
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", w), func(b *testing.B) {
+			var st detect.Stats
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				sh := detect.NewShared(r.Prog)
+				if bugs := sh.DetectParallel(r.Specs, w); len(bugs) == 0 {
+					b.Fatal("no reports")
+				}
+				st = sh.Stats()
+			}
+			elapsed := float64(time.Since(start).Nanoseconds()) / float64(b.N)
+			switch w {
+			case 1:
+				baseline = elapsed
+			case 4:
+				shared4 = elapsed
+			}
+			if baseline > 0 {
+				b.ReportMetric(baseline/elapsed, "speedup-x")
+			}
+			b.ReportMetric(st.PathHitRate()*100, "path-cache-hit-%")
+			b.ReportMetric(float64(st.EnsureBuilds), "pdg-builds")
+			b.ReportMetric(float64(st.IndexLookups), "index-lookups")
+		})
+	}
+	b.Run("private-substrates-4", func(b *testing.B) {
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			var wg sync.WaitGroup
+			for w := 0; w < 4; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					d := detect.New(r.Prog)
+					for si := w; si < len(r.Specs); si += 4 {
+						d.DetectSpec(r.Specs[si])
+					}
+				}(w)
+			}
+			wg.Wait()
+		}
+		elapsed := float64(time.Since(start).Nanoseconds()) / float64(b.N)
+		if shared4 > 0 {
+			b.ReportMetric(elapsed/shared4, "cost-vs-shared-x")
+		}
+	})
+}
+
+// BenchmarkPathSignature measures Path.Signature on a realistic path set.
+// The normalized statement spelling is memoized per statement and the
+// signature per path, so steady-state calls must be allocation-free —
+// verify with -benchmem.
+func BenchmarkPathSignature(b *testing.B) {
+	r := getBenchRun(b)
+	g := pdg.New(r.Prog)
+	sl := vfp.NewSlicer(g)
+	var paths []*vfp.Path
+	for _, fn := range r.Prog.FuncList {
+		for _, s := range fn.Entry.Stmts {
+			if s.IsParamDef() {
+				paths = append(paths, sl.PathsFrom(s)...)
+			}
+		}
+		if len(paths) >= 256 {
+			break
+		}
+	}
+	if len(paths) == 0 {
+		b.Fatal("no paths")
+	}
+	b.ReportMetric(float64(len(paths)), "paths")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range paths {
+			if p.Signature() == "" {
+				b.Fatal("empty signature")
+			}
 		}
 	}
 }

@@ -94,4 +94,15 @@ func TestCLIGolden(t *testing.T) {
 		return cmdDetect([]string{"-target", filepath.Join(corpusDir, "tree"), "-specs", specFile, "-report"})
 	})
 	checkGolden(t, "detect_report", sanitize(reportOut))
+
+	// Parallel detection must be byte-identical to the sequential golden:
+	// region-grouped scheduling over the shared substrate may not change a
+	// single character of the report.
+	parallelOut := captureStdout(t, func() error {
+		return cmdDetect([]string{"-target", filepath.Join(corpusDir, "tree"), "-specs", specFile, "-workers", "4"})
+	})
+	if sanitize(parallelOut) != sanitize(detectOut) {
+		t.Errorf("detect -workers 4 output differs from sequential output.\nparallel:\n%s\nsequential:\n%s",
+			sanitize(parallelOut), sanitize(detectOut))
+	}
 }

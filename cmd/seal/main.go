@@ -17,6 +17,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 
 	"seal"
@@ -199,10 +201,19 @@ func cmdDetect(args []string) error {
 	target := fs.String("target", "", "source tree to analyze (required)")
 	specFile := fs.String("specs", "", "spec database from `seal infer` (required)")
 	full := fs.Bool("report", false, "print full bug reports (paths, specs, origins)")
+	workers := fs.Int("workers", 1, "concurrent detection workers over one shared substrate (output is identical to -workers 1)")
+	stats := fs.Bool("stats", false, "print shared-substrate counters (PDG builds, path-cache hit rate) to stderr")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	fs.Parse(args)
 	if *target == "" || *specFile == "" {
 		return fmt.Errorf("detect: -target and -specs are required")
 	}
+	stop, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		return err
+	}
+	defer stop()
 	t, err := seal.LoadDir(*target)
 	if err != nil {
 		return err
@@ -215,7 +226,12 @@ func cmdDetect(args []string) error {
 	if err := json.Unmarshal(data, &db); err != nil {
 		return err
 	}
-	bugs := seal.Detect(t, db.Specs)
+	bugs, st := seal.DetectParallelStats(t, db.Specs, *workers)
+	if *stats {
+		fmt.Fprintf(os.Stderr, "substrate: pdg builds=%d/%d calls, path cache hits=%d misses=%d (%.1f%%), index lookups=%d\n",
+			st.EnsureBuilds, st.EnsureCalls, st.PathCacheHits, st.PathCacheMisses,
+			100*st.PathHitRate(), st.IndexLookups)
+	}
 	if *full {
 		fmt.Print(report.RenderAll(bugs, map[string]*patch.Patch{}))
 		return nil
@@ -226,6 +242,41 @@ func cmdDetect(args []string) error {
 	sum := report.Summarize(bugs)
 	fmt.Printf("---\n%d reports over %d specs\n", sum.Total, len(db.Specs))
 	return nil
+}
+
+// startProfiles starts CPU profiling and arranges a heap profile dump; the
+// returned stop function finishes both.
+func startProfiles(cpuFile, memFile string) (func(), error) {
+	var cpuOut *os.File
+	if cpuFile != "" {
+		f, err := os.Create(cpuFile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuOut = f
+	}
+	return func() {
+		if cpuOut != nil {
+			pprof.StopCPUProfile()
+			cpuOut.Close()
+		}
+		if memFile != "" {
+			f, err := os.Create(memFile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "seal: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "seal: memprofile:", err)
+			}
+		}
+	}, nil
 }
 
 func cmdEval(args []string) error {

@@ -53,7 +53,19 @@ func Analyze(fn *ir.Func) *Info {
 	in.computePostDom()
 	in.computeControlDeps()
 	in.computeReach()
+	in.computeTransDeps()
 	return in
+}
+
+// computeTransDeps fills the transitive control-dependence cache for every
+// block, in block order, so that an Info is immutable once Analyze returns
+// and StmtDeps is a pure read (safe for concurrent detectors sharing one
+// PDG).
+func (in *Info) computeTransDeps() {
+	in.transDeps = make(map[*ir.Block][]CtrlDep, len(in.Fn.Blocks))
+	for _, b := range in.Fn.Blocks {
+		in.transitiveDeps(b, make(map[*ir.Block]bool))
+	}
 }
 
 // markBackEdges records loop back edges via DFS. Back-edge facts live in
@@ -268,10 +280,7 @@ func (in *Info) computeReach() {
 // branch edge that governs its execution. Path conditions Ψ are the
 // conjunction of these edges' conditions (quasi-path-sensitivity, Def. 6.2).
 func (in *Info) StmtDeps(s *ir.Stmt) []CtrlDep {
-	if in.transDeps == nil {
-		in.transDeps = make(map[*ir.Block][]CtrlDep)
-	}
-	return in.transitiveDeps(s.Blk, make(map[*ir.Block]bool))
+	return in.transDeps[s.Blk]
 }
 
 func (in *Info) transitiveDeps(b *ir.Block, onPath map[*ir.Block]bool) []CtrlDep {

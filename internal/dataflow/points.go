@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"seal/internal/cir"
 	"seal/internal/ir"
@@ -109,6 +110,15 @@ type PointsTo struct {
 	pts map[string]CellSet
 	// cellIndex remembers every cell seen per object for AnyOff expansion.
 	cellIndex map[int]map[int]bool
+
+	// frozen flips after solve: every map above becomes read-only so the
+	// solution can be queried from many goroutines at once. Variables not
+	// prepopulated before the freeze (only synthetic query-time vars) get
+	// objects from lateVarObj under mu.
+	frozen     bool
+	mu         sync.Mutex
+	lateVarObj map[*ir.Var]*Object
+	lateNextID int
 }
 
 // AllocAPIs lists default pointer-returning allocation APIs; any external
@@ -131,7 +141,31 @@ func Analyze(prog *ir.Program) *PointsTo {
 	}
 	pt.seed()
 	pt.solve()
+	pt.freeze()
 	return pt
+}
+
+// freeze prepopulates the storage object of every program variable and
+// switches the solution to read-only mode. After the freeze, queries
+// (MayAlias, CellsOf, PointeeString) never mutate shared maps, so one
+// PointsTo can back any number of concurrent PDG builds. Post-solve object
+// creation would only ever install empty points-to sets, so skipping the
+// inserts leaves query results unchanged.
+func (pt *PointsTo) freeze() {
+	for _, g := range pt.prog.GlobalVars {
+		pt.objOfVar(g)
+	}
+	for _, fn := range pt.prog.FuncList {
+		for _, v := range fn.Params {
+			pt.objOfVar(v)
+		}
+		for _, v := range fn.Locals {
+			pt.objOfVar(v)
+		}
+	}
+	pt.lateVarObj = make(map[*ir.Var]*Object)
+	pt.lateNextID = pt.nextID
+	pt.frozen = true
 }
 
 func (pt *PointsTo) newObject(kind ObjKind, name string) *Object {
@@ -148,6 +182,20 @@ func (pt *PointsTo) objOfVar(v *ir.Var) *Object {
 	prefix := ""
 	if v.Fn != nil {
 		prefix = v.Fn.Name + "."
+	}
+	if pt.frozen {
+		// Only synthetic query-time variables (never part of the program)
+		// miss the prepopulated map; they have no points-to facts, so the
+		// object just provides identity for the duration of the query.
+		pt.mu.Lock()
+		defer pt.mu.Unlock()
+		if o, ok := pt.lateVarObj[v]; ok {
+			return o
+		}
+		o := &Object{ID: pt.lateNextID, Kind: ObjVar, Var: v, Name: prefix + v.Name}
+		pt.lateNextID++
+		pt.lateVarObj[v] = o
+		return o
 	}
 	o := pt.newObject(ObjVar, prefix+v.Name)
 	o.Var = v
@@ -185,6 +233,12 @@ func (pt *PointsTo) get(c Cell) CellSet {
 	if s, ok := pt.pts[k]; ok {
 		return s
 	}
+	if pt.frozen {
+		// Read-only mode: a missing cell has an empty points-to set, and
+		// callers on the query paths only read the result. A nil CellSet
+		// ranges and lookups as empty.
+		return nil
+	}
 	s := make(CellSet)
 	pt.pts[k] = s
 	pt.noteCell(c)
@@ -192,6 +246,9 @@ func (pt *PointsTo) get(c Cell) CellSet {
 }
 
 func (pt *PointsTo) noteCell(c Cell) {
+	if pt.frozen {
+		return
+	}
 	m := pt.cellIndex[c.Obj.ID]
 	if m == nil {
 		m = make(map[int]bool)

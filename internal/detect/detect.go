@@ -11,7 +11,6 @@ import (
 	"sort"
 	"strings"
 
-	"seal/internal/cir"
 	"seal/internal/infer"
 	"seal/internal/ir"
 	"seal/internal/pdg"
@@ -47,19 +46,23 @@ func (b *Bug) String() string {
 	return fmt.Sprintf("%s in %s (%s): %s", b.Kind, b.Fn.Name, b.Fn.File, b.Message)
 }
 
-// Detector checks specifications against a target program.
+// defaultMaxCalleeDepth bounds the callee closure of a detection region.
+const defaultMaxCalleeDepth = 3
+
+// Detector checks specifications against a target program. A Detector is
+// a lightweight worker view over a Shared substrate: any number of
+// Detectors may run concurrently over one Shared, but a single Detector is
+// not itself safe for concurrent use (it carries per-region scratch
+// state — the slicer and abstracter scopes).
 type Detector struct {
 	G  *pdg.Graph
+	sh *Shared
 	sl *vfp.Slicer
 	ab *infer.Abstracter
 
-	// pathCache memoizes PathsFrom per source statement — the summary
-	// reuse of paper §6.4.1 ("memorization strategies to cache
-	// value-flow paths as summaries").
-	pathCache map[*ir.Stmt][]*vfp.Path
 	// MaxCalleeDepth bounds the callee closure of a detection region.
 	MaxCalleeDepth int
-	// DisableMemo turns off the path cache (ablation benchmark).
+	// DisableMemo turns off the shared path cache (ablation benchmark).
 	DisableMemo bool
 	// GlobalRegions widens detection to every function rather than the
 	// interface/API scope (ablation; the paper argues scoping is needed
@@ -71,27 +74,15 @@ type Detector struct {
 	IgnoreConditions bool
 }
 
-// New creates a detector over the target program.
+// New creates a detector over the target program (with its own substrate;
+// use Shared.Detector to share one across workers).
 func New(prog *ir.Program) *Detector {
-	g := pdg.New(prog)
-	return &Detector{
-		G:              g,
-		sl:             vfp.NewSlicer(g),
-		ab:             infer.NewAbstracter(g),
-		pathCache:      make(map[*ir.Stmt][]*vfp.Path),
-		MaxCalleeDepth: 3,
-	}
+	return NewShared(prog).Detector()
 }
 
 // NewOnGraph creates a detector reusing an existing PDG.
 func NewOnGraph(g *pdg.Graph) *Detector {
-	return &Detector{
-		G:              g,
-		sl:             vfp.NewSlicer(g),
-		ab:             infer.NewAbstracter(g),
-		pathCache:      make(map[*ir.Stmt][]*vfp.Path),
-		MaxCalleeDepth: 3,
-	}
+	return NewSharedOnGraph(g).Detector()
 }
 
 // ValidateSpecs implements the quantifier validation of paper §6.3.3: a
@@ -112,10 +103,22 @@ func ValidateSpecs(postProg *ir.Program, specs []*spec.Spec) []*spec.Spec {
 
 // Detect checks every spec and returns the deduplicated bug reports.
 func (d *Detector) Detect(specs []*spec.Spec) []*Bug {
-	var out []*Bug
+	perSpec := make([][]*Bug, len(specs))
+	for i, s := range specs {
+		perSpec[i] = d.DetectSpec(s)
+	}
+	return mergeBugs(perSpec)
+}
+
+// mergeBugs flattens per-spec results in spec order, dedups by bug key
+// (first spec wins, as in sequential detection), and sorts the report
+// list. Both Detect and Shared.DetectParallel finish through this, which
+// is what makes their outputs byte-identical.
+func mergeBugs(perSpec [][]*Bug) []*Bug {
 	seen := make(map[string]bool)
-	for _, s := range specs {
-		for _, b := range d.DetectSpec(s) {
+	var out []*Bug
+	for _, bugs := range perSpec {
+		for _, b := range bugs {
 			if !seen[b.Key()] {
 				seen[b.Key()] = true
 				out = append(out, b)
@@ -157,117 +160,94 @@ func (d *Detector) Regions(s *spec.Spec) []*ir.Func {
 		return d.G.Prog.ImplsOf(s.Iface[:dot], s.Iface[dot+1:])
 	}
 	if s.API != "" {
-		seen := make(map[*ir.Func]bool)
-		var out []*ir.Func
-		for _, call := range d.G.Prog.CallersOfAPI(s.API) {
-			if !seen[call.Fn] {
-				seen[call.Fn] = true
-				out = append(out, call.Fn)
-			}
-		}
-		sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+		callers := d.sh.Idx.CallersOf(s.API)
+		out := make([]*ir.Func, len(callers))
+		copy(out, callers)
 		return out
 	}
 	return nil
 }
 
 // regionFuncs returns fn plus its defined callees up to MaxCalleeDepth
-// ("bottom-up" closure, §6.4.1).
+// ("bottom-up" closure, §6.4.1), from the shared region cache.
 func (d *Detector) regionFuncs(fn *ir.Func) []*ir.Func {
-	depth := d.MaxCalleeDepth
-	seen := map[*ir.Func]bool{fn: true}
-	frontier := []*ir.Func{fn}
-	out := []*ir.Func{fn}
-	for i := 0; i < depth && len(frontier) > 0; i++ {
-		var next []*ir.Func
-		for _, f := range frontier {
-			for _, st := range f.Stmts() {
-				if st.Kind != ir.StCall || st.Callee == "" {
-					continue
-				}
-				if callee, ok := d.G.Prog.Funcs[st.Callee]; ok && !seen[callee] {
-					seen[callee] = true
-					next = append(next, callee)
-					out = append(out, callee)
-				}
-			}
-		}
-		frontier = next
-	}
-	return out
+	return d.region(fn).funcs
+}
+
+// region returns the cached closure context of a region root.
+func (d *Detector) region(fn *ir.Func) *regionCtx {
+	return d.sh.region(fn, d.MaxCalleeDepth)
 }
 
 // checkRegion evaluates the spec inside one region function.
 func (d *Detector) checkRegion(s *spec.Spec, fn *ir.Func) *Bug {
+	rc := d.region(fn)
 	// Materialize the PDG of the whole region first: inter-procedural
-	// edges into a callee only exist once its caller is built.
-	for _, f := range d.regionFuncs(fn) {
+	// edges into a callee only exist once its caller is built. On a shared
+	// graph each function is built at most once, whichever worker gets
+	// here first.
+	for _, f := range rc.funcs {
 		d.G.Ensure(f)
 	}
+	// Confine slicing and condition abstraction to the region so results
+	// depend only on the region, not on whatever else the shared graph
+	// has materialized.
+	d.sl.Scope = rc.set
+	d.ab.Scope = rc.set
 	rel := s.Constraint.Rel
 	switch rel.Kind {
 	case spec.RelReach:
 		if s.Constraint.Forbidden {
-			return d.checkForbiddenReach(s, fn)
+			return d.checkForbiddenReach(s, rc)
 		}
-		return d.checkRequiredReach(s, fn)
+		return d.checkRequiredReach(s, rc)
 	case spec.RelOrder:
-		return d.checkOrder(s, fn)
+		return d.checkOrder(s, rc)
 	}
 	return nil
 }
 
-// paths returns the memoized value-flow paths from a source statement.
-func (d *Detector) paths(src *ir.Stmt) []*vfp.Path {
-	if !d.DisableMemo {
-		if ps, ok := d.pathCache[src]; ok {
-			return ps
-		}
+// paths returns the memoized value-flow paths from a source statement
+// within a region; the cache is shared across all workers of the
+// substrate.
+func (d *Detector) paths(src *ir.Stmt, rc *regionCtx) []*vfp.Path {
+	if d.DisableMemo {
+		return d.sl.PathsFrom(src)
 	}
-	ps := d.sl.PathsFrom(src)
-	if !d.DisableMemo {
-		d.pathCache[src] = ps
-	}
-	return ps
+	return d.sh.pathsFor(src, rc, d.MaxCalleeDepth, d.sl)
 }
 
 // sources instantiates the spec's V inside the region (the inverse of
-// mapping 𝔸, §6.4.1).
-func (d *Detector) sources(v spec.Value, fn *ir.Func) []*ir.Stmt {
+// mapping 𝔸, §6.4.1), answering from the program index instead of
+// rescanning every statement of the region per spec.
+func (d *Detector) sources(v spec.Value, rc *regionCtx) []*ir.Stmt {
 	var out []*ir.Stmt
-	funcs := d.regionFuncs(fn)
 	switch v.Kind {
 	case spec.VIfaceArg:
-		for _, ps := range fn.Entry.Stmts {
-			if ps.IsParamDef() && ps.ParamVar().ParamIndex == v.ArgIndex {
+		for _, ps := range d.sh.Idx.Func(rc.root).ParamDefs {
+			if ps.ParamVar().ParamIndex == v.ArgIndex {
 				out = append(out, ps)
 			}
 		}
 	case spec.VAPIRet:
-		for _, f := range funcs {
-			for _, st := range f.Stmts() {
-				if st.IsCallTo(v.API) && st.LHS != nil {
+		for _, f := range rc.funcs {
+			for _, st := range d.sh.Idx.Func(f).CallsByCallee[v.API] {
+				if st.LHS != nil {
 					out = append(out, st)
 				}
 			}
 		}
 	case spec.VLiteral:
-		for _, f := range funcs {
-			for _, st := range f.Stmts() {
-				switch st.Kind {
-				case ir.StAssign:
-					if lit, ok := st.RHS.(*cir.IntLit); ok && lit.Val == v.Lit {
-						out = append(out, st)
-					}
-				case ir.StReturn:
-					if lit, ok := st.X.(*cir.IntLit); ok && lit.Val == v.Lit {
-						out = append(out, st)
-					}
-				}
-			}
+		for _, f := range rc.funcs {
+			out = append(out, d.sh.Idx.Func(f).IntLits[v.Lit]...)
 		}
 	case spec.VGlobal:
-		for _, f := range funcs {
+		for _, f := range rc.funcs {
+			// Index prefilter: only run the flow scan over functions that
+			// syntactically read the global at all.
+			if !d.sh.Idx.Func(f).ReadsGlobals[v.Global] {
+				continue
+			}
 			flow := d.G.Flow(f)
 			for _, u := range flow.Unrooted {
 				if u.Loc.Base.Kind == ir.VarGlobal && u.Loc.Base.Name == v.Global {
@@ -276,7 +256,7 @@ func (d *Detector) sources(v spec.Value, fn *ir.Func) []*ir.Stmt {
 			}
 		}
 	case spec.VUninit:
-		for _, f := range funcs {
+		for _, f := range rc.funcs {
 			flow := d.G.Flow(f)
 			for _, u := range flow.Unrooted {
 				if u.Loc.Base.Kind == ir.VarLocal && !u.Loc.Base.Initialized {
@@ -311,15 +291,13 @@ func useMatches(u spec.Use, snk vfp.Endpoint, prog *ir.Program) bool {
 
 // regionHasAPI reports whether the region invokes the API (instantiation
 // precondition for specs whose condition depends on it).
-func (d *Detector) regionHasAPI(fn *ir.Func, api string) bool {
+func (d *Detector) regionHasAPI(rc *regionCtx, api string) bool {
 	if api == "" {
 		return true
 	}
-	for _, f := range d.regionFuncs(fn) {
-		for _, st := range f.Stmts() {
-			if st.IsCallTo(api) {
-				return true
-			}
+	for _, f := range rc.funcs {
+		if len(d.sh.Idx.Func(f).CallsByCallee[api]) > 0 {
+			return true
 		}
 	}
 	return false
@@ -327,19 +305,20 @@ func (d *Detector) regionHasAPI(fn *ir.Func, api string) bool {
 
 // checkRequiredReach: the relation must hold — absence of any realizable,
 // condition-consistent path is a violation.
-func (d *Detector) checkRequiredReach(s *spec.Spec, fn *ir.Func) *Bug {
+func (d *Detector) checkRequiredReach(s *spec.Spec, rc *regionCtx) *Bug {
+	fn := rc.root
 	rel := s.Constraint.Rel
 	// Instantiation precondition: the APIs the condition talks about must
 	// be present, otherwise the spec does not apply here.
-	if !d.regionHasAPI(fn, s.API) {
+	if !d.regionHasAPI(rc, s.API) {
 		return nil
 	}
-	if !d.condAPIsPresent(rel.Cond, fn) {
+	if !d.condAPIsPresent(rel.Cond, rc) {
 		return nil
 	}
-	srcs := d.sources(rel.V, fn)
+	srcs := d.sources(rel.V, rc)
 	for _, src := range srcs {
-		for _, p := range d.paths(src) {
+		for _, p := range d.paths(src, rc) {
 			if p.Sink.Fn != nil && p.Sink.Kind == vfp.SnkIfaceRet && p.Sink.Fn != fn {
 				continue // a return of some other impl reached via shared helpers
 			}
@@ -354,7 +333,7 @@ func (d *Detector) checkRequiredReach(s *spec.Spec, fn *ir.Func) *Bug {
 	msg := fmt.Sprintf("required value flow %s is missing (no realizable path under %s)",
 		rel.V.Key()+" -> "+rel.U.Key(), solver.String(rel.Cond))
 	if rel.U.Kind == spec.UAPIArg {
-		if alt := d.similarAPICalled(fn, rel.U.API); alt != "" {
+		if alt := d.similarAPICalled(rc, rel.U.API); alt != "" {
 			msg += fmt.Sprintf("; note: region calls %s, possibly an equivalent post-operation", alt)
 		}
 	}
@@ -370,17 +349,14 @@ func (d *Detector) checkRequiredReach(s *spec.Spec, fn *ir.Func) *Bug {
 // shares a prefix with the expected one — the "equivalent post-operations"
 // the paper identifies as an FP source (e.g. kfree vs kfree_sensitive).
 // Surfacing the candidate in the report helps triage.
-func (d *Detector) similarAPICalled(fn *ir.Func, want string) string {
-	for _, f := range d.regionFuncs(fn) {
-		for _, st := range f.Stmts() {
-			if st.Kind != ir.StCall || st.Callee == "" || st.Callee == want {
+func (d *Detector) similarAPICalled(rc *regionCtx, want string) string {
+	for _, f := range rc.funcs {
+		for _, callee := range d.sh.Idx.Func(f).CalleeNames {
+			if callee == want || !d.G.Prog.IsAPI(callee) {
 				continue
 			}
-			if !d.G.Prog.IsAPI(st.Callee) {
-				continue
-			}
-			if strings.HasPrefix(st.Callee, want) || strings.HasPrefix(want, st.Callee) {
-				return st.Callee
+			if strings.HasPrefix(callee, want) || strings.HasPrefix(want, callee) {
+				return callee
 			}
 		}
 	}
@@ -389,14 +365,15 @@ func (d *Detector) similarAPICalled(fn *ir.Func, want string) string {
 
 // checkForbiddenReach: any realizable path consistent with the (delta)
 // condition is a violation.
-func (d *Detector) checkForbiddenReach(s *spec.Spec, fn *ir.Func) *Bug {
+func (d *Detector) checkForbiddenReach(s *spec.Spec, rc *regionCtx) *Bug {
+	fn := rc.root
 	rel := s.Constraint.Rel
-	for _, src := range d.sources(rel.V, fn) {
-		for _, p := range d.paths(src) {
+	for _, src := range d.sources(rel.V, rc) {
+		for _, p := range d.paths(src, rc) {
 			if !useMatches(rel.U, p.Sink, d.G.Prog) {
 				continue
 			}
-			if p.Sink.Fn != nil && p.Sink.Fn != fn && !inRegion(d, fn, p.Sink.Fn) {
+			if p.Sink.Fn != nil && p.Sink.Fn != fn && !rc.set[p.Sink.Fn] {
 				continue
 			}
 			if d.condConsistent(p, rel.Cond) {
@@ -416,10 +393,11 @@ func (d *Detector) checkForbiddenReach(s *spec.Spec, fn *ir.Func) *Bug {
 
 // checkOrder: the forbidden arrangement is U2's site executing before U1's
 // site for the same source datum.
-func (d *Detector) checkOrder(s *spec.Spec, fn *ir.Func) *Bug {
+func (d *Detector) checkOrder(s *spec.Spec, rc *regionCtx) *Bug {
+	fn := rc.root
 	rel := s.Constraint.Rel
-	for _, src := range d.sources(rel.V, fn) {
-		ps := d.paths(src)
+	for _, src := range d.sources(rel.V, rc) {
+		ps := d.paths(src, rc)
 		var u1Paths, u2Paths []*vfp.Path
 		for _, p := range ps {
 			if useMatches(rel.U1, p.Sink, d.G.Prog) {
@@ -456,15 +434,6 @@ func (d *Detector) checkOrder(s *spec.Spec, fn *ir.Func) *Bug {
 	return nil
 }
 
-func inRegion(d *Detector, region, fn *ir.Func) bool {
-	for _, f := range d.regionFuncs(region) {
-		if f == fn {
-			return true
-		}
-	}
-	return false
-}
-
 // condConsistent evaluates the consistency between a found path's Ψ and
 // the spec condition (paper §6.4.2): the abstracted Ψ must be jointly
 // satisfiable with the condition.
@@ -478,14 +447,14 @@ func (d *Detector) condConsistent(p *vfp.Path, cond solver.Formula) bool {
 
 // condAPIsPresent checks that every API mentioned in the condition's
 // symbols is invoked in the region.
-func (d *Detector) condAPIsPresent(cond solver.Formula, fn *ir.Func) bool {
+func (d *Detector) condAPIsPresent(cond solver.Formula, rc *regionCtx) bool {
 	for _, sym := range solver.Symbols(cond) {
 		if strings.HasPrefix(sym, "ret[") {
 			api := sym[len("ret[") : len(sym)-1]
 			if idx := strings.IndexByte(api, ']'); idx >= 0 {
 				api = api[:idx]
 			}
-			if !d.regionHasAPI(fn, api) {
+			if !d.regionHasAPI(rc, api) {
 				return false
 			}
 		}

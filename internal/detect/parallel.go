@@ -1,57 +1,19 @@
 package detect
 
 import (
-	"sort"
-	"sync"
-
 	"seal/internal/ir"
 	"seal/internal/spec"
 )
 
-// DetectParallel checks the specifications concurrently: the spec list is
-// partitioned across workers, each owning a private detector (and thus a
-// private demand-driven PDG) over the shared read-only program. This
-// implements the paper's noted scalability extension ("the scalability of
-// our technique could be further improved by searching paths in
-// parallel", §8.4). Results are identical to the sequential Detect.
+// DetectParallel checks the specifications concurrently over one shared
+// analysis substrate: a single demand-driven PDG, program index, region
+// cache, and value-flow path cache serve all workers, so analysis cost
+// scales with the program rather than workers × specs. This implements the
+// paper's noted scalability extension ("the scalability of our technique
+// could be further improved by searching paths in parallel", §8.4).
+// Results are byte-identical to the sequential Detect. Use
+// NewShared(prog).DetectParallel directly to also read the substrate's
+// Stats afterwards.
 func DetectParallel(prog *ir.Program, specs []*spec.Spec, workers int) []*Bug {
-	if workers <= 1 || len(specs) < 2 {
-		return New(prog).Detect(specs)
-	}
-	if workers > len(specs) {
-		workers = len(specs)
-	}
-	results := make([][]*Bug, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			d := New(prog)
-			var mine []*Bug
-			for i := w; i < len(specs); i += workers {
-				mine = append(mine, d.DetectSpec(specs[i])...)
-			}
-			results[w] = mine
-		}(w)
-	}
-	wg.Wait()
-
-	seen := make(map[string]bool)
-	var out []*Bug
-	for _, part := range results {
-		for _, b := range part {
-			if !seen[b.Key()] {
-				seen[b.Key()] = true
-				out = append(out, b)
-			}
-		}
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Fn.Name != out[j].Fn.Name {
-			return out[i].Fn.Name < out[j].Fn.Name
-		}
-		return out[i].Spec.ID < out[j].Spec.ID
-	})
-	return out
+	return NewShared(prog).DetectParallel(specs, workers)
 }

@@ -1,0 +1,244 @@
+package detect
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"seal/internal/infer"
+	"seal/internal/ir"
+	"seal/internal/pdg"
+	"seal/internal/progindex"
+	"seal/internal/spec"
+	"seal/internal/vfp"
+)
+
+// Shared is the concurrent analysis substrate detection workers share: one
+// demand-driven PDG, one program-wide index, one region-closure cache, and
+// one single-flight value-flow path cache. Every structure is either
+// immutable (the index), internally synchronized (the graph), or guarded
+// here; a Shared may back any number of Detectors across goroutines.
+type Shared struct {
+	G   *pdg.Graph
+	Idx *progindex.Index
+
+	regionMu sync.Mutex
+	regions  map[regionKey]*regionCtx
+
+	pathShards [numPathShards]pathShard
+
+	pathHits   atomic.Int64
+	pathMisses atomic.Int64
+}
+
+const numPathShards = 64
+
+type pathShard struct {
+	mu sync.Mutex
+	m  map[pathKey]*pathEntry
+}
+
+// pathKey identifies one memoized PathsFrom computation: the source
+// statement inside one region closure. Keying by region keeps results
+// independent of which other regions a shared graph has materialized.
+type pathKey struct {
+	src   *ir.Stmt
+	root  *ir.Func
+	depth int
+}
+
+// pathEntry is a single-flight slot: the first claimant computes, everyone
+// else waits on done.
+type pathEntry struct {
+	done  chan struct{}
+	paths []*vfp.Path
+}
+
+type regionKey struct {
+	root  *ir.Func
+	depth int
+}
+
+// regionCtx is the materialized closure of one detection region: the root
+// function plus its defined callees to the configured depth, as both an
+// ordered list and a membership set.
+type regionCtx struct {
+	root  *ir.Func
+	funcs []*ir.Func
+	set   map[*ir.Func]bool
+}
+
+// Stats aggregates the substrate's instrumentation counters.
+type Stats struct {
+	// EnsureCalls / EnsureBuilds mirror pdg.Graph.Stats: how often a
+	// function subgraph was requested vs actually constructed.
+	EnsureCalls  int64
+	EnsureBuilds int64
+	// PathCacheHits / PathCacheMisses count shared path-cache lookups;
+	// a miss is the single computation of one (source, region) slot.
+	PathCacheHits   int64
+	PathCacheMisses int64
+	// IndexLookups counts program-index queries served.
+	IndexLookups int64
+}
+
+// PathHitRate returns the fraction of path lookups served from cache.
+func (s Stats) PathHitRate() float64 {
+	total := s.PathCacheHits + s.PathCacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.PathCacheHits) / float64(total)
+}
+
+// NewShared builds the substrate for a target program.
+func NewShared(prog *ir.Program) *Shared {
+	return NewSharedOnGraph(pdg.New(prog))
+}
+
+// NewSharedOnGraph builds the substrate over an existing PDG.
+func NewSharedOnGraph(g *pdg.Graph) *Shared {
+	sh := &Shared{
+		G:       g,
+		Idx:     progindex.Build(g.Prog),
+		regions: make(map[regionKey]*regionCtx),
+	}
+	for i := range sh.pathShards {
+		sh.pathShards[i].m = make(map[pathKey]*pathEntry)
+	}
+	return sh
+}
+
+// Stats returns the substrate counters accumulated so far.
+func (sh *Shared) Stats() Stats {
+	gs := sh.G.Stats()
+	return Stats{
+		EnsureCalls:     gs.EnsureCalls,
+		EnsureBuilds:    gs.EnsureBuilds,
+		PathCacheHits:   sh.pathHits.Load(),
+		PathCacheMisses: sh.pathMisses.Load(),
+		IndexLookups:    sh.Idx.Lookups(),
+	}
+}
+
+// Detector returns a new detector bound to the substrate. Each concurrent
+// worker needs its own (a Detector carries per-region scratch state); any
+// number of them may run at once over one Shared.
+func (sh *Shared) Detector() *Detector {
+	return &Detector{
+		G:              sh.G,
+		sh:             sh,
+		sl:             vfp.NewSlicer(sh.G),
+		ab:             infer.NewAbstracter(sh.G),
+		MaxCalleeDepth: defaultMaxCalleeDepth,
+	}
+}
+
+// region returns the cached closure of root at the given callee depth,
+// computing it on first use via the program index.
+func (sh *Shared) region(root *ir.Func, depth int) *regionCtx {
+	key := regionKey{root: root, depth: depth}
+	sh.regionMu.Lock()
+	defer sh.regionMu.Unlock()
+	if rc, ok := sh.regions[key]; ok {
+		return rc
+	}
+	seen := map[*ir.Func]bool{root: true}
+	frontier := []*ir.Func{root}
+	out := []*ir.Func{root}
+	for i := 0; i < depth && len(frontier) > 0; i++ {
+		var next []*ir.Func
+		for _, f := range frontier {
+			for _, callee := range sh.Idx.Func(f).DefinedCallees {
+				if !seen[callee] {
+					seen[callee] = true
+					next = append(next, callee)
+					out = append(out, callee)
+				}
+			}
+		}
+		frontier = next
+	}
+	rc := &regionCtx{root: root, funcs: out, set: seen}
+	sh.regions[key] = rc
+	return rc
+}
+
+// pathsFor returns the value-flow paths from src confined to rc, computing
+// them at most once per (source, region) across all workers. sl must
+// already be scoped to rc.
+func (sh *Shared) pathsFor(src *ir.Stmt, rc *regionCtx, depth int, sl *vfp.Slicer) []*vfp.Path {
+	key := pathKey{src: src, root: rc.root, depth: depth}
+	shard := &sh.pathShards[uint(src.ID)%numPathShards]
+
+	shard.mu.Lock()
+	if e, ok := shard.m[key]; ok {
+		shard.mu.Unlock()
+		<-e.done
+		sh.pathHits.Add(1)
+		return e.paths
+	}
+	e := &pathEntry{done: make(chan struct{})}
+	shard.m[key] = e
+	shard.mu.Unlock()
+
+	sh.pathMisses.Add(1)
+	e.paths = sl.PathsFrom(src)
+	close(e.done)
+	return e.paths
+}
+
+// DetectParallel checks the specifications concurrently over the shared
+// substrate. Specs are grouped by detection scope (interface or API) so
+// each region's closure, PDG subgraphs, and value-flow paths are computed
+// once however many specs target it; a region-group work queue feeds the
+// workers. Results are byte-identical to the sequential Detect: per-spec
+// results are slotted by original position and merged in spec order before
+// the final dedup and sort.
+func (sh *Shared) DetectParallel(specs []*spec.Spec, workers int) []*Bug {
+	if workers <= 1 || len(specs) < 2 {
+		return sh.Detector().Detect(specs)
+	}
+	groups := groupByScope(specs)
+	if workers > len(groups) {
+		workers = len(groups)
+	}
+	perSpec := make([][]*Bug, len(specs))
+	ch := make(chan []int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			d := sh.Detector()
+			for idxs := range ch {
+				for _, si := range idxs {
+					perSpec[si] = d.DetectSpec(specs[si])
+				}
+			}
+		}()
+	}
+	for _, g := range groups {
+		ch <- g
+	}
+	close(ch)
+	wg.Wait()
+	return mergeBugs(perSpec)
+}
+
+// groupByScope partitions spec indices by Spec.Scope in first-appearance
+// order, so all specs sharing a detection region land on one worker.
+func groupByScope(specs []*spec.Spec) [][]int {
+	byScope := make(map[string]int)
+	var groups [][]int
+	for i, s := range specs {
+		scope := s.Scope()
+		gi, ok := byScope[scope]
+		if !ok {
+			gi = len(groups)
+			byScope[scope] = gi
+			groups = append(groups, nil)
+		}
+		groups[gi] = append(groups[gi], i)
+	}
+	return groups
+}

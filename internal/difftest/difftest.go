@@ -109,7 +109,9 @@ func (r *CaseResult) Report() string {
 //
 //	reference: InferSpecs{Workers:1} then Detect
 //	optimized: InferSpecs{Workers:N} and DetectParallel for each N in
-//	           WorkerCounts, plus a sequential re-run (determinism).
+//	           WorkerCounts, a sequential re-run (determinism), and a
+//	           reused shared substrate (parallel then sequential on one
+//	           graph).
 func RunCase(c *randprog.PatchCase) (*CaseResult, error) {
 	r := &CaseResult{Case: c}
 
@@ -146,7 +148,8 @@ func RunCase(c *randprog.PatchCase) (*CaseResult, error) {
 			Stage: "detect", Conf: "rerun", Ref: refBugs, Got: got,
 		})
 	}
-	// Parallel detection equivalence.
+	// Parallel detection equivalence (the region-grouped scheduler over a
+	// fresh shared substrate per run).
 	for _, n := range WorkerCounts {
 		got := NormalizeBugs(seal.DetectParallel(target, refInfer.DB.Specs, n))
 		if got != refBugs {
@@ -154,6 +157,20 @@ func RunCase(c *randprog.PatchCase) (*CaseResult, error) {
 				Stage: "detect", Conf: fmt.Sprintf("workers=%d", n), Ref: refBugs, Got: got,
 			})
 		}
+	}
+	// Substrate-reuse equivalence: one shared substrate serving a parallel
+	// run and then a sequential run on the already-materialized graph must
+	// produce the reference output both times (build-set independence).
+	sh := detect.NewShared(target.Prog)
+	if got := NormalizeBugs(sh.DetectParallel(refInfer.DB.Specs, 4)); got != refBugs {
+		r.Divergences = append(r.Divergences, Divergence{
+			Stage: "detect", Conf: "shared-substrate workers=4", Ref: refBugs, Got: got,
+		})
+	}
+	if got := NormalizeBugs(sh.Detector().Detect(refInfer.DB.Specs)); got != refBugs {
+		r.Divergences = append(r.Divergences, Divergence{
+			Stage: "detect", Conf: "shared-substrate sequential reuse", Ref: refBugs, Got: got,
+		})
 	}
 
 	// Ground-truth oracle: flagged functions must be exactly the buggy

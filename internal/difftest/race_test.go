@@ -5,8 +5,11 @@ import (
 	"testing"
 
 	"seal"
+	"seal/internal/detect"
 	"seal/internal/kernelgen"
+	"seal/internal/pdg"
 	"seal/internal/randprog"
+	"seal/internal/vfp"
 )
 
 // TestSharedProgramConcurrency hammers the shared read-only ir.Program
@@ -68,6 +71,119 @@ func TestSharedProgramConcurrency(t *testing.T) {
 	close(errs)
 	for e := range errs {
 		t.Error(e)
+	}
+}
+
+// TestSharedGraphConcurrency hammers ONE pdg.Graph from many goroutines at
+// once: concurrent Ensure of overlapping function sets, concurrent edge
+// reads, and concurrent value-flow slicing over the same graph. Under
+// -race this flushes out any unsynchronized path through the single-flight
+// construction or the copy-on-write edge lists; without -race it still
+// checks that every worker observes the same edge counts and that each
+// function was built exactly once.
+func TestSharedGraphConcurrency(t *testing.T) {
+	corpus := kernelgen.Generate(kernelgen.DefaultConfig())
+	target, err := seal.LoadFiles(corpus.Files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := target.Prog
+
+	// Reference edge counts from a private, sequentially-built graph —
+	// fully built first, since a function's incoming interprocedural edges
+	// materialize when its callers are built.
+	ref := pdg.New(prog)
+	for _, fn := range prog.FuncList {
+		ref.Ensure(fn)
+	}
+	want := make(map[string]int, len(prog.FuncList))
+	for _, fn := range prog.FuncList {
+		n := 0
+		for _, s := range fn.Stmts() {
+			n += len(ref.DataSuccs(s))
+		}
+		want[fn.Name] = n
+	}
+
+	g := pdg.New(prog)
+	const workers = 16
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sl := vfp.NewSlicer(g)
+			// Each worker walks the function list from a different offset so
+			// Ensure claims collide on overlapping sets.
+			for i := range prog.FuncList {
+				fn := prog.FuncList[(i+w*7)%len(prog.FuncList)]
+				g.Ensure(fn)
+				// Concurrent edge reads while other workers are still
+				// building; exact counts are checked after the barrier,
+				// once every caller has materialized its edges.
+				for _, s := range fn.Stmts() {
+					g.DataSuccs(s)
+				}
+				for _, s := range fn.Entry.Stmts {
+					if s.IsParamDef() {
+						sl.PathsFrom(s)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	st := g.Stats()
+	if st.EnsureBuilds > int64(len(prog.FuncList)) {
+		t.Errorf("EnsureBuilds = %d > %d functions: single-flight failed", st.EnsureBuilds, len(prog.FuncList))
+	}
+	for _, fn := range prog.FuncList {
+		n := 0
+		for _, s := range fn.Stmts() {
+			n += len(g.DataSuccs(s))
+		}
+		if n != want[fn.Name] {
+			t.Errorf("%s: %d data edges on shared graph, want %d", fn.Name, n, want[fn.Name])
+		}
+	}
+}
+
+// TestSharedSubstrateConcurrency runs many DetectParallel rounds over ONE
+// detect.Shared (instead of a fresh substrate per run) and checks every
+// round reproduces the reference output — the path cache, region cache,
+// and index must be both race-free and result-stable under reuse.
+func TestSharedSubstrateConcurrency(t *testing.T) {
+	corpus := kernelgen.Generate(kernelgen.DefaultConfig())
+	res, err := seal.InferSpecs(corpus.Patches, seal.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, err := seal.LoadFiles(corpus.Files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := NormalizeBugs(seal.Detect(target, res.DB.Specs))
+
+	sh := detect.NewShared(target.Prog)
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if got := NormalizeBugs(sh.DetectParallel(res.DB.Specs, 8)); got != want {
+				errs <- "DetectParallel over reused substrate diverged from reference"
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+	if hr := sh.Stats().PathHitRate(); hr == 0 {
+		t.Error("path cache never hit across repeated runs on one substrate")
 	}
 }
 

@@ -25,6 +25,11 @@ type Abstracter struct {
 	// APIs accumulates the API names mentioned while abstracting (used as
 	// the instantiation context of the resulting spec).
 	APIs map[string]bool
+	// Scope, when non-nil, confines backward data-dependence resolution to
+	// the given functions. Detection sets it to the region closure so that
+	// abstracted conditions do not depend on which unrelated functions a
+	// shared PDG happens to have materialized.
+	Scope map[*ir.Func]bool
 }
 
 // NewAbstracter returns an abstracter over g.
@@ -178,6 +183,9 @@ func (ab *Abstracter) valueOfLocAt(at *ir.Stmt, loc ir.Loc) (spec.Value, bool) {
 	// condition inspects is whatever last defined it (e.g. risc->cpu at
 	// the NULL check is the dma_alloc_coherent return).
 	for _, e := range ab.G.DataPreds(at) {
+		if ab.Scope != nil && !ab.Scope[e.From.Fn] {
+			continue
+		}
 		if e.Loc.Base != loc.Base || !e.Loc.SameShape(loc) {
 			continue
 		}
@@ -229,6 +237,9 @@ func (ab *Abstracter) valueFromDef(d *ir.Stmt, depth int) (spec.Value, bool) {
 		return spec.Value{}, false
 	}
 	for _, e := range ab.G.DataPreds(d) {
+		if ab.Scope != nil && !ab.Scope[e.From.Fn] {
+			continue
+		}
 		if v, ok := ab.valueFromDef(e.From, depth-1); ok {
 			return v, true
 		}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"seal/internal/cir"
 )
@@ -124,6 +125,11 @@ type Stmt struct {
 	// statement (computed during lowering).
 	Defs []Loc
 	Uses []Loc
+
+	// normMemo caches the temp-erased spelling (NormString). Every path
+	// crossing the statement shares one rendering instead of re-deriving
+	// it; atomic so concurrent detectors can fill it without locking.
+	normMemo atomic.Pointer[string]
 }
 
 // IsCallTo reports whether the statement is a direct call to name.
@@ -172,6 +178,49 @@ func (s *Stmt) String() string {
 		return "nop"
 	}
 	return "?"
+}
+
+// NormString renders the statement with lowering temporaries erased:
+// `__t3 = f(x)` and a bare `f(x)` expression statement spell the same, and
+// `return __t3` becomes `return __t`. The result is memoized per statement
+// (safe under concurrent callers — the computation is deterministic, so
+// racing writers store equal strings).
+func (s *Stmt) NormString() string {
+	if memo := s.normMemo.Load(); memo != nil {
+		return *memo
+	}
+	str := s.String()
+	if s.Kind == StCall && s.LHS != nil {
+		if id, ok := s.LHS.(*cir.Ident); ok && strings.HasPrefix(id.Name, "__t") {
+			if i := strings.Index(str, " = "); i >= 0 {
+				str = str[i+3:]
+			}
+		}
+	}
+	str = eraseTemps(str)
+	s.normMemo.Store(&str)
+	return str
+}
+
+// eraseTemps rewrites every "__t<digits>" token to "__t".
+func eraseTemps(s string) string {
+	if !strings.Contains(s, "__t") {
+		return s
+	}
+	var sb strings.Builder
+	for i := 0; i < len(s); {
+		if strings.HasPrefix(s[i:], "__t") {
+			sb.WriteString("__t")
+			i += 3
+			for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+				i++
+			}
+			continue
+		}
+		sb.WriteByte(s[i])
+		i++
+	}
+	return sb.String()
 }
 
 // IsParamDef reports whether the statement is an entry parameter-definition

@@ -4,10 +4,18 @@
 // global store/load edges; Ec (control dependence) from post-dominance
 // frontiers; Eo (flow order) from the CFG topological order. Construction
 // is demand-driven per function (paper §7 "Demand-driven PDG Generation").
+//
+// A Graph is safe for concurrent use: Ensure is per-function single-flight
+// (the first caller builds, everyone else waits on the build's done
+// channel), the heavy analysis runs outside the graph lock, and edge lists
+// are installed copy-on-write in a canonical order so query results are
+// identical regardless of which goroutine built which function first.
 package pdg
 
 import (
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"seal/internal/callgraph"
 	"seal/internal/cfg"
@@ -57,22 +65,43 @@ type Edge struct {
 	ArgIndex int
 }
 
+// Stats are cumulative construction counters of one Graph, read via
+// Graph.Stats. EnsureCalls counts every Ensure invocation; EnsureBuilds
+// counts the ones that actually materialized a function (at most one per
+// function over the graph's lifetime, however many goroutines race).
+type Stats struct {
+	EnsureCalls  int64
+	EnsureBuilds int64
+}
+
+// buildState is the single-flight slot of one function's construction.
+type buildState struct {
+	done chan struct{}
+}
+
 // Graph is the (demand-driven) PDG over a program.
 type Graph struct {
 	Prog *ir.Program
 	PTS  *dataflow.PointsTo
 	CG   *callgraph.Graph
 
+	ensureCalls  atomic.Int64
+	ensureBuilds atomic.Int64
+
+	// mu guards every map below. Builds claim their slot under the write
+	// lock, run the heavy analysis unlocked, then install results under
+	// the write lock again; queries take the read lock.
+	mu    sync.RWMutex
 	flows map[*ir.Func]*dataflow.FuncFlow
 	cfgs  map[*ir.Func]*cfg.Info
 
 	succs map[*ir.Stmt][]Edge
 	preds map[*ir.Stmt][]Edge
 
-	// built tracks which functions' intra edges are materialized.
-	built map[*ir.Func]bool
-	// globalsLinked tracks whether cross-function global edges exist
-	// between built functions.
+	// building tracks which functions' subgraphs are materialized or in
+	// flight; waiters block on the slot's done channel.
+	building map[*ir.Func]*buildState
+
 	globalStores map[string][]*ir.Stmt // global name -> store stmts
 	globalLoads  map[string][]*ir.Stmt
 }
@@ -88,7 +117,7 @@ func New(prog *ir.Program) *Graph {
 		cfgs:         make(map[*ir.Func]*cfg.Info),
 		succs:        make(map[*ir.Stmt][]Edge),
 		preds:        make(map[*ir.Stmt][]Edge),
-		built:        make(map[*ir.Func]bool),
+		building:     make(map[*ir.Func]*buildState),
 		globalStores: make(map[string][]*ir.Stmt),
 		globalLoads:  make(map[string][]*ir.Stmt),
 	}
@@ -104,35 +133,81 @@ func BuildAll(prog *ir.Program) *Graph {
 	return g
 }
 
-func (g *Graph) addEdge(e Edge) {
-	g.succs[e.From] = append(g.succs[e.From], e)
-	g.preds[e.To] = append(g.preds[e.To], e)
+// Stats returns the construction counters accumulated so far.
+func (g *Graph) Stats() Stats {
+	return Stats{
+		EnsureCalls:  g.ensureCalls.Load(),
+		EnsureBuilds: g.ensureBuilds.Load(),
+	}
 }
 
-// Ensure materializes the PDG subgraph of fn (idempotent).
+// Built reports whether fn's subgraph is fully materialized.
+func (g *Graph) Built(fn *ir.Func) bool {
+	g.mu.RLock()
+	st, ok := g.building[fn]
+	g.mu.RUnlock()
+	if !ok {
+		return false
+	}
+	select {
+	case <-st.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Ensure materializes the PDG subgraph of fn (idempotent, safe for
+// concurrent callers: exactly one goroutine builds, the rest wait).
 func (g *Graph) Ensure(fn *ir.Func) {
-	if fn == nil || g.built[fn] {
+	if fn == nil {
 		return
 	}
-	g.built[fn] = true
+	g.ensureCalls.Add(1)
 
+	g.mu.RLock()
+	st, ok := g.building[fn]
+	g.mu.RUnlock()
+	if ok {
+		<-st.done
+		return
+	}
+
+	g.mu.Lock()
+	if st, ok := g.building[fn]; ok {
+		g.mu.Unlock()
+		<-st.done
+		return
+	}
+	st = &buildState{done: make(chan struct{})}
+	g.building[fn] = st
+	g.mu.Unlock()
+
+	g.ensureBuilds.Add(1)
+	g.build(fn)
+	close(st.done)
+}
+
+// build runs the per-function analyses outside the graph lock and installs
+// the results under it.
+func (g *Graph) build(fn *ir.Func) {
 	ff := dataflow.FlowAnalyze(fn, g.PTS)
-	g.flows[fn] = ff
-	g.cfgs[fn] = cfg.Analyze(fn)
+	ci := cfg.Analyze(fn)
 
 	// Intra-procedural Ed.
+	var edges []Edge
 	for _, d := range ff.Deps {
-		g.addEdge(Edge{From: d.Def, To: d.Use, Loc: d.Loc, Kind: EdgeIntra})
+		edges = append(edges, Edge{From: d.Def, To: d.Use, Loc: d.Loc, Kind: EdgeIntra})
 	}
 
 	// Inter-procedural Ed: actual -> formal and return -> receiver, for
-	// defined callees.
+	// defined callees. These touch only immutable IR and the eager call
+	// graph, so the callee need not be built.
 	for _, s := range fn.Stmts() {
 		if s.Kind != ir.StCall {
 			continue
 		}
 		for _, callee := range g.CG.CalleesOf(s) {
-			g.Ensure(callee)
 			// Parameter edges: call site -> parameter definition nodes.
 			for _, ps := range callee.Entry.Stmts {
 				if !ps.IsParamDef() {
@@ -142,83 +217,175 @@ func (g *Graph) Ensure(fn *ir.Func) {
 				if pv == nil || pv.ParamIndex >= len(s.Args) {
 					continue
 				}
-				g.addEdge(Edge{From: s, To: ps, Loc: ir.Loc{Base: pv}, Kind: EdgeParam, ArgIndex: pv.ParamIndex})
+				edges = append(edges, Edge{From: s, To: ps, Loc: ir.Loc{Base: pv}, Kind: EdgeParam, ArgIndex: pv.ParamIndex})
 			}
 			// Return edges: callee returns -> call site (its result def).
 			if s.LHS != nil {
 				for _, r := range callee.ReturnStmts() {
 					if r.X != nil {
-						g.addEdge(Edge{From: r, To: s, Kind: EdgeReturn})
+						edges = append(edges, Edge{From: r, To: s, Kind: EdgeReturn})
 					}
 				}
 			}
 		}
 	}
 
-	// Global store/load registration and linking.
+	// Global store/load accesses of fn (cross-function linking needs the
+	// registry, so the edges themselves are derived under the lock).
+	type globalAccess struct {
+		name  string
+		stmt  *ir.Stmt
+		loc   ir.Loc
+		store bool
+	}
+	var accesses []globalAccess
 	for _, s := range fn.Stmts() {
 		for _, d := range dataflow.EffectiveDefs(fn, s) {
 			if d.Base.Kind == ir.VarGlobal && !d.HasDeref() {
-				g.linkGlobalStore(d.Base.Name, s)
+				accesses = append(accesses, globalAccess{name: d.Base.Name, stmt: s, store: true})
 			}
 		}
 		for _, u := range dataflow.EffectiveUses(fn, s) {
 			if u.Base.Kind == ir.VarGlobal && !u.HasDeref() {
-				g.linkGlobalLoad(u.Base.Name, s, u)
+				accesses = append(accesses, globalAccess{name: u.Base.Name, stmt: s, loc: u})
 			}
 		}
 	}
+
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.flows[fn] = ff
+	g.cfgs[fn] = ci
+	for _, a := range accesses {
+		if a.store {
+			if registerAccess(g.globalStores, a.name, a.stmt) {
+				for _, load := range g.globalLoads[a.name] {
+					if load.Fn != a.stmt.Fn {
+						edges = append(edges, Edge{From: a.stmt, To: load, Loc: ir.Loc{Base: g.Prog.GlobalVars[a.name]}, Kind: EdgeGlobal})
+					}
+				}
+			}
+		} else {
+			if registerAccess(g.globalLoads, a.name, a.stmt) {
+				for _, store := range g.globalStores[a.name] {
+					if store.Fn != a.stmt.Fn {
+						edges = append(edges, Edge{From: store, To: a.stmt, Loc: a.loc, Kind: EdgeGlobal})
+					}
+				}
+			}
+		}
+	}
+	g.installEdges(edges)
 }
 
-func (g *Graph) linkGlobalStore(name string, s *ir.Stmt) {
-	for _, prev := range g.globalStores[name] {
+// registerAccess appends s to reg[name] unless present; reports whether it
+// was new.
+func registerAccess(reg map[string][]*ir.Stmt, name string, s *ir.Stmt) bool {
+	for _, prev := range reg[name] {
 		if prev == s {
-			return
+			return false
 		}
 	}
-	g.globalStores[name] = append(g.globalStores[name], s)
-	for _, load := range g.globalLoads[name] {
-		if load.Fn != s.Fn {
-			g.addEdge(Edge{From: s, To: load, Loc: ir.Loc{Base: g.Prog.GlobalVars[name]}, Kind: EdgeGlobal})
-		}
+	reg[name] = append(reg[name], s)
+	return true
+}
+
+// installEdges merges new edges into the per-statement adjacency lists.
+// Lists are rebuilt copy-on-write (readers may hold the old slices outside
+// the lock) and kept in a canonical order, so the graph's shape does not
+// depend on the order in which functions were built. Callers hold g.mu.
+func (g *Graph) installEdges(edges []Edge) {
+	bySucc := make(map[*ir.Stmt][]Edge)
+	byPred := make(map[*ir.Stmt][]Edge)
+	for _, e := range edges {
+		bySucc[e.From] = append(bySucc[e.From], e)
+		byPred[e.To] = append(byPred[e.To], e)
+	}
+	for s, add := range bySucc {
+		g.succs[s] = mergeCanonical(g.succs[s], add)
+	}
+	for s, add := range byPred {
+		g.preds[s] = mergeCanonical(g.preds[s], add)
 	}
 }
 
-func (g *Graph) linkGlobalLoad(name string, s *ir.Stmt, loc ir.Loc) {
-	for _, prev := range g.globalLoads[name] {
-		if prev == s {
-			return
-		}
-	}
-	g.globalLoads[name] = append(g.globalLoads[name], s)
-	for _, store := range g.globalStores[name] {
-		if store.Fn != s.Fn {
-			g.addEdge(Edge{From: store, To: s, Loc: loc, Kind: EdgeGlobal})
-		}
-	}
+func mergeCanonical(old, add []Edge) []Edge {
+	out := make([]Edge, 0, len(old)+len(add))
+	out = append(out, old...)
+	out = append(out, add...)
+	sort.SliceStable(out, func(i, j int) bool { return edgeLess(out[i], out[j]) })
+	return out
 }
 
-// DataSuccs returns the outgoing Ed edges of a statement.
+// edgeLess is a total order on edges built from deterministic statement and
+// variable IDs (assigned in lowering order, independent of build schedule).
+func edgeLess(a, b Edge) bool {
+	if a.From.ID != b.From.ID {
+		return a.From.ID < b.From.ID
+	}
+	if a.To.ID != b.To.ID {
+		return a.To.ID < b.To.ID
+	}
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	if a.ArgIndex != b.ArgIndex {
+		return a.ArgIndex < b.ArgIndex
+	}
+	ab, bb := -1, -1
+	if a.Loc.Base != nil {
+		ab = a.Loc.Base.ID
+	}
+	if b.Loc.Base != nil {
+		bb = b.Loc.Base.ID
+	}
+	if ab != bb {
+		return ab < bb
+	}
+	if len(a.Loc.Path) != len(b.Loc.Path) {
+		return len(a.Loc.Path) < len(b.Loc.Path)
+	}
+	for i := range a.Loc.Path {
+		if a.Loc.Path[i].Kind != b.Loc.Path[i].Kind {
+			return a.Loc.Path[i].Kind < b.Loc.Path[i].Kind
+		}
+		if a.Loc.Path[i].Off != b.Loc.Path[i].Off {
+			return a.Loc.Path[i].Off < b.Loc.Path[i].Off
+		}
+	}
+	return false
+}
+
+// DataSuccs returns the outgoing Ed edges of a statement. The returned
+// slice is immutable (a rebuild replaces it wholesale).
 func (g *Graph) DataSuccs(s *ir.Stmt) []Edge {
 	g.Ensure(s.Fn)
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	return g.succs[s]
 }
 
 // DataPreds returns the incoming Ed edges of a statement.
 func (g *Graph) DataPreds(s *ir.Stmt) []Edge {
 	g.Ensure(s.Fn)
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	return g.preds[s]
 }
 
 // Flow returns the def-use solution of fn.
 func (g *Graph) Flow(fn *ir.Func) *dataflow.FuncFlow {
 	g.Ensure(fn)
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	return g.flows[fn]
 }
 
 // CFG returns the control-flow facts of fn.
 func (g *Graph) CFG(fn *ir.Func) *cfg.Info {
 	g.Ensure(fn)
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	return g.cfgs[fn]
 }
 

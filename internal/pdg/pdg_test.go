@@ -192,10 +192,18 @@ int other(int y) { return y - 1; }
 	g := New(p)
 	fn := p.Funcs["isolated"]
 	g.Ensure(fn)
-	if !g.built[fn] {
+	if !g.Built(fn) {
 		t.Error("Ensure should mark the function built")
 	}
-	if g.built[p.Funcs["other"]] {
+	if g.Built(p.Funcs["other"]) {
 		t.Error("Ensure must not eagerly build unrelated functions")
+	}
+	st := g.Stats()
+	if st.EnsureCalls != 1 || st.EnsureBuilds != 1 {
+		t.Errorf("Stats = %+v, want 1 call / 1 build", st)
+	}
+	g.Ensure(fn)
+	if st := g.Stats(); st.EnsureBuilds != 1 {
+		t.Errorf("re-Ensure must not rebuild: %+v", st)
 	}
 }

@@ -3,8 +3,9 @@ package vfp
 import (
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 
-	"seal/internal/cir"
 	"seal/internal/ir"
 	"seal/internal/pdg"
 	"seal/internal/solver"
@@ -12,12 +13,16 @@ import (
 
 // Path is an inter-procedural value-flow path (Def. 6.2): a statement
 // sequence connected by data-dependence edges, from an interaction-data
-// source to an ultimate use.
+// source to an ultimate use. Paths may be shared across concurrent
+// detector workers: Signature and Psi are memoized thread-safely.
 type Path struct {
 	Nodes  []*ir.Stmt
 	Source Endpoint
 	Sink   Endpoint
 
+	sig atomic.Pointer[string]
+
+	psiMu    sync.Mutex
 	psi      solver.Formula
 	psiReady bool
 }
@@ -28,6 +33,9 @@ type Path struct {
 // temporaries are erased so hoisting differences between versions do not
 // break identity.
 func (p *Path) Signature() string {
+	if memo := p.sig.Load(); memo != nil {
+		return *memo
+	}
 	var sb strings.Builder
 	sb.WriteString(p.Source.Key())
 	sb.WriteString(" => ")
@@ -38,49 +46,24 @@ func (p *Path) Signature() string {
 		sb.WriteString(" -> ")
 	}
 	sb.WriteString(p.Sink.Key())
-	return sb.String()
+	str := sb.String()
+	p.sig.Store(&str)
+	return str
 }
 
 // NormalizedStmtString renders a statement with lowering temporaries
-// erased: `__t3 = f(x)` and a bare `f(x)` expression statement spell the
-// same, and `return __t3` becomes `return __t`.
+// erased; the spelling is memoized on the statement itself (ir.Stmt
+// NormString) so every path crossing it shares one rendering.
 func NormalizedStmtString(s *ir.Stmt) string {
-	str := s.String()
-	if s.Kind == ir.StCall && s.LHS != nil {
-		if id, ok := s.LHS.(*cir.Ident); ok && strings.HasPrefix(id.Name, "__t") {
-			if i := strings.Index(str, " = "); i >= 0 {
-				str = str[i+3:]
-			}
-		}
-	}
-	return eraseTemps(str)
-}
-
-// eraseTemps rewrites every "__t<digits>" token to "__t".
-func eraseTemps(s string) string {
-	if !strings.Contains(s, "__t") {
-		return s
-	}
-	var sb strings.Builder
-	for i := 0; i < len(s); {
-		if strings.HasPrefix(s[i:], "__t") {
-			sb.WriteString("__t")
-			i += 3
-			for i < len(s) && s[i] >= '0' && s[i] <= '9' {
-				i++
-			}
-			continue
-		}
-		sb.WriteByte(s[i])
-		i++
-	}
-	return sb.String()
+	return s.NormString()
 }
 
 // Psi computes (and caches) the path condition Ψ(p): the conjunction of
 // the control-dependence guards of every statement on the path, with
 // symbols qualified per function (quasi-path-sensitive, Def. 6.2).
 func (p *Path) Psi(g *pdg.Graph) solver.Formula {
+	p.psiMu.Lock()
+	defer p.psiMu.Unlock()
 	if p.psiReady {
 		return p.psi
 	}

@@ -17,6 +17,11 @@ type Slicer struct {
 	// CrossFunctionPointers, when false (the default and the paper's
 	// choice, §7), stops slicing at indirect-call boundaries.
 	CrossFunctionPointers bool
+	// Scope, when non-nil, confines traversal to statements of the given
+	// functions. Detection sets it to the region's callee closure so path
+	// results depend only on the region — not on which other functions
+	// happen to be materialized in a shared PDG.
+	Scope map[*ir.Func]bool
 }
 
 // NewSlicer returns a slicer with the default bounds.
@@ -128,7 +133,7 @@ func (sl *Slicer) backward(criterion *ir.Stmt) []segment {
 				// when possible, otherwise treat the parameter as source.
 				extended := false
 				for _, e := range sl.G.DataPreds(cur) {
-					if e.Kind != pdg.EdgeParam || crossesIndirect(e) || visited[e.From] {
+					if e.Kind != pdg.EdgeParam || crossesIndirect(e) || visited[e.From] || !sl.inScope(e.From.Fn) {
 						continue
 					}
 					visited[e.From] = true
@@ -156,6 +161,9 @@ func (sl *Slicer) backward(criterion *ir.Stmt) []segment {
 
 		for _, e := range sl.G.DataPreds(cur) {
 			if crossesIndirect(e) && !sl.CrossFunctionPointers {
+				continue
+			}
+			if !sl.inScope(e.From.Fn) {
 				continue
 			}
 			// Role separation at call nodes (mirror of the forward rule):
@@ -203,6 +211,9 @@ func (sl *Slicer) forward(criterion *ir.Stmt) []segment {
 			if crossesIndirect(e) && !sl.CrossFunctionPointers {
 				continue
 			}
+			if !sl.inScope(e.To.Fn) {
+				continue
+			}
 			// Role separation at call nodes: a value received FROM a
 			// callee's return lives in the call's result — it cannot flow
 			// back into the callee's parameters, nor through the call's
@@ -228,7 +239,7 @@ func (sl *Slicer) forward(criterion *ir.Stmt) []segment {
 		if crossesIndirect(e) && !sl.CrossFunctionPointers {
 			continue
 		}
-		if visited[e.To] {
+		if visited[e.To] || !sl.inScope(e.To.Fn) {
 			continue
 		}
 		visited[e.To] = true
@@ -269,6 +280,12 @@ func (sl *Slicer) criterionSinks(s *ir.Stmt) []Endpoint {
 		add(classifySinks(sl.G, s, u))
 	}
 	return out
+}
+
+// inScope reports whether traversal may enter fn (always true without a
+// configured Scope).
+func (sl *Slicer) inScope(fn *ir.Func) bool {
+	return sl.Scope == nil || sl.Scope[fn]
 }
 
 func (sl *Slicer) maxDepth() int {

@@ -224,12 +224,24 @@ func Detect(t *Target, specs []*Spec) []*Bug {
 	return d.Detect(specs)
 }
 
-// DetectParallel is Detect with the spec list partitioned across workers
-// (each worker owns a private PDG over the shared read-only program; the
-// result is identical to Detect). Implements the paper's parallel
+// DetectParallel is Detect with the specs grouped by detection region and
+// spread across workers over one shared analysis substrate (a single PDG,
+// program index, and path cache serve all workers; the result is
+// byte-identical to Detect). Implements the paper's parallel
 // path-searching extension (§8.4).
 func DetectParallel(t *Target, specs []*Spec, workers int) []*Bug {
 	return detect.DetectParallel(t.Prog, specs, workers)
+}
+
+// DetectStats are the shared-substrate instrumentation counters.
+type DetectStats = detect.Stats
+
+// DetectParallelStats is DetectParallel returning the substrate counters
+// alongside the reports (PDG builds, path-cache hit rate, index lookups).
+func DetectParallelStats(t *Target, specs []*Spec, workers int) ([]*Bug, DetectStats) {
+	sh := detect.NewShared(t.Prog)
+	bugs := sh.DetectParallel(specs, workers)
+	return bugs, sh.Stats()
 }
 
 // MergeSpecDBs unions specification databases, deduplicating by constraint
