@@ -13,26 +13,64 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"strings"
+	"time"
 
 	"seal"
 	"seal/internal/eval"
+	"seal/internal/faultinject"
 	"seal/internal/kernelgen"
 	"seal/internal/patch"
 	"seal/internal/report"
 	"seal/internal/spec"
 )
 
+// Exit codes: 0 = success, 1 = fatal error (bad input, IO failure, aborted
+// run), 2 = usage error, 3 = the run completed but quarantined one or more
+// units of work (their FailureRecords were reported; all other output is
+// complete and trustworthy).
+const (
+	exitFatal      = 1
+	exitUsage      = 2
+	exitQuarantine = 3
+)
+
+// exitCoder lets an error choose its process exit code.
+type exitCoder interface{ ExitCode() int }
+
+// quarantineErr is the "completed with quarantined failures" outcome.
+type quarantineErr struct {
+	stage string
+	n     int
+}
+
+func (e quarantineErr) Error() string {
+	return fmt.Sprintf("%s completed with %d quarantined unit(s); other results are complete", e.stage, e.n)
+}
+
+func (e quarantineErr) ExitCode() int { return exitQuarantine }
+
 func main() {
 	if len(os.Args) < 2 {
 		usage()
-		os.Exit(2)
+		os.Exit(exitUsage)
+	}
+	if faults := os.Getenv("SEAL_FAULTS"); faults != "" {
+		plan, err := parseFaultSpec(faults)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "seal: SEAL_FAULTS:", err)
+			os.Exit(exitUsage)
+		}
+		faultinject.Set(plan)
 	}
 	var err error
 	switch os.Args[1] {
@@ -51,12 +89,95 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "seal: unknown command %q\n", os.Args[1])
 		usage()
-		os.Exit(2)
+		os.Exit(exitUsage)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "seal:", err)
-		os.Exit(1)
+		code := exitFatal
+		var ec exitCoder
+		if errors.As(err, &ec) {
+			code = ec.ExitCode()
+		}
+		os.Exit(code)
 	}
+}
+
+// parseFaultSpec parses the SEAL_FAULTS test hook: comma-separated
+// "kind@stage:unit" entries (kind ∈ panic|stall|alloc-spike), e.g.
+// "panic@detect:iface:vb2_ops.buf_prepare,stall@infer:patch-0003". The
+// unit id may itself contain colons (detection scopes do).
+func parseFaultSpec(s string) (*faultinject.Plan, error) {
+	plan := faultinject.NewPlan()
+	for _, entry := range strings.Split(s, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		kindStr, rest, ok := strings.Cut(entry, "@")
+		if !ok {
+			return nil, fmt.Errorf("entry %q: want kind@stage:unit", entry)
+		}
+		stage, unit, ok := strings.Cut(rest, ":")
+		if !ok || stage == "" || unit == "" {
+			return nil, fmt.Errorf("entry %q: want kind@stage:unit", entry)
+		}
+		var kind faultinject.Kind
+		switch kindStr {
+		case "panic":
+			kind = faultinject.KindPanic
+		case "stall":
+			kind = faultinject.KindStall
+		case "alloc-spike":
+			kind = faultinject.KindAllocSpike
+		default:
+			return nil, fmt.Errorf("entry %q: unknown kind %q", entry, kindStr)
+		}
+		plan.Add(stage, unit, kind)
+	}
+	return plan, nil
+}
+
+// limitFlags is the shared robustness flag set of infer and detect.
+type limitFlags struct {
+	timeout     time.Duration
+	budgetSteps int64
+	maxFailures int
+	failuresOut string
+	retry       bool
+}
+
+func addLimitFlags(fs *flag.FlagSet) *limitFlags {
+	lf := &limitFlags{}
+	fs.DurationVar(&lf.timeout, "timeout", 0, "per-unit wall-clock deadline (one patch, or one detection region group); 0 = none")
+	fs.Int64Var(&lf.budgetSteps, "budget", 0, "per-unit analysis-step budget (slicer expansions, PDG builds, solver checks); 0 = unlimited")
+	fs.IntVar(&lf.maxFailures, "max-failures", 0, "abort the run once more than this many units are quarantined; 0 = keep going")
+	fs.StringVar(&lf.failuresOut, "failures-out", "", "write quarantine FailureRecords to this JSON file")
+	fs.BoolVar(&lf.retry, "retry", false, "retry a quarantined unit once with a halved budget")
+	return lf
+}
+
+func (lf *limitFlags) limits() seal.Limits {
+	return seal.Limits{
+		UnitTimeout: lf.timeout,
+		MaxSteps:    lf.budgetSteps,
+		Retry:       lf.retry,
+		MaxFailures: lf.maxFailures,
+	}
+}
+
+// writeFailures dumps the quarantine records as JSON when requested.
+func (lf *limitFlags) writeFailures(frs []*seal.FailureRecord) error {
+	if lf.failuresOut == "" {
+		return nil
+	}
+	if frs == nil {
+		frs = []*seal.FailureRecord{}
+	}
+	data, err := json.MarshalIndent(frs, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(lf.failuresOut, append(data, '\n'), 0o644)
 }
 
 func usage() {
@@ -149,6 +270,8 @@ func cmdInfer(args []string) error {
 	noValidate := fs.Bool("no-validate", false, "skip quantifier validation (paper §6.3.3)")
 	appendTo := fs.String("append", "", "merge into an existing spec database (incremental dataset growth, paper §9)")
 	verbose := fs.Bool("v", false, "per-patch statistics")
+	failFast := fs.Bool("fail-fast", false, "abort at the first quarantined patch (exit 1) instead of continuing")
+	lf := addLimitFlags(fs)
 	fs.Parse(args)
 	if *patchesDir == "" || *out == "" {
 		return fmt.Errorf("infer: -patches and -out are required")
@@ -157,9 +280,23 @@ func cmdInfer(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := seal.InferSpecs(patches, seal.Options{Validate: !*noValidate, Workers: *workers})
-	if err != nil {
+	res, runErr := seal.InferSpecsContext(context.Background(), patches, seal.Options{
+		Validate: !*noValidate,
+		Workers:  *workers,
+		Limits:   lf.limits(),
+		FailFast: *failFast,
+	})
+	for _, d := range res.Degraded {
+		fmt.Fprintln(os.Stderr, "seal:", d.String())
+	}
+	for _, f := range res.Failures {
+		fmt.Fprintln(os.Stderr, "seal:", f.String())
+	}
+	if err := lf.writeFailures(res.Failures); err != nil {
 		return err
+	}
+	if runErr != nil {
+		return runErr
 	}
 	if *verbose {
 		for _, o := range res.Outcomes {
@@ -193,6 +330,9 @@ func cmdInfer(args []string) error {
 	fmt.Printf("inferred %d specifications from %d patches (%d zero-relation) -> %s\n",
 		len(db.Specs), len(patches), res.ZeroRelationPatches, *out)
 	fmt.Printf("relations: P-=%d P+=%d PΨ=%d PΩ=%d\n", t.PMinus, t.PPlus, t.PPsi, t.POmega)
+	if n := len(res.Failures); n > 0 {
+		return quarantineErr{stage: "infer", n: n}
+	}
 	return nil
 }
 
@@ -205,6 +345,7 @@ func cmdDetect(args []string) error {
 	stats := fs.Bool("stats", false, "print shared-substrate counters (PDG builds, path-cache hit rate) to stderr")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
+	lf := addLimitFlags(fs)
 	fs.Parse(args)
 	if *target == "" || *specFile == "" {
 		return fmt.Errorf("detect: -target and -specs are required")
@@ -226,14 +367,34 @@ func cmdDetect(args []string) error {
 	if err := json.Unmarshal(data, &db); err != nil {
 		return err
 	}
-	bugs, st := seal.DetectParallelStats(t, db.Specs, *workers)
+	res, runErr := seal.DetectContext(context.Background(), t, db.Specs, *workers, lf.limits())
+	bugs, st := res.Bugs, res.Stats
 	if *stats {
 		fmt.Fprintf(os.Stderr, "substrate: pdg builds=%d/%d calls, path cache hits=%d misses=%d (%.1f%%), index lookups=%d\n",
 			st.EnsureBuilds, st.EnsureCalls, st.PathCacheHits, st.PathCacheMisses,
 			100*st.PathHitRate(), st.IndexLookups)
+		if st.Truncations+st.QuarantinedUnits+st.DegradedUnits+st.RetriedUnits > 0 {
+			fmt.Fprintf(os.Stderr, "robustness: truncated enumerations=%d, quarantined=%d, degraded=%d, retried=%d\n",
+				st.Truncations, st.QuarantinedUnits, st.DegradedUnits, st.RetriedUnits)
+		}
+	}
+	for _, d := range res.Degraded {
+		fmt.Fprintln(os.Stderr, "seal:", d.String())
+	}
+	for _, f := range res.Failures {
+		fmt.Fprintln(os.Stderr, "seal:", f.String())
+	}
+	if err := lf.writeFailures(res.Failures); err != nil {
+		return err
+	}
+	if runErr != nil {
+		return runErr
 	}
 	if *full {
 		fmt.Print(report.RenderAll(bugs, map[string]*patch.Patch{}))
+		if n := len(res.Failures); n > 0 {
+			return quarantineErr{stage: "detect", n: n}
+		}
 		return nil
 	}
 	for _, b := range bugs {
@@ -241,6 +402,9 @@ func cmdDetect(args []string) error {
 	}
 	sum := report.Summarize(bugs)
 	fmt.Printf("---\n%d reports over %d specs\n", sum.Total, len(db.Specs))
+	if n := len(res.Failures); n > 0 {
+		return quarantineErr{stage: "detect", n: n}
+	}
 	return nil
 }
 

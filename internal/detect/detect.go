@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strings"
 
+	"seal/internal/budget"
 	"seal/internal/infer"
 	"seal/internal/ir"
 	"seal/internal/pdg"
@@ -72,6 +73,22 @@ type Detector struct {
 	// (ablation: quasi-path-sensitivity off — every syntactic path is
 	// treated as realizable).
 	IgnoreConditions bool
+
+	// bud, when set, meters this detector's work (slicing, PDG builds,
+	// solver calls) against one unit's budget. Nil means unmetered — the
+	// default fast path pays nothing beyond nil checks.
+	bud *budget.Budget
+}
+
+// SetBudget binds the detector to a unit's budget: the slicer, PDG
+// materialization, and solver calls all charge against it, and the limits'
+// path/depth caps override the slicer defaults.
+func (d *Detector) SetBudget(b *budget.Budget) {
+	d.bud = b
+	d.sl.Budget = b
+	if b != nil {
+		d.sl.ApplyLimits(b.Limits())
+	}
 }
 
 // New creates a detector over the target program (with its own substrate;
@@ -91,7 +108,15 @@ func NewOnGraph(g *pdg.Graph) *Detector {
 // (quantifier ∃, not ∄); a Required relation the patched code violates is
 // not actually required. Such specs are dropped.
 func ValidateSpecs(postProg *ir.Program, specs []*spec.Spec) []*spec.Spec {
+	return ValidateSpecsBudget(postProg, specs, nil)
+}
+
+// ValidateSpecsBudget is ValidateSpecs metered against a unit budget (the
+// inferring patch's), so validation of a candidate-heavy patch cannot
+// outlive its unit either.
+func ValidateSpecsBudget(postProg *ir.Program, specs []*spec.Spec, b *budget.Budget) []*spec.Spec {
 	d := New(postProg)
+	d.SetBudget(b)
 	var out []*spec.Spec
 	for _, s := range specs {
 		if len(d.DetectSpec(s)) == 0 {
@@ -185,9 +210,18 @@ func (d *Detector) checkRegion(s *spec.Spec, fn *ir.Func) *Bug {
 	// Materialize the PDG of the whole region first: inter-procedural
 	// edges into a callee only exist once its caller is built. On a shared
 	// graph each function is built at most once, whichever worker gets
-	// here first.
-	for _, f := range rc.funcs {
-		d.G.Ensure(f)
+	// here first. Under a budget each build is charged; an exhausted unit
+	// stops materializing and finishes degraded.
+	if d.bud == nil {
+		for _, f := range rc.funcs {
+			d.G.Ensure(f)
+		}
+	} else {
+		for _, f := range rc.funcs {
+			if d.G.EnsureBudget(f, d.bud.Step) != nil {
+				break
+			}
+		}
 	}
 	// Confine slicing and condition abstraction to the region so results
 	// depend only on the region, not on whatever else the shared graph
@@ -316,6 +350,7 @@ func (d *Detector) checkRequiredReach(s *spec.Spec, rc *regionCtx) *Bug {
 	if !d.condAPIsPresent(rel.Cond, rc) {
 		return nil
 	}
+	trunc0 := d.sl.BudgetTruncations
 	srcs := d.sources(rel.V, rc)
 	for _, src := range srcs {
 		for _, p := range d.paths(src, rc) {
@@ -332,6 +367,12 @@ func (d *Detector) checkRequiredReach(s *spec.Spec, rc *regionCtx) *Bug {
 	}
 	msg := fmt.Sprintf("required value flow %s is missing (no realizable path under %s)",
 		rel.V.Key()+" -> "+rel.U.Key(), solver.String(rel.Cond))
+	// A required-reach violation is an ABSENCE claim; if enumeration was
+	// budget-truncated while forming it, the satisfying path may simply be
+	// beyond the budget. Say so instead of reporting silent certainty.
+	if d.sl.BudgetTruncations > trunc0 {
+		msg += " [degraded: path enumeration was budget-truncated; the satisfying flow may exist beyond the budget]"
+	}
 	if rel.U.Kind == spec.UAPIArg {
 		if alt := d.similarAPICalled(rc, rel.U.API); alt != "" {
 			msg += fmt.Sprintf("; note: region calls %s, possibly an equivalent post-operation", alt)
@@ -442,6 +483,9 @@ func (d *Detector) condConsistent(p *vfp.Path, cond solver.Formula) bool {
 		return true
 	}
 	psi := d.ab.AbstractPsi(p)
+	if d.bud != nil {
+		return solver.SatBudget(solver.MkAnd(psi, cond), d.bud.Step)
+	}
 	return solver.Sat(solver.MkAnd(psi, cond))
 }
 

@@ -1,0 +1,175 @@
+package detect
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"seal/internal/budget"
+	"seal/internal/faultinject"
+	"seal/internal/spec"
+)
+
+// Result is the outcome of a budgeted, fault-isolated detection run: the
+// merged bug reports of every healthy unit, plus the quarantine and
+// degradation records of the units that were not.
+type Result struct {
+	Bugs []*Bug
+	// Failures are the quarantined units (panic, deadline, error). Their
+	// results are dropped entirely; everything else is unaffected.
+	Failures []*budget.FailureRecord
+	// Degraded are the units that completed but with budget-truncated
+	// results (step/memory caps): their reports are kept, marked.
+	Degraded []budget.Degradation
+	// Stats are the substrate counters plus this run's unit outcomes.
+	Stats Stats
+}
+
+// Quarantined reports whether any unit was quarantined.
+func (r *Result) Quarantined() bool { return len(r.Failures) > 0 }
+
+// groupOutcome is the verdict of one region group (one unit of work).
+type groupOutcome struct {
+	failure  *budget.FailureRecord
+	degraded *budget.Degradation
+	retried  bool
+}
+
+// DetectParallelCtx is DetectParallel with fault isolation: every region
+// group (all specs sharing one detection scope) runs as one unit of work
+// under its own budget and panic containment. A unit that panics, outlives
+// its deadline, or errors is quarantined — its FailureRecord captures the
+// stage, budget spent, and stack, its results are dropped, and no worker or
+// single-flight waiter is left deadlocked. A unit that merely exhausts a
+// quantitative budget finishes Degraded with its partial results kept.
+// Remaining units produce output byte-identical to an unfaulted run.
+//
+// The returned error is non-nil only for run-level aborts (the parent
+// context canceled, or more than limits.MaxFailures units quarantined); the
+// partial Result is valid either way.
+func (sh *Shared) DetectParallelCtx(ctx context.Context, specs []*spec.Spec, workers int, limits budget.Limits) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	groups := groupByScope(specs)
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(groups) {
+		workers = len(groups)
+	}
+	perSpec := make([][]*Bug, len(specs))
+	outcomes := make([]groupOutcome, len(groups))
+	var quarantined atomic.Int64
+	var aborted atomic.Bool
+
+	type job struct {
+		gi   int
+		idxs []int
+	}
+	ch := make(chan job)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// runGroup contains every panic, so a worker never dies and
+			// the unbuffered queue below never loses its consumers.
+			for j := range ch {
+				if aborted.Load() || ctx.Err() != nil {
+					continue
+				}
+				oc := sh.runGroup(ctx, specs, j.idxs, perSpec, limits)
+				outcomes[j.gi] = oc
+				if oc.failure != nil {
+					if n := quarantined.Add(1); limits.MaxFailures > 0 && n > int64(limits.MaxFailures) {
+						aborted.Store(true)
+					}
+				}
+			}
+		}()
+	}
+	for gi, g := range groups {
+		ch <- job{gi: gi, idxs: g}
+	}
+	close(ch)
+	wg.Wait()
+
+	res := &Result{Bugs: mergeBugs(perSpec)}
+	for _, oc := range outcomes {
+		if oc.failure != nil {
+			res.Failures = append(res.Failures, oc.failure)
+		}
+		if oc.degraded != nil {
+			res.Degraded = append(res.Degraded, *oc.degraded)
+		}
+	}
+	res.Stats = sh.Stats()
+	res.Stats.QuarantinedUnits = int64(len(res.Failures))
+	res.Stats.DegradedUnits = int64(len(res.Degraded))
+	for _, oc := range outcomes {
+		if oc.retried {
+			res.Stats.RetriedUnits++
+		}
+	}
+	if aborted.Load() {
+		return res, fmt.Errorf("detect: aborted after %d quarantined units (max %d)",
+			len(res.Failures), limits.MaxFailures)
+	}
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// runGroup executes one unit of work, retrying once with a halved budget
+// when configured. The unit id is the group's detection scope.
+func (sh *Shared) runGroup(ctx context.Context, specs []*spec.Spec, idxs []int, perSpec [][]*Bug, limits budget.Limits) groupOutcome {
+	unit := specs[idxs[0]].Scope()
+	oc := sh.runUnit(ctx, specs, idxs, perSpec, limits, unit, 1)
+	if oc.failure != nil && limits.Retry {
+		oc = sh.runUnit(ctx, specs, idxs, perSpec, limits.Halved(), unit, 2)
+		oc.retried = true
+	}
+	return oc
+}
+
+// runUnit is one attempt at one unit: a fresh budget, a fresh detector, and
+// panic containment around the whole group. Results reach the shared
+// perSpec slots only after the attempt succeeds, so a quarantined attempt
+// leaves no partial output behind.
+func (sh *Shared) runUnit(ctx context.Context, specs []*spec.Spec, idxs []int, perSpec [][]*Bug, limits budget.Limits, unit string, attempt int) groupOutcome {
+	var oc groupOutcome
+	b := budget.New(ctx, limits)
+	defer b.Close()
+	d := sh.Detector()
+	d.SetBudget(b)
+	scratch := make([][]*Bug, len(idxs))
+	fr := budget.Protect("detect", unit, b, func() error {
+		if err := faultinject.Fire(b.Context(), "detect", unit, b); err != nil {
+			return err
+		}
+		for k, si := range idxs {
+			// A unit whose deadline passed (or whose run was canceled) is
+			// quarantined; quantitative caps merely degrade it below.
+			if err := b.Context().Err(); err != nil {
+				return err
+			}
+			scratch[k] = d.DetectSpec(specs[si])
+		}
+		return nil
+	})
+	if fr != nil {
+		fr.Attempts = attempt
+		oc.failure = fr
+		return oc
+	}
+	for k, si := range idxs {
+		perSpec[si] = scratch[k]
+	}
+	if ex := b.Exhausted(); ex != nil {
+		oc.degraded = &budget.Degradation{Unit: unit, Stage: "detect", Reason: ex.Reason, Detail: ex.Error()}
+	}
+	return oc
+}

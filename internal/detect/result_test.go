@@ -1,0 +1,205 @@
+package detect
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"seal/internal/budget"
+	"seal/internal/faultinject"
+	"seal/internal/spec"
+)
+
+// scopesOf returns the unique detection scopes of the spec list, in
+// first-appearance order — the unit universe of a DetectParallelCtx run.
+func scopesOf(specs []*spec.Spec) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, s := range specs {
+		if sc := s.Scope(); !seen[sc] {
+			seen[sc] = true
+			out = append(out, sc)
+		}
+	}
+	return out
+}
+
+func TestDetectParallelCtxCleanRun(t *testing.T) {
+	specs, prog := corpusSpecsAndProg(t)
+	ref := dumpBugs(NewShared(prog).DetectParallel(specs, 4))
+	res, err := NewShared(prog).DetectParallelCtx(context.Background(), specs, 4, budget.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Failures) != 0 || len(res.Degraded) != 0 {
+		t.Fatalf("clean run produced %d failures, %d degradations", len(res.Failures), len(res.Degraded))
+	}
+	if got := dumpBugs(res.Bugs); got != ref {
+		t.Errorf("ctx run diverges from DetectParallel:\n%s\nvs\n%s", got, ref)
+	}
+}
+
+func TestDetectParallelCtxPanicContainment(t *testing.T) {
+	specs, prog := corpusSpecsAndProg(t)
+	units := scopesOf(specs)
+	if len(units) < 2 {
+		t.Fatalf("corpus yielded %d units; containment needs several", len(units))
+	}
+	victim := units[0]
+	refBugs := NewShared(prog).DetectParallel(specs, 4)
+
+	faultinject.Set(faultinject.NewPlan().Add("detect", victim, faultinject.KindPanic))
+	defer faultinject.Reset()
+	sh := NewShared(prog)
+	res, err := sh.DetectParallelCtx(context.Background(), specs, 4, budget.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Failures) != 1 {
+		t.Fatalf("one injected panic, %d failures: %v", len(res.Failures), res.Failures)
+	}
+	fr := res.Failures[0]
+	if fr.Unit != victim || fr.Reason != budget.ReasonPanic || fr.Attempts != 1 || fr.Stack == "" {
+		t.Fatalf("FailureRecord = %+v", fr)
+	}
+	var want []*Bug
+	for _, b := range refBugs {
+		if b.Spec.Scope() != victim {
+			want = append(want, b)
+		}
+	}
+	if got := dumpBugs(res.Bugs); got != dumpBugs(want) {
+		t.Errorf("survivor output diverges:\n%s\nvs\n%s", got, dumpBugs(want))
+	}
+
+	// The panic must not have poisoned the shared substrate: a fault-free
+	// pass over the SAME substrate recovers the victim's results too.
+	faultinject.Reset()
+	res2, err := sh.DetectParallelCtx(context.Background(), specs, 4, budget.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Failures) != 0 {
+		t.Fatalf("substrate reuse after panic: %v", res2.Failures)
+	}
+	if got := dumpBugs(res2.Bugs); got != dumpBugs(refBugs) {
+		t.Errorf("substrate poisoned by earlier panic:\n%s\nvs\n%s", got, dumpBugs(refBugs))
+	}
+}
+
+func TestDetectParallelCtxRetryRecoversTransientFault(t *testing.T) {
+	specs, prog := corpusSpecsAndProg(t)
+	victim := scopesOf(specs)[0]
+	ref := dumpBugs(NewShared(prog).DetectParallel(specs, 4))
+
+	faultinject.Set(faultinject.NewPlan().AddOnce("detect", victim, faultinject.KindPanic))
+	defer faultinject.Reset()
+	res, err := NewShared(prog).DetectParallelCtx(context.Background(), specs, 4, budget.Limits{Retry: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Failures) != 0 {
+		t.Fatalf("transient fault with retry still quarantined: %v", res.Failures)
+	}
+	if res.Stats.RetriedUnits != 1 {
+		t.Fatalf("RetriedUnits = %d, want 1", res.Stats.RetriedUnits)
+	}
+	if got := dumpBugs(res.Bugs); got != ref {
+		t.Errorf("retried run lost output:\n%s\nvs\n%s", got, ref)
+	}
+}
+
+func TestDetectParallelCtxRetryPersistentFault(t *testing.T) {
+	specs, prog := corpusSpecsAndProg(t)
+	victim := scopesOf(specs)[0]
+	faultinject.Set(faultinject.NewPlan().Add("detect", victim, faultinject.KindPanic))
+	defer faultinject.Reset()
+	res, err := NewShared(prog).DetectParallelCtx(context.Background(), specs, 4, budget.Limits{Retry: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Failures) != 1 || res.Failures[0].Attempts != 2 {
+		t.Fatalf("persistent fault under retry: %v", res.Failures)
+	}
+	if res.Stats.RetriedUnits != 1 {
+		t.Fatalf("RetriedUnits = %d, want 1", res.Stats.RetriedUnits)
+	}
+}
+
+func TestDetectParallelCtxMaxFailuresAborts(t *testing.T) {
+	specs, prog := corpusSpecsAndProg(t)
+	units := scopesOf(specs)
+	if len(units) < 3 {
+		t.Skipf("only %d units; abort test needs 3+", len(units))
+	}
+	plan := faultinject.NewPlan()
+	for _, u := range units {
+		plan.Add("detect", u, faultinject.KindPanic)
+	}
+	faultinject.Set(plan)
+	defer faultinject.Reset()
+	res, err := NewShared(prog).DetectParallelCtx(context.Background(), specs, 1, budget.Limits{MaxFailures: 1})
+	if err == nil {
+		t.Fatal("run with every unit panicking and MaxFailures=1 did not abort")
+	}
+	// The abort threshold is MaxFailures+1 quarantines; with one worker the
+	// remaining units are skipped, not quarantined.
+	if len(res.Failures) != 2 {
+		t.Fatalf("aborted run has %d failures, want 2 (threshold crossing)", len(res.Failures))
+	}
+}
+
+func TestDetectParallelCtxCanceledParent(t *testing.T) {
+	specs, prog := corpusSpecsAndProg(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := NewShared(prog).DetectParallelCtx(ctx, specs, 4, budget.Limits{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled run returned %v", err)
+	}
+	if len(res.Bugs) != 0 {
+		t.Fatalf("pre-canceled run produced %d bugs", len(res.Bugs))
+	}
+}
+
+func TestDetectParallelCtxStepBudgetDegrades(t *testing.T) {
+	specs, prog := corpusSpecsAndProg(t)
+	res, err := NewShared(prog).DetectParallelCtx(context.Background(), specs, 4, budget.Limits{MaxSteps: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Failures) != 0 {
+		t.Fatalf("step budget must degrade, not quarantine: %v", res.Failures)
+	}
+	if len(res.Degraded) == 0 {
+		t.Fatal("MaxSteps=25 over the whole corpus degraded nothing")
+	}
+	for _, d := range res.Degraded {
+		if d.Reason != budget.ReasonSteps && d.Reason != budget.ReasonMemory {
+			t.Errorf("degradation reason %q, want a quantitative budget", d.Reason)
+		}
+	}
+	if res.Stats.DegradedUnits != int64(len(res.Degraded)) {
+		t.Errorf("Stats.DegradedUnits = %d, want %d", res.Stats.DegradedUnits, len(res.Degraded))
+	}
+}
+
+func TestDetectParallelCtxStallCutByDeadline(t *testing.T) {
+	specs, prog := corpusSpecsAndProg(t)
+	victim := scopesOf(specs)[0]
+	faultinject.Set(faultinject.NewPlan().Add("detect", victim, faultinject.KindStall))
+	defer faultinject.Reset()
+	start := time.Now()
+	res, err := NewShared(prog).DetectParallelCtx(context.Background(), specs, 4,
+		budget.Limits{UnitTimeout: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el > 5*time.Second {
+		t.Fatalf("stalled unit held the run for %v", el)
+	}
+	if len(res.Failures) != 1 || res.Failures[0].Reason != budget.ReasonDeadline {
+		t.Fatalf("stalled unit: %v", res.Failures)
+	}
+}

@@ -28,6 +28,10 @@ type Shared struct {
 
 	pathHits   atomic.Int64
 	pathMisses atomic.Int64
+	// truncations counts slicer enumerations cut short by any cap or
+	// budget across every detector bound to this substrate (the counted
+	// warning of the formerly-silent MaxPaths/MaxDepth truncation).
+	truncations atomic.Int64
 }
 
 const numPathShards = 64
@@ -51,6 +55,15 @@ type pathKey struct {
 type pathEntry struct {
 	done  chan struct{}
 	paths []*vfp.Path
+	// panicVal records a panic that aborted the computation; written
+	// before done is closed. Waiters re-panic into their own unit's
+	// containment instead of deadlocking on a never-closed channel.
+	panicVal any
+	// volatile marks a result truncated by the computing unit's dynamic
+	// budget (steps/memory/deadline). Such results are unit-specific and
+	// must not be served to other units: the computing worker removes the
+	// entry and keeps the partial result private; waiters recompute.
+	volatile bool
 }
 
 type regionKey struct {
@@ -79,6 +92,17 @@ type Stats struct {
 	PathCacheMisses int64
 	// IndexLookups counts program-index queries served.
 	IndexLookups int64
+	// Truncations counts value-flow enumerations cut short by a path or
+	// depth cap or by a unit budget (never silent: each is also marked on
+	// the affected paths).
+	Truncations int64
+	// QuarantinedUnits / DegradedUnits / RetriedUnits describe a budgeted
+	// run (DetectParallelCtx): units isolated after a panic/deadline/error,
+	// units that completed with budget-truncated results, and units that
+	// were re-attempted with a halved budget.
+	QuarantinedUnits int64
+	DegradedUnits    int64
+	RetriedUnits     int64
 }
 
 // PathHitRate returns the fraction of path lookups served from cache.
@@ -117,6 +141,7 @@ func (sh *Shared) Stats() Stats {
 		PathCacheHits:   sh.pathHits.Load(),
 		PathCacheMisses: sh.pathMisses.Load(),
 		IndexLookups:    sh.Idx.Lookups(),
+		Truncations:     sh.truncations.Load(),
 	}
 }
 
@@ -124,10 +149,12 @@ func (sh *Shared) Stats() Stats {
 // worker needs its own (a Detector carries per-region scratch state); any
 // number of them may run at once over one Shared.
 func (sh *Shared) Detector() *Detector {
+	sl := vfp.NewSlicer(sh.G)
+	sl.OnTruncate = func(vfp.TruncateEvent) { sh.truncations.Add(1) }
 	return &Detector{
 		G:              sh.G,
 		sh:             sh,
-		sl:             vfp.NewSlicer(sh.G),
+		sl:             sl,
 		ab:             infer.NewAbstracter(sh.G),
 		MaxCalleeDepth: defaultMaxCalleeDepth,
 	}
@@ -166,25 +193,56 @@ func (sh *Shared) region(root *ir.Func, depth int) *regionCtx {
 // pathsFor returns the value-flow paths from src confined to rc, computing
 // them at most once per (source, region) across all workers. sl must
 // already be scoped to rc.
+//
+// Fault isolation: a panic during the computation is recorded on the entry
+// before its done channel closes, and every waiter re-panics with it — each
+// inside its own unit's containment — so one crashing enumeration can
+// quarantine the units that need it but never deadlock the queue. A result
+// truncated by the computing unit's dynamic budget is never published (the
+// entry is removed; waiters loop and recompute with their own budget), so a
+// starved unit cannot silently degrade its neighbors.
 func (sh *Shared) pathsFor(src *ir.Stmt, rc *regionCtx, depth int, sl *vfp.Slicer) []*vfp.Path {
 	key := pathKey{src: src, root: rc.root, depth: depth}
 	shard := &sh.pathShards[uint(src.ID)%numPathShards]
 
-	shard.mu.Lock()
-	if e, ok := shard.m[key]; ok {
+	for {
+		shard.mu.Lock()
+		if e, ok := shard.m[key]; ok {
+			shard.mu.Unlock()
+			<-e.done
+			if e.panicVal != nil {
+				panic(e.panicVal)
+			}
+			if e.volatile {
+				continue // computed under an exhausted budget; recompute
+			}
+			sh.pathHits.Add(1)
+			return e.paths
+		}
+		e := &pathEntry{done: make(chan struct{})}
+		shard.m[key] = e
 		shard.mu.Unlock()
-		<-e.done
-		sh.pathHits.Add(1)
+
+		sh.pathMisses.Add(1)
+		trunc0 := sl.BudgetTruncations
+		func() {
+			defer func() {
+				e.panicVal = recover()
+				if e.panicVal != nil || sl.BudgetTruncations > trunc0 {
+					e.volatile = true
+					shard.mu.Lock()
+					delete(shard.m, key)
+					shard.mu.Unlock()
+				}
+				close(e.done)
+			}()
+			e.paths = sl.PathsFrom(src)
+		}()
+		if e.panicVal != nil {
+			panic(e.panicVal)
+		}
 		return e.paths
 	}
-	e := &pathEntry{done: make(chan struct{})}
-	shard.m[key] = e
-	shard.mu.Unlock()
-
-	sh.pathMisses.Add(1)
-	e.paths = sl.PathsFrom(src)
-	close(e.done)
-	return e.paths
 }
 
 // DetectParallel checks the specifications concurrently over the shared

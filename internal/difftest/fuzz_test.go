@@ -4,17 +4,20 @@ package difftest
 //
 //	go test -run='^$' -fuzz=FuzzInferPatch ./internal/difftest
 //	go test -run='^$' -fuzz=FuzzDetectDifferential ./internal/difftest
+//	go test -run='^$' -fuzz=FuzzDetectBudget ./internal/difftest
 //
 // Seed corpora live in testdata/fuzz/<target>/ (regenerate with
 // `go run ./internal/difftest/gencorpus`).
 
 import (
+	"context"
 	"encoding/json"
 	"sort"
 	"sync"
 	"testing"
 
 	"seal"
+	"seal/internal/budget"
 	"seal/internal/detect"
 	"seal/internal/infer"
 	"seal/internal/patch"
@@ -131,4 +134,52 @@ func sortedKeys(m map[string]string) []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// FuzzDetectBudget is the robustness fuzz target: detection under an
+// arbitrary (possibly absurdly tiny) step/memory/path/depth budget must
+// never panic and must terminate. Quantitative budgets degrade results,
+// they never quarantine units, and — because step/memory metering involves
+// no wall clock — a repeated single-worker run over a fresh substrate must
+// be byte-identical.
+func FuzzDetectBudget(f *testing.F) {
+	for i, seed := range []int64{0, 1, 2} {
+		c := randprog.GenPatchCase(seed)
+		for _, name := range sortedKeys(c.Target) {
+			f.Add(c.Target[name], int64(50*(i+1)), int64(1<<10), 2, 3)
+			break
+		}
+	}
+	f.Add("int lone() { return 0; }\n", int64(1), int64(1), 1, 1)
+	f.Fuzz(func(t *testing.T, src string, maxSteps, maxMem int64, maxPaths, maxDepth int) {
+		if len(src) > 32<<10 {
+			t.Skip("oversized input")
+		}
+		specs, err := getFuzzSpecs()
+		if err != nil {
+			t.Fatalf("building fuzz spec set: %v", err)
+		}
+		target, err := seal.LoadFiles(map[string]string{"fuzz.c": src})
+		if err != nil {
+			return
+		}
+		lim := budget.Limits{MaxSteps: maxSteps, MaxMemBytes: maxMem, MaxPaths: maxPaths, MaxDepth: maxDepth}
+		run := func(workers int) *detect.Result {
+			res, err := detect.NewShared(target.Prog).DetectParallelCtx(context.Background(), specs, workers, lim)
+			if err != nil {
+				t.Fatalf("workers=%d: %v", workers, err)
+			}
+			return res
+		}
+		ref := run(1)
+		for _, fr := range ref.Failures {
+			t.Fatalf("quantitative budget must degrade, not quarantine: %s", fr)
+		}
+		if got, want := NormalizeBugs(run(1).Bugs), NormalizeBugs(ref.Bugs); got != want {
+			t.Fatalf("budgeted detection nondeterministic at workers=1:\n%s\nvs\n%s", got, want)
+		}
+		for _, fr := range run(4).Failures {
+			t.Fatalf("workers=4: quantitative budget must degrade, not quarantine: %s", fr)
+		}
+	})
 }

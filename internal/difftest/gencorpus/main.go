@@ -20,12 +20,22 @@ import (
 )
 
 func writeEntry(dir, name string, args ...string) error {
+	lines := make([]string, len(args))
+	for i, a := range args {
+		lines[i] = "string(" + strconv.Quote(a) + ")"
+	}
+	return writeRaw(dir, name, lines...)
+}
+
+// writeRaw writes a corpus entry from already-encoded argument lines (e.g.
+// `int64(7)`), for targets with non-string arguments.
+func writeRaw(dir, name string, lines ...string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
 	content := "go test fuzz v1\n"
-	for _, a := range args {
-		content += "string(" + strconv.Quote(a) + ")\n"
+	for _, l := range lines {
+		content += l + "\n"
 	}
 	return os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644)
 }
@@ -78,6 +88,27 @@ func main() {
 		c := randprog.GenPatchCase(int64(i))
 		for _, file := range sorted(c.Target) {
 			if err := writeEntry(detectDir, "target_"+string(c.Kind), c.Target[file]); err != nil {
+				fail(err)
+			}
+			break
+		}
+	}
+
+	// Budget seeds: the same targets paired with tiny step/memory/path/depth
+	// budgets, so FuzzDetectBudget starts from inputs that actually trip
+	// each budget dimension.
+	budgetDir := filepath.Join("internal", "difftest", "testdata", "fuzz", "FuzzDetectBudget")
+	budgets := [][4]string{
+		{"int64(50)", "int64(1024)", "int(2)", "int(3)"},
+		{"int64(1)", "int64(1)", "int(1)", "int(1)"},
+		{"int64(10000)", "int64(64)", "int(4)", "int(8)"},
+	}
+	for i := range randprog.AllMutKinds {
+		c := randprog.GenPatchCase(int64(i))
+		b := budgets[i%len(budgets)]
+		for _, file := range sorted(c.Target) {
+			if err := writeRaw(budgetDir, "budget_"+string(c.Kind),
+				"string("+strconv.Quote(c.Target[file])+")", b[0], b[1], b[2], b[3]); err != nil {
 				fail(err)
 			}
 			break

@@ -8,6 +8,7 @@ package infer
 import (
 	"sort"
 
+	"seal/internal/budget"
 	"seal/internal/ir"
 	"seal/internal/patch"
 	"seal/internal/pdg"
@@ -137,10 +138,35 @@ func isUseSite(s *ir.Stmt) bool {
 // CollectPaths slices every criterion and returns the deduplicated union
 // of value-flow paths.
 func CollectPaths(g *pdg.Graph, criteria []*ir.Stmt) []*vfp.Path {
+	return CollectPathsBudget(g, criteria, nil, nil)
+}
+
+// CollectPathsBudget is CollectPaths metered against a unit budget, with
+// truncation counters accumulated into trunc (both optional). Slicing stops
+// charging once the budget is exhausted; the paths gathered so far are
+// returned, individually marked Truncated where their enumeration was cut
+// short.
+func CollectPathsBudget(g *pdg.Graph, criteria []*ir.Stmt, b *budget.Budget, trunc *TruncCount) []*vfp.Path {
 	sl := vfp.NewSlicer(g)
+	sl.Budget = b
+	if b != nil {
+		sl.ApplyLimits(b.Limits())
+	}
 	var all []*vfp.Path
 	for _, c := range criteria {
 		all = append(all, sl.Collect(c)...)
 	}
+	if trunc != nil {
+		trunc.Total += sl.Truncations
+		trunc.Budget += sl.BudgetTruncations
+	}
 	return vfp.DedupePaths(all)
+}
+
+// TruncCount accumulates the counted truncation warnings of a slicing
+// phase: Total counts every cut-short enumeration, Budget the subset cut by
+// the dynamic unit budget rather than the deterministic path/depth caps.
+type TruncCount struct {
+	Total  int64
+	Budget int64
 }

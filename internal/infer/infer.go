@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"seal/internal/budget"
 	"seal/internal/ir"
 	"seal/internal/patch"
 	"seal/internal/pdg"
@@ -23,6 +24,12 @@ type Stats struct {
 	PPsi      int
 	POmega    int
 	Relations int
+	// Truncations / BudgetTruncations count the slicing enumerations cut
+	// short during this patch's path collection (by any cap, and by the
+	// dynamic unit budget respectively) — the counted warning that replaces
+	// the formerly silent MaxPaths/MaxDepth cutoff.
+	Truncations       int64
+	BudgetTruncations int64
 }
 
 // Result is the inference output for one patch.
@@ -36,6 +43,14 @@ type Result struct {
 // demand-driven PDG construction, criteria selection, path collection,
 // classification (Alg. 1), and deduction (Alg. 2).
 func InferPatch(a *patch.Analyzed) *Result {
+	return InferPatchBudget(a, nil)
+}
+
+// InferPatchBudget is InferPatch metered against one unit's budget: path
+// collection on both patch sides charges slicing steps and path memory, so
+// a pathological patch exhausts its own budget (and is marked Degraded by
+// the caller) instead of monopolizing the run. A nil budget is unmetered.
+func InferPatchBudget(a *patch.Analyzed, b *budget.Budget) *Result {
 	gPre := pdg.New(a.PreProg)
 	gPost := pdg.New(a.PostProg)
 
@@ -46,16 +61,19 @@ func InferPatch(a *patch.Analyzed) *Result {
 	// both sides.
 	critPre = MergeCriteria(critPre, CounterpartStmts(critPost, a.PreProg))
 	critPost = MergeCriteria(critPost, CounterpartStmts(critPre, a.PostProg))
-	prePaths := CollectPaths(gPre, critPre)
-	postPaths := CollectPaths(gPost, critPost)
+	var trunc TruncCount
+	prePaths := CollectPathsBudget(gPre, critPre, b, &trunc)
+	postPaths := CollectPathsBudget(gPost, critPost, b, &trunc)
 
 	cls := Classify(gPre, gPost, prePaths, postPaths)
 	res := &Result{
 		PatchID: a.Patch.ID,
 		Stats: Stats{
-			Criteria:  len(critPre) + len(critPost),
-			PrePaths:  len(prePaths),
-			PostPaths: len(postPaths),
+			Criteria:          len(critPre) + len(critPost),
+			PrePaths:          len(prePaths),
+			PostPaths:         len(postPaths),
+			Truncations:       trunc.Total,
+			BudgetTruncations: trunc.Budget,
 		},
 	}
 	res.Specs = Deduce(a.Patch.ID, gPre, gPost, cls, &res.Stats)

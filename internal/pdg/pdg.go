@@ -77,6 +77,12 @@ type Stats struct {
 // buildState is the single-flight slot of one function's construction.
 type buildState struct {
 	done chan struct{}
+	// panicVal records a panic that aborted this build. It is written
+	// before done is closed (the close is the happens-before edge), and
+	// waiters re-panic with it: a crashing build must take down every
+	// unit that needs the function — inside their own panic containment —
+	// instead of deadlocking them on a never-closed channel.
+	panicVal any
 }
 
 // Graph is the (demand-driven) PDG over a program.
@@ -169,14 +175,14 @@ func (g *Graph) Ensure(fn *ir.Func) {
 	st, ok := g.building[fn]
 	g.mu.RUnlock()
 	if ok {
-		<-st.done
+		st.wait()
 		return
 	}
 
 	g.mu.Lock()
 	if st, ok := g.building[fn]; ok {
 		g.mu.Unlock()
-		<-st.done
+		st.wait()
 		return
 	}
 	st = &buildState{done: make(chan struct{})}
@@ -184,8 +190,45 @@ func (g *Graph) Ensure(fn *ir.Func) {
 	g.mu.Unlock()
 
 	g.ensureBuilds.Add(1)
-	g.build(fn)
-	close(st.done)
+	func() {
+		defer func() {
+			st.panicVal = recover()
+			close(st.done)
+		}()
+		g.build(fn)
+	}()
+	if st.panicVal != nil {
+		panic(st.panicVal)
+	}
+}
+
+// wait blocks until the build completes, re-panicking if it crashed.
+func (st *buildState) wait() {
+	<-st.done
+	if st.panicVal != nil {
+		panic(st.panicVal)
+	}
+}
+
+// EnsureBudget is Ensure with resource metering: the build's approximate
+// cost is charged via step (an analysis-step sink, typically Budget.Step)
+// before the single-flight slot is claimed, so an exhausted unit stops
+// triggering new subgraph builds without ever leaving a half-built
+// function in the shared substrate — budgets abort units, not builds.
+func (g *Graph) EnsureBudget(fn *ir.Func, step func(int64) error) error {
+	if fn == nil || step == nil {
+		g.Ensure(fn)
+		return nil
+	}
+	cost := int64(1)
+	if !g.Built(fn) {
+		cost += int64(len(fn.Stmts()))
+	}
+	if err := step(cost); err != nil {
+		return err
+	}
+	g.Ensure(fn)
+	return nil
 }
 
 // build runs the per-function analyses outside the graph lock and installs

@@ -26,6 +26,30 @@ func Sat(f Formula) bool {
 	return false
 }
 
+// SatBudget is Sat with resource metering: each DNF conjunct's feasibility
+// check charges one unit via step (an analysis-step sink, typically
+// Budget.Step). On exhaustion it answers conservatively — "satisfiable" —
+// exactly like the DNF size cap, so a budgeted run can only keep more
+// candidate reports than an unmetered one, never invent unsound pruning.
+func SatBudget(f Formula, step func(int64) error) bool {
+	if step == nil {
+		return Sat(f)
+	}
+	conjs, ok := toDNF(nnf(f))
+	if !ok {
+		return true // too large: conservative
+	}
+	for _, conj := range conjs {
+		if err := step(1 + int64(len(conj))/8); err != nil {
+			return true // budget exhausted: conservative
+		}
+		if feasible(conj) {
+			return true
+		}
+	}
+	return false
+}
+
 // Unsat reports whether f is definitely unsatisfiable.
 func Unsat(f Formula) bool { return !Sat(f) }
 

@@ -20,6 +20,13 @@ type Path struct {
 	Source Endpoint
 	Sink   Endpoint
 
+	// Truncated marks paths from an enumeration cut short by a path/depth
+	// cap or a resource budget: an empty result set means "no path", a
+	// truncated one means "budget exhausted — there may be more". Not part
+	// of Signature: identical paths from complete and truncated
+	// enumerations still dedupe together.
+	Truncated bool
+
 	sig atomic.Pointer[string]
 
 	psiMu    sync.Mutex

@@ -1,9 +1,20 @@
 package vfp
 
 import (
+	"seal/internal/budget"
 	"seal/internal/ir"
 	"seal/internal/pdg"
 )
+
+// TruncateEvent describes one path enumeration cut short by a cap or
+// budget — surfaced so truncation is counted and logged, never silent.
+type TruncateEvent struct {
+	// Criterion is the statement whose enumeration was truncated.
+	Criterion *ir.Stmt
+	// Reason is the cap that fired (path-cap, depth-cap, step-budget,
+	// memory-budget, deadline).
+	Reason budget.Reason
+}
 
 // Slicer collects value-flow paths by forward/backward traversal over the
 // PDG's data-dependence edges (paper §6.2: "the collection process is
@@ -22,11 +33,112 @@ type Slicer struct {
 	// results depend only on the region — not on which other functions
 	// happen to be materialized in a shared PDG.
 	Scope map[*ir.Func]bool
+	// Budget, when non-nil, meters traversal: every node expansion
+	// charges one step and every retained path charges memory, so a
+	// pathological criterion exhausts its unit's budget instead of the
+	// process. Nil means unmetered.
+	Budget *budget.Budget
+	// OnTruncate, when non-nil, is invoked once per truncated enumeration
+	// (the counted-warning hook; detection wires it into its stats).
+	OnTruncate func(TruncateEvent)
+
+	// Truncations counts enumerations cut short by any cap since the
+	// slicer was created.
+	Truncations int64
+	// BudgetTruncations counts the subset cut short by the dynamic
+	// budget (steps, memory, deadline) rather than the deterministic
+	// path/depth caps. Dynamic truncation makes results unit-specific:
+	// shared caches must not publish them.
+	BudgetTruncations int64
+
+	// trunc is the per-enumeration truncation state.
+	trunc struct {
+		fired     bool
+		budgetHit bool
+		reason    budget.Reason
+	}
 }
 
 // NewSlicer returns a slicer with the default bounds.
 func NewSlicer(g *pdg.Graph) *Slicer {
 	return &Slicer{G: g, MaxDepth: 24, MaxPaths: 400}
+}
+
+// ApplyLimits overrides the deterministic caps from a Limits value (zero
+// fields keep the current caps).
+func (sl *Slicer) ApplyLimits(l budget.Limits) {
+	if l.MaxPaths > 0 {
+		sl.MaxPaths = l.MaxPaths
+	}
+	if l.MaxDepth > 0 {
+		sl.MaxDepth = l.MaxDepth
+	}
+}
+
+// beginEnum resets the per-enumeration truncation state.
+func (sl *Slicer) beginEnum() {
+	sl.trunc.fired = false
+	sl.trunc.budgetHit = false
+	sl.trunc.reason = ""
+}
+
+// noteTrunc records one truncation cause; the first reason wins and the
+// event is surfaced once per enumeration.
+func (sl *Slicer) noteTrunc(reason budget.Reason) {
+	if !sl.trunc.fired {
+		sl.trunc.fired = true
+		sl.trunc.reason = reason
+	}
+	switch reason {
+	case budget.ReasonSteps, budget.ReasonMemory, budget.ReasonDeadline, budget.ReasonCanceled:
+		sl.trunc.budgetHit = true
+	}
+}
+
+// budgetStep charges one traversal step; a budget trip is recorded as a
+// truncation and stops the walk.
+func (sl *Slicer) budgetStep() bool {
+	if sl.Budget == nil {
+		return true
+	}
+	if err := sl.Budget.Step(1); err != nil {
+		sl.noteTrunc(budget.ClassifyErr(err))
+		return false
+	}
+	return true
+}
+
+// chargePath charges the memory cost of one retained path.
+func (sl *Slicer) chargePath(nodes int) bool {
+	if sl.Budget == nil {
+		return true
+	}
+	// Approximate retained size: node slice + path header.
+	if err := sl.Budget.Grow(int64(nodes)*16 + 96); err != nil {
+		sl.noteTrunc(budget.ClassifyErr(err))
+		return false
+	}
+	return true
+}
+
+// finishEnum settles an enumeration: counts the truncation, fires the
+// warning hook, and marks every produced path so downstream consumers can
+// tell "no path" from "enumeration cut short" (Path.Truncated).
+func (sl *Slicer) finishEnum(criterion *ir.Stmt, paths []*Path) []*Path {
+	if !sl.trunc.fired {
+		return paths
+	}
+	sl.Truncations++
+	if sl.trunc.budgetHit {
+		sl.BudgetTruncations++
+	}
+	if sl.OnTruncate != nil {
+		sl.OnTruncate(TruncateEvent{Criterion: criterion, Reason: sl.trunc.reason})
+	}
+	for _, p := range paths {
+		p.Truncated = true
+	}
+	return paths
 }
 
 // segment is a partial path: nodes in source-to-sink order.
@@ -38,6 +150,7 @@ type segment struct {
 // Collect gathers all source-to-sink value-flow paths passing through the
 // criterion statement (paper §6.2.1-6.2.2).
 func (sl *Slicer) Collect(criterion *ir.Stmt) []*Path {
+	sl.beginEnum()
 	backs := sl.backward(criterion)
 	fwds := sl.forward(criterion)
 	var out []*Path
@@ -46,18 +159,23 @@ func (sl *Slicer) Collect(criterion *ir.Stmt) []*Path {
 			nodes := make([]*ir.Stmt, 0, len(b.nodes)+len(f.nodes))
 			nodes = append(nodes, b.nodes...)
 			nodes = append(nodes, f.nodes...) // forward nodes exclude criterion
+			if !sl.chargePath(len(nodes)) {
+				return sl.finishEnum(criterion, DedupePaths(out))
+			}
 			out = append(out, &Path{Nodes: nodes, Source: b.ep, Sink: f.ep})
 			if len(out) >= sl.MaxPaths {
-				return DedupePaths(out)
+				sl.noteTrunc(budget.ReasonPaths)
+				return sl.finishEnum(criterion, DedupePaths(out))
 			}
 		}
 	}
-	return DedupePaths(out)
+	return sl.finishEnum(criterion, DedupePaths(out))
 }
 
 // PathsFrom gathers the value-flow paths starting at a source statement
 // (used by bug detection: the instantiated V elements are the sources).
 func (sl *Slicer) PathsFrom(source *ir.Stmt) []*Path {
+	sl.beginEnum()
 	ep, ok := classifySource(sl.G, source)
 	if !ok {
 		// Fall back to rootless classification on the statement's uses.
@@ -71,12 +189,16 @@ func (sl *Slicer) PathsFrom(source *ir.Stmt) []*Path {
 	var out []*Path
 	for _, f := range sl.forward(source) {
 		nodes := append([]*ir.Stmt{source}, f.nodes...)
+		if !sl.chargePath(len(nodes)) {
+			break
+		}
 		out = append(out, &Path{Nodes: nodes, Source: ep, Sink: f.ep})
 		if len(out) >= sl.MaxPaths {
+			sl.noteTrunc(budget.ReasonPaths)
 			break
 		}
 	}
-	return DedupePaths(out)
+	return sl.finishEnum(source, DedupePaths(out))
 }
 
 // crossesIndirect reports whether following the edge would cross an
@@ -122,7 +244,15 @@ func (sl *Slicer) backward(criterion *ir.Stmt) []segment {
 	visited := make(map[*ir.Stmt]bool)
 	var dfs func(cur *ir.Stmt, cameByParam bool, trail []*ir.Stmt)
 	dfs = func(cur *ir.Stmt, cameByParam bool, trail []*ir.Stmt) {
-		if len(out) >= sl.MaxPaths || len(trail) >= sl.maxDepth() {
+		if len(out) >= sl.MaxPaths {
+			sl.noteTrunc(budget.ReasonPaths)
+			return
+		}
+		if len(trail) >= sl.maxDepth() {
+			sl.noteTrunc(budget.ReasonDepth)
+			return
+		}
+		if !sl.budgetStep() {
 			return
 		}
 		trail = append(trail, cur)
@@ -199,7 +329,15 @@ func (sl *Slicer) forward(criterion *ir.Stmt) []segment {
 
 	var dfs func(cur *ir.Stmt, came pdg.Edge, trail []*ir.Stmt)
 	dfs = func(cur *ir.Stmt, came pdg.Edge, trail []*ir.Stmt) {
-		if len(out) >= sl.MaxPaths || len(trail) >= sl.maxDepth() {
+		if len(out) >= sl.MaxPaths {
+			sl.noteTrunc(budget.ReasonPaths)
+			return
+		}
+		if len(trail) >= sl.maxDepth() {
+			sl.noteTrunc(budget.ReasonDepth)
+			return
+		}
+		if !sl.budgetStep() {
 			return
 		}
 		trail = append(trail, cur)

@@ -1,0 +1,85 @@
+package seal
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLoadFilesTable pins the in-memory loading contract: parse errors and
+// cross-file function redefinitions surface as errors naming the offender,
+// and an empty input yields an empty (but usable) program.
+func TestLoadFilesTable(t *testing.T) {
+	tests := []struct {
+		name    string
+		files   map[string]string
+		wantErr string // substring of expected error ("" = success)
+		wantFns int
+	}{
+		{
+			name:    "two files link into one program",
+			files:   map[string]string{"a.c": loadDirSrcA, "b.c": loadDirSrcB},
+			wantFns: 2,
+		},
+		{
+			name:    "parse error names the file",
+			files:   map[string]string{"ok.c": loadDirSrcA, "broken.c": "int f( {\n"},
+			wantErr: "broken.c",
+		},
+		{
+			name: "duplicate function across files rejected",
+			files: map[string]string{
+				"a.c":   "int twice(int x) { return x; }\n",
+				"dup.c": "int twice(int x) { return x + 1; }\n",
+			},
+			wantErr: "twice",
+		},
+		{
+			name:    "empty input yields an empty program",
+			files:   map[string]string{},
+			wantFns: 0,
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			target, err := LoadFiles(tc.files)
+			if tc.wantErr != "" {
+				if err == nil {
+					t.Fatalf("expected error containing %q, got nil", tc.wantErr)
+				}
+				if !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := len(target.Prog.FuncList); got != tc.wantFns {
+				t.Fatalf("program has %d functions, want %d", got, tc.wantFns)
+			}
+		})
+	}
+}
+
+// TestMergeSpecDBsConflictingDuplicates pins the conflict semantics: two
+// specs on the same scope whose constraints disagree (one forbids the flow
+// the other requires) have distinct keys, so the merge keeps BOTH — merging
+// never silently resolves a contradiction in favor of one patch.
+func TestMergeSpecDBsConflictingDuplicates(t *testing.T) {
+	forbid := mkSpec("a/S0", "ops.prepare", "alloc", "patch-a")
+	require := mkSpec("b/S0", "ops.prepare", "alloc", "patch-b")
+	require.Constraint.Forbidden = false
+
+	merged := MergeSpecDBs(&SpecDB{Specs: []*Spec{forbid}}, &SpecDB{Specs: []*Spec{require}})
+	if len(merged.Specs) != 2 {
+		t.Fatalf("conflicting specs collapsed: %d specs survive, want 2", len(merged.Specs))
+	}
+	if merged.Specs[0].Constraint.Forbidden == merged.Specs[1].Constraint.Forbidden {
+		t.Fatal("merge lost one side of the conflict")
+	}
+	// Exact duplicates of a conflicting pair still collapse pairwise.
+	again := MergeSpecDBs(merged, merged)
+	if len(again.Specs) != 2 {
+		t.Fatalf("idempotent re-merge of the conflict yields %d specs, want 2", len(again.Specs))
+	}
+}

@@ -22,15 +22,19 @@
 package seal
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
+	"seal/internal/budget"
 	"seal/internal/cir"
 	"seal/internal/detect"
+	"seal/internal/faultinject"
 	"seal/internal/infer"
 	"seal/internal/ir"
 	"seal/internal/patch"
@@ -47,6 +51,17 @@ type (
 	SpecDB = spec.DB
 	// Bug is a reported specification violation.
 	Bug = detect.Bug
+	// Limits is the per-unit resource budget (deadline, steps, memory,
+	// path/depth caps, retry and failure policy).
+	Limits = budget.Limits
+	// FailureRecord is the structured quarantine record of one failed
+	// unit of work (one patch, or one detection region group).
+	FailureRecord = budget.FailureRecord
+	// Degradation marks a unit that completed with budget-truncated
+	// results.
+	Degradation = budget.Degradation
+	// DetectResult is the outcome of a fault-isolated detection run.
+	DetectResult = detect.Result
 )
 
 // Target is a loaded analysis target: a linked program plus its sources.
@@ -116,6 +131,12 @@ type Options struct {
 	// Workers is the number of patches processed concurrently
 	// (0 = sequential).
 	Workers int
+	// Limits is the per-unit resource budget applied by the context-aware
+	// entry points (InferSpecsContext). The zero value is unlimited.
+	Limits Limits
+	// FailFast aborts the run at the first quarantined patch instead of
+	// continuing with the remainder.
+	FailFast bool
 }
 
 // DefaultOptions enables validation with sequential processing.
@@ -127,6 +148,15 @@ type PatchOutcome struct {
 	Specs   int
 	Stats   infer.Stats
 	Err     error
+	// Failure is the quarantine record when the patch's unit of work
+	// panicked, timed out, or errored under InferSpecsContext.
+	Failure *FailureRecord
+	// Degraded marks a patch whose inference completed but was cut short
+	// by its budget (partial specs kept).
+	Degraded *Degradation
+	// Skipped marks a patch never attempted because the run aborted first
+	// (fail-fast or max-failures).
+	Skipped bool
 }
 
 // InferenceResult aggregates specification inference over a patch corpus.
@@ -137,6 +167,10 @@ type InferenceResult struct {
 	// ZeroRelationPatches counts patches yielding no relations (paper
 	// §8.2: 1,529 of 12,571).
 	ZeroRelationPatches int
+	// Failures lists the quarantined patches in input order.
+	Failures []*FailureRecord
+	// Degraded lists the budget-degraded patches in input order.
+	Degraded []Degradation
 }
 
 // Totals sums the per-origin relation counters across all patches.
@@ -217,6 +251,136 @@ func InferSpecs(patches []*Patch, opts Options) (*InferenceResult, error) {
 	return res, firstErr
 }
 
+// InferSpecsContext is InferSpecs with fault isolation: every patch runs as
+// one unit of work under ctx, opts.Limits, and panic containment. A patch
+// that panics, outlives its per-unit deadline, stalls, or errors is
+// quarantined — recorded as a FailureRecord on its outcome and in
+// res.Failures — without disturbing any other patch; a patch that merely
+// exhausts a quantitative budget completes Degraded with its partial specs
+// kept. With opts.Limits.Retry, a quarantined patch is re-attempted once
+// with a halved budget.
+//
+// The returned error is non-nil only for run-level aborts: the context was
+// canceled, opts.FailFast hit its first failure, or more than
+// opts.Limits.MaxFailures patches were quarantined. Per-patch problems are
+// never an error here (unlike InferSpecs) — callers decide how to surface
+// quarantines (cmd/seal exits 3).
+func InferSpecsContext(ctx context.Context, patches []*Patch, opts Options) (*InferenceResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	res := &InferenceResult{
+		DB:       &SpecDB{},
+		Outcomes: make([]PatchOutcome, len(patches)),
+	}
+	specLists := make([][]*Spec, len(patches))
+
+	var failures atomic.Int64
+	var aborted atomic.Bool
+
+	attempt := func(p *Patch, lim Limits, attemptNo int) (out []*Spec, st infer.Stats, fr *FailureRecord, deg *Degradation) {
+		b := budget.New(ctx, lim)
+		defer b.Close()
+		fr = budget.Protect("infer", p.ID, b, func() error {
+			if err := faultinject.Fire(b.Context(), "infer", p.ID, b); err != nil {
+				return err
+			}
+			a, err := p.Analyze()
+			if err != nil {
+				return err
+			}
+			ir := infer.InferPatchBudget(a, b)
+			sp := ir.Specs
+			if opts.Validate {
+				sp = detect.ValidateSpecsBudget(a.PostProg, sp, b)
+			}
+			out, st = sp, ir.Stats
+			return nil
+		})
+		if fr != nil {
+			fr.Attempts = attemptNo
+			return nil, st, fr, nil
+		}
+		if ex := b.Exhausted(); ex != nil {
+			deg = &Degradation{Unit: p.ID, Stage: "infer", Reason: ex.Reason, Detail: ex.Error()}
+		}
+		return out, st, nil, deg
+	}
+
+	run := func(i int) {
+		p := patches[i]
+		out := PatchOutcome{PatchID: p.ID}
+		if aborted.Load() || ctx.Err() != nil {
+			out.Skipped = true
+			res.Outcomes[i] = out
+			return
+		}
+		specs, st, fr, deg := attempt(p, opts.Limits, 1)
+		if fr != nil && opts.Limits.Retry {
+			specs, st, fr, deg = attempt(p, opts.Limits.Halved(), 2)
+		}
+		out.Stats = st
+		out.Failure = fr
+		out.Degraded = deg
+		if fr != nil {
+			out.Err = fmt.Errorf("%s: %s", fr.Reason, fr.Detail)
+			if n := failures.Add(1); opts.FailFast || (opts.Limits.MaxFailures > 0 && n > int64(opts.Limits.MaxFailures)) {
+				aborted.Store(true)
+			}
+		} else {
+			out.Specs = len(specs)
+			specLists[i] = specs
+		}
+		res.Outcomes[i] = out
+	}
+
+	if opts.Workers > 1 {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, opts.Workers)
+		for i := range patches {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				run(i)
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		for i := range patches {
+			run(i)
+		}
+	}
+
+	for i := range res.Outcomes {
+		o := &res.Outcomes[i]
+		if o.Failure != nil {
+			res.Failures = append(res.Failures, o.Failure)
+		}
+		if o.Degraded != nil {
+			res.Degraded = append(res.Degraded, *o.Degraded)
+		}
+		if o.Failure == nil && !o.Skipped && len(specLists[i]) == 0 {
+			res.ZeroRelationPatches++
+		}
+		res.DB.Specs = append(res.DB.Specs, specLists[i]...)
+	}
+	res.DB.Dedup()
+
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
+	if aborted.Load() {
+		if opts.FailFast {
+			return res, fmt.Errorf("infer: aborted on first quarantined patch (fail-fast)")
+		}
+		return res, fmt.Errorf("infer: aborted after %d quarantined patches (max %d)",
+			len(res.Failures), opts.Limits.MaxFailures)
+	}
+	return res, nil
+}
+
 // Detect runs stage ④: check every specification against the target and
 // return the deduplicated bug reports.
 func Detect(t *Target, specs []*Spec) []*Bug {
@@ -242,6 +406,19 @@ func DetectParallelStats(t *Target, specs []*Spec, workers int) ([]*Bug, DetectS
 	sh := detect.NewShared(t.Prog)
 	bugs := sh.DetectParallel(specs, workers)
 	return bugs, sh.Stats()
+}
+
+// DetectContext is the fault-isolated detection entry point: every region
+// group (all specs sharing one detection scope) runs as one unit of work
+// under ctx, limits, and panic containment. Quarantined units are reported
+// as FailureRecords with their results dropped; budget-exhausted units
+// finish Degraded with partial results kept; all remaining output is
+// byte-identical to an unfaulted run. The error is non-nil only for
+// run-level aborts (context canceled, or more than limits.MaxFailures units
+// quarantined) — the partial DetectResult is valid either way.
+func DetectContext(ctx context.Context, t *Target, specs []*Spec, workers int, limits Limits) (*DetectResult, error) {
+	sh := detect.NewShared(t.Prog)
+	return sh.DetectParallelCtx(ctx, specs, workers, limits)
 }
 
 // MergeSpecDBs unions specification databases, deduplicating by constraint
