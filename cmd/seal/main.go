@@ -29,8 +29,10 @@ import (
 	"seal/internal/eval"
 	"seal/internal/faultinject"
 	"seal/internal/kernelgen"
+	"seal/internal/obs"
 	"seal/internal/patch"
 	"seal/internal/report"
+	"seal/internal/solver"
 	"seal/internal/spec"
 )
 
@@ -165,6 +167,86 @@ func (lf *limitFlags) limits() seal.Limits {
 	}
 }
 
+// obsFlags is the shared observability flag set of infer and detect: a
+// JSON run manifest, Prometheus-text metrics, and a stderr progress ticker.
+// When none is requested, no recorder is created and the pipeline pays
+// only nil checks.
+type obsFlags struct {
+	manifestOut string
+	metricsOut  string
+	progress    bool
+	// sat0 is the solver's check counter at recorder creation, so the
+	// exported figure is this run's delta even when several commands run
+	// in one process (tests).
+	sat0 int64
+}
+
+func addObsFlags(fs *flag.FlagSet) *obsFlags {
+	of := &obsFlags{}
+	fs.StringVar(&of.manifestOut, "manifest-out", "", "write a JSON run manifest (inputs, per-unit outcomes, cache stats, slowest units) to this file")
+	fs.StringVar(&of.metricsOut, "metrics-out", "", "write run metrics in Prometheus text exposition format to this file")
+	fs.BoolVar(&of.progress, "progress", false, "print progress (units done/total, degraded, quarantined) to stderr every 2s")
+	return of
+}
+
+// recorder creates the run's recorder when any observability output was
+// requested; nil otherwise (the disabled instrument).
+func (of *obsFlags) recorder(command string) *obs.Recorder {
+	if of.manifestOut == "" && of.metricsOut == "" && !of.progress {
+		return nil
+	}
+	of.sat0 = solver.SatChecks()
+	rec := obs.New()
+	rec.StartRun(command)
+	return rec
+}
+
+// startProgress launches the stderr ticker when requested (nil-safe Stop).
+func (of *obsFlags) startProgress(rec *obs.Recorder, label string) *obs.Progress {
+	if !of.progress {
+		return nil
+	}
+	return obs.StartProgress(os.Stderr, rec, label, 0)
+}
+
+// finish derives the outcome and duration metrics from the recorded run
+// and writes the requested artifacts. cache, when non-nil, attaches the
+// shared-substrate counters to the manifest.
+func (of *obsFlags) finish(rec *obs.Recorder, command string, workers int, inputs map[string]string, cache *obs.CacheStats) error {
+	if rec == nil {
+		return nil
+	}
+	m := rec.BuildManifest(command, workers, inputs, 10)
+	if cache != nil {
+		m.SetCache(*cache)
+	}
+	reg := rec.Registry()
+	reg.Counter("seal_solver_sat_checks_total", "satisfiability checks performed").Add(solver.SatChecks() - of.sat0)
+	reg.Counter("seal_units_ok_total", "units of work completing normally").Add(int64(m.Outcomes.OK))
+	reg.Counter("seal_units_degraded_total", "units completing with budget-truncated results").Add(int64(m.Outcomes.Degraded))
+	reg.Counter("seal_units_quarantined_total", "units isolated after a panic, deadline, or error").Add(int64(m.Outcomes.Quarantined))
+	reg.Counter("seal_units_skipped_total", "units never attempted because the run aborted").Add(int64(m.Outcomes.Skipped))
+	h := reg.Histogram("seal_unit_duration_seconds", "wall time of one unit of work", obs.DefaultDurationBuckets)
+	for _, u := range m.Units {
+		h.Observe(u.DurMS / 1e3)
+	}
+	// Re-snapshot so the manifest sees the derived counters too.
+	m.Counters = reg.Snapshot()
+	if of.metricsOut != "" {
+		var sb strings.Builder
+		if err := reg.WritePrometheus(&sb); err != nil {
+			return err
+		}
+		if err := os.WriteFile(of.metricsOut, []byte(sb.String()), 0o644); err != nil {
+			return err
+		}
+	}
+	if of.manifestOut != "" {
+		return m.WriteFile(of.manifestOut)
+	}
+	return nil
+}
+
 // writeFailures dumps the quarantine records as JSON when requested.
 func (lf *limitFlags) writeFailures(frs []*seal.FailureRecord) error {
 	if lf.failuresOut == "" {
@@ -272,6 +354,7 @@ func cmdInfer(args []string) error {
 	verbose := fs.Bool("v", false, "per-patch statistics")
 	failFast := fs.Bool("fail-fast", false, "abort at the first quarantined patch (exit 1) instead of continuing")
 	lf := addLimitFlags(fs)
+	of := addObsFlags(fs)
 	fs.Parse(args)
 	if *patchesDir == "" || *out == "" {
 		return fmt.Errorf("infer: -patches and -out are required")
@@ -280,12 +363,16 @@ func cmdInfer(args []string) error {
 	if err != nil {
 		return err
 	}
+	rec := of.recorder("infer")
+	pg := of.startProgress(rec, "infer")
 	res, runErr := seal.InferSpecsContext(context.Background(), patches, seal.Options{
 		Validate: !*noValidate,
 		Workers:  *workers,
 		Limits:   lf.limits(),
 		FailFast: *failFast,
+		Obs:      rec,
 	})
+	pg.Stop()
 	for _, d := range res.Degraded {
 		fmt.Fprintln(os.Stderr, "seal:", d.String())
 	}
@@ -295,7 +382,29 @@ func cmdInfer(args []string) error {
 	if err := lf.writeFailures(res.Failures); err != nil {
 		return err
 	}
+	finishObs := func() error {
+		if rec == nil {
+			return nil
+		}
+		t := res.Totals()
+		reg := rec.Registry()
+		reg.Counter("seal_infer_patches_total", "security patches processed").Add(int64(len(patches)))
+		reg.Counter("seal_infer_specs_total", "specifications inferred this run").Add(int64(len(res.DB.Specs)))
+		reg.Counter("seal_infer_zero_relation_patches_total", "patches yielding no relation").Add(int64(res.ZeroRelationPatches))
+		reg.Counter("seal_infer_relations_pminus_total", "P- (removed-path) relations").Add(int64(t.PMinus))
+		reg.Counter("seal_infer_relations_pplus_total", "P+ (added-path) relations").Add(int64(t.PPlus))
+		reg.Counter("seal_infer_relations_ppsi_total", "PΨ (order) relations").Add(int64(t.PPsi))
+		reg.Counter("seal_infer_relations_pomega_total", "PΩ (condition) relations").Add(int64(t.POmega))
+		inputs := map[string]string{"patches": *patchesDir, "out": *out}
+		if *noValidate {
+			inputs["validate"] = "false"
+		}
+		return of.finish(rec, "infer", *workers, inputs, nil)
+	}
 	if runErr != nil {
+		if err := finishObs(); err != nil {
+			return err
+		}
 		return runErr
 	}
 	if *verbose {
@@ -330,6 +439,9 @@ func cmdInfer(args []string) error {
 	fmt.Printf("inferred %d specifications from %d patches (%d zero-relation) -> %s\n",
 		len(db.Specs), len(patches), res.ZeroRelationPatches, *out)
 	fmt.Printf("relations: P-=%d P+=%d PΨ=%d PΩ=%d\n", t.PMinus, t.PPlus, t.PPsi, t.POmega)
+	if err := finishObs(); err != nil {
+		return err
+	}
 	if n := len(res.Failures); n > 0 {
 		return quarantineErr{stage: "infer", n: n}
 	}
@@ -346,6 +458,7 @@ func cmdDetect(args []string) error {
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	lf := addLimitFlags(fs)
+	of := addObsFlags(fs)
 	fs.Parse(args)
 	if *target == "" || *specFile == "" {
 		return fmt.Errorf("detect: -target and -specs are required")
@@ -367,7 +480,10 @@ func cmdDetect(args []string) error {
 	if err := json.Unmarshal(data, &db); err != nil {
 		return err
 	}
-	res, runErr := seal.DetectContext(context.Background(), t, db.Specs, *workers, lf.limits())
+	rec := of.recorder("detect")
+	pg := of.startProgress(rec, "detect")
+	res, runErr := seal.DetectContextObs(context.Background(), t, db.Specs, *workers, lf.limits(), rec)
+	pg.Stop()
 	bugs, st := res.Bugs, res.Stats
 	if *stats {
 		fmt.Fprintf(os.Stderr, "substrate: pdg builds=%d/%d calls, path cache hits=%d misses=%d (%.1f%%), index lookups=%d\n",
@@ -387,21 +503,58 @@ func cmdDetect(args []string) error {
 	if err := lf.writeFailures(res.Failures); err != nil {
 		return err
 	}
+	var renderSecs float64
+	finishObs := func() error {
+		if rec == nil {
+			return nil
+		}
+		reg := rec.Registry()
+		reg.Counter("seal_detect_specs_total", "specifications checked").Add(int64(len(db.Specs)))
+		reg.Counter("seal_detect_bugs_total", "bug reports emitted").Add(int64(len(bugs)))
+		reg.Counter("seal_pdg_ensure_calls_total", "PDG ensure calls against the shared substrate").Add(st.EnsureCalls)
+		reg.Counter("seal_pdg_builds_total", "PDGs actually built (single-flight misses)").Add(st.EnsureBuilds)
+		reg.Gauge("seal_pdg_build_seconds_total", "wall time spent building PDGs").Set(float64(st.PDGBuildNanos) / 1e9)
+		reg.Counter("seal_path_cache_hits_total", "shared path-cache hits").Add(st.PathCacheHits)
+		reg.Counter("seal_path_cache_misses_total", "shared path-cache misses").Add(st.PathCacheMisses)
+		reg.Gauge("seal_path_cache_hit_ratio", "path-cache hit rate in [0,1]").Set(st.PathHitRate())
+		reg.Counter("seal_index_lookups_total", "program-index lookups").Add(st.IndexLookups)
+		reg.Counter("seal_path_enumerations_total", "slicer path enumerations").Add(st.PathEnumerations)
+		reg.Counter("seal_truncations_total", "budget-truncated path enumerations").Add(st.Truncations)
+		reg.Gauge("seal_report_render_seconds", "wall time spent rendering reports").Set(renderSecs)
+		cache := &obs.CacheStats{
+			PDGEnsureCalls:   st.EnsureCalls,
+			PDGBuilds:        st.EnsureBuilds,
+			PathCacheHits:    st.PathCacheHits,
+			PathCacheMisses:  st.PathCacheMisses,
+			PathHitRatePct:   100 * st.PathHitRate(),
+			IndexLookups:     st.IndexLookups,
+			PathEnumerations: st.PathEnumerations,
+			Truncations:      st.Truncations,
+		}
+		inputs := map[string]string{"target": *target, "specs": *specFile}
+		return of.finish(rec, "detect", *workers, inputs, cache)
+	}
 	if runErr != nil {
+		if err := finishObs(); err != nil {
+			return err
+		}
 		return runErr
 	}
+	renderStart := time.Now()
 	if *full {
 		fmt.Print(report.RenderAll(bugs, map[string]*patch.Patch{}))
-		if n := len(res.Failures); n > 0 {
-			return quarantineErr{stage: "detect", n: n}
+		fmt.Print(report.RenderRobustness(res.Degraded, res.Failures))
+	} else {
+		for _, b := range bugs {
+			fmt.Println(b.String())
 		}
-		return nil
+		sum := report.Summarize(bugs)
+		fmt.Printf("---\n%d reports over %d specs\n", sum.Total, len(db.Specs))
 	}
-	for _, b := range bugs {
-		fmt.Println(b.String())
+	renderSecs = time.Since(renderStart).Seconds()
+	if err := finishObs(); err != nil {
+		return err
 	}
-	sum := report.Summarize(bugs)
-	fmt.Printf("---\n%d reports over %d specs\n", sum.Total, len(db.Specs))
 	if n := len(res.Failures); n > 0 {
 		return quarantineErr{stage: "detect", n: n}
 	}

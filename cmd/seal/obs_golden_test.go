@@ -1,0 +1,105 @@
+package main
+
+// Determinism goldens for the observability artifacts: after redaction
+// (wall-clock durations, spend attribution, and worker count normalized
+// out), the run manifest and the Prometheus metrics must be byte-identical
+// whether detection ran with 1, 2, or 4 workers — the same contract the
+// bug reports already obey. Regenerate after an intentional change with
+//
+//	go test ./cmd/seal -run TestObsGolden -update
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"seal/internal/obs"
+)
+
+// redactedManifest loads path and renders its determinism-normalized form.
+func redactedManifest(t *testing.T, path string) string {
+	t.Helper()
+	m, err := obs.ReadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := m.Redact().MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// redactedMetrics loads a Prometheus text file with every timing series
+// zeroed.
+func redactedMetrics(t *testing.T, path string) string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return obs.RedactTimings(string(data))
+}
+
+// TestObsGoldenDeterminism runs infer and detect under several worker
+// counts, each writing a manifest and a metrics file, and requires the
+// redacted artifacts to be byte-identical across worker counts and to
+// match the checked-in goldens.
+func TestObsGoldenDeterminism(t *testing.T) {
+	dir := t.TempDir()
+	corpusDir := filepath.Join(dir, "corpus")
+	specFile := filepath.Join(dir, "specs.json")
+	sanitize := func(s string) string {
+		return strings.ReplaceAll(s, dir, "$WORK")
+	}
+	if err := cmdGen([]string{"-out", corpusDir}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Infer under -workers 1 and 4: per-patch analysis is independent, so
+	// the redacted manifest may not depend on scheduling.
+	var inferManifests []string
+	for _, workers := range []int{1, 4} {
+		manifest := filepath.Join(dir, fmt.Sprintf("infer_manifest_%d.json", workers))
+		metrics := filepath.Join(dir, fmt.Sprintf("infer_metrics_%d.txt", workers))
+		captureStdout(t, func() error {
+			return cmdInfer([]string{
+				"-patches", filepath.Join(corpusDir, "patches"), "-out", specFile,
+				"-workers", fmt.Sprint(workers),
+				"-manifest-out", manifest, "-metrics-out", metrics,
+			})
+		})
+		inferManifests = append(inferManifests, sanitize(redactedManifest(t, manifest))+"\n---\n"+redactedMetrics(t, metrics))
+	}
+	for i, m := range inferManifests[1:] {
+		if m != inferManifests[0] {
+			t.Errorf("redacted infer artifacts differ between -workers 1 and -workers %d:\n%s\nvs\n%s",
+				[]int{4}[i], inferManifests[0], m)
+		}
+	}
+	checkGolden(t, "infer_manifest", inferManifests[0])
+
+	// Detect under -workers 1, 2, and 4 over the shared substrate.
+	var detectManifests []string
+	for _, workers := range []int{1, 2, 4} {
+		manifest := filepath.Join(dir, fmt.Sprintf("detect_manifest_%d.json", workers))
+		metrics := filepath.Join(dir, fmt.Sprintf("detect_metrics_%d.txt", workers))
+		captureStdout(t, func() error {
+			return cmdDetect([]string{
+				"-target", filepath.Join(corpusDir, "tree"), "-specs", specFile,
+				"-workers", fmt.Sprint(workers),
+				"-manifest-out", manifest, "-metrics-out", metrics,
+			})
+		})
+		detectManifests = append(detectManifests, sanitize(redactedManifest(t, manifest))+"\n---\n"+redactedMetrics(t, metrics))
+	}
+	for i, m := range detectManifests[1:] {
+		if m != detectManifests[0] {
+			t.Errorf("redacted detect artifacts differ between -workers 1 and -workers %d:\n%s\nvs\n%s",
+				[]int{2, 4}[i], detectManifests[0], m)
+		}
+	}
+	checkGolden(t, "detect_manifest", detectManifests[0])
+}

@@ -260,6 +260,19 @@ func (b *Budget) Exhausted() *ErrExhausted {
 	return b.exhausted.Load()
 }
 
+// Spend is a point-in-time snapshot of a budget's consumption, used to
+// attribute resource deltas to observability spans and run manifests.
+type Spend struct {
+	Steps    int64 `json:"steps"`
+	MemBytes int64 `json:"mem_bytes,omitempty"`
+}
+
+// Spend snapshots the budget's current consumption (zero for the nil
+// budget).
+func (b *Budget) Spend() Spend {
+	return Spend{Steps: b.StepsSpent(), MemBytes: b.MemSpent()}
+}
+
 // StepsSpent returns the steps charged so far.
 func (b *Budget) StepsSpent() int64 {
 	if b == nil {

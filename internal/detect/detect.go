@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"seal/internal/budget"
 	"seal/internal/infer"
@@ -78,6 +79,17 @@ type Detector struct {
 	// solver calls) against one unit's budget. Nil means unmetered — the
 	// default fast path pays nothing beyond nil checks.
 	bud *budget.Budget
+	// clk, when set, accumulates per-stage wall time (slice vs solve) for
+	// this detector's unit span. Nil — the default — means no clock reads
+	// on the hot path.
+	clk *stageClock
+}
+
+// stageClock accumulates the wall time of a unit's detection stages. Plain
+// fields: a Detector is single-goroutine.
+type stageClock struct {
+	sliceNs int64
+	solveNs int64
 }
 
 // SetBudget binds the detector to a unit's budget: the slicer, PDG
@@ -245,6 +257,10 @@ func (d *Detector) checkRegion(s *spec.Spec, fn *ir.Func) *Bug {
 // within a region; the cache is shared across all workers of the
 // substrate.
 func (d *Detector) paths(src *ir.Stmt, rc *regionCtx) []*vfp.Path {
+	if d.clk != nil {
+		t0 := time.Now()
+		defer func() { d.clk.sliceNs += time.Since(t0).Nanoseconds() }()
+	}
 	if d.DisableMemo {
 		return d.sl.PathsFrom(src)
 	}
@@ -481,6 +497,10 @@ func (d *Detector) checkOrder(s *spec.Spec, rc *regionCtx) *Bug {
 func (d *Detector) condConsistent(p *vfp.Path, cond solver.Formula) bool {
 	if cond == nil || d.IgnoreConditions {
 		return true
+	}
+	if d.clk != nil {
+		t0 := time.Now()
+		defer func() { d.clk.solveNs += time.Since(t0).Nanoseconds() }()
 	}
 	psi := d.ab.AbstractPsi(p)
 	if d.bud != nil {

@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"seal/internal/budget"
 	"seal/internal/faultinject"
+	"seal/internal/obs"
 	"seal/internal/spec"
 )
 
@@ -34,6 +36,13 @@ type groupOutcome struct {
 	failure  *budget.FailureRecord
 	degraded *budget.Degradation
 	retried  bool
+	// Observability payload of the attempt: bug count, budget spend, the
+	// slice/solve stage clocks, and slicer truncations.
+	bugs    int
+	spend   budget.Spend
+	sliceNs int64
+	solveNs int64
+	truncs  int64
 }
 
 // DetectParallelCtx is DetectParallel with fault isolation: every region
@@ -59,6 +68,7 @@ func (sh *Shared) DetectParallelCtx(ctx context.Context, specs []*spec.Spec, wor
 	if workers > len(groups) {
 		workers = len(groups)
 	}
+	sh.rec.SetUnitsTotal(len(groups))
 	perSpec := make([][]*Bug, len(specs))
 	outcomes := make([]groupOutcome, len(groups))
 	var quarantined atomic.Int64
@@ -124,13 +134,37 @@ func (sh *Shared) DetectParallelCtx(ctx context.Context, specs []*spec.Spec, wor
 }
 
 // runGroup executes one unit of work, retrying once with a halved budget
-// when configured. The unit id is the group's detection scope.
+// when configured. The unit id is the group's detection scope. When the
+// substrate has a recorder, the whole group — both attempts — is one unit
+// span carrying the verdict, stage clocks, and budget spend.
 func (sh *Shared) runGroup(ctx context.Context, specs []*spec.Spec, idxs []int, perSpec [][]*Bug, limits budget.Limits) groupOutcome {
 	unit := specs[idxs[0]].Scope()
+	span := sh.rec.Unit("detect", unit)
+	attempts := 1
 	oc := sh.runUnit(ctx, specs, idxs, perSpec, limits, unit, 1)
 	if oc.failure != nil && limits.Retry {
+		attempts = 2
 		oc = sh.runUnit(ctx, specs, idxs, perSpec, limits.Halved(), unit, 2)
 		oc.retried = true
+	}
+	if span != nil {
+		if attempts > 1 {
+			span.SetAttempts(attempts)
+		}
+		span.SetCounts(len(idxs), oc.bugs)
+		span.AddStage("slice", time.Duration(oc.sliceNs), 0)
+		span.AddStage("solve", time.Duration(oc.solveNs), 0)
+		if oc.truncs > 0 {
+			span.Annotate("truncated", fmt.Sprintf("%d path enumerations cut short", oc.truncs))
+		}
+		switch {
+		case oc.failure != nil:
+			span.SetOutcome(obs.OutcomeQuarantined, string(oc.failure.Reason))
+		case oc.degraded != nil:
+			span.SetOutcome(obs.OutcomeDegraded, string(oc.degraded.Reason))
+			span.Annotate("degraded", oc.degraded.Detail)
+		}
+		span.EndWithSpend(oc.spend.Steps, oc.spend.MemBytes)
 	}
 	return oc
 }
@@ -145,21 +179,34 @@ func (sh *Shared) runUnit(ctx context.Context, specs []*spec.Spec, idxs []int, p
 	defer b.Close()
 	d := sh.Detector()
 	d.SetBudget(b)
+	if sh.rec.Enabled() {
+		d.clk = &stageClock{}
+	}
 	scratch := make([][]*Bug, len(idxs))
-	fr := budget.Protect("detect", unit, b, func() error {
-		if err := faultinject.Fire(b.Context(), "detect", unit, b); err != nil {
-			return err
-		}
-		for k, si := range idxs {
-			// A unit whose deadline passed (or whose run was canceled) is
-			// quarantined; quantitative caps merely degrade it below.
-			if err := b.Context().Err(); err != nil {
+	var fr *budget.FailureRecord
+	// pprof goroutine labels attribute CPU samples to the unit (one
+	// label-set swap per unit, not per operation).
+	obs.WithUnitLabels(ctx, "detect", unit, func(context.Context) {
+		fr = budget.Protect("detect", unit, b, func() error {
+			if err := faultinject.Fire(b.Context(), "detect", unit, b); err != nil {
 				return err
 			}
-			scratch[k] = d.DetectSpec(specs[si])
-		}
-		return nil
+			for k, si := range idxs {
+				// A unit whose deadline passed (or whose run was canceled) is
+				// quarantined; quantitative caps merely degrade it below.
+				if err := b.Context().Err(); err != nil {
+					return err
+				}
+				scratch[k] = d.DetectSpec(specs[si])
+			}
+			return nil
+		})
 	})
+	oc.spend = b.Spend()
+	oc.truncs = d.sl.Truncations
+	if d.clk != nil {
+		oc.sliceNs, oc.solveNs = d.clk.sliceNs, d.clk.solveNs
+	}
 	if fr != nil {
 		fr.Attempts = attempt
 		oc.failure = fr
@@ -167,6 +214,7 @@ func (sh *Shared) runUnit(ctx context.Context, specs []*spec.Spec, idxs []int, p
 	}
 	for k, si := range idxs {
 		perSpec[si] = scratch[k]
+		oc.bugs += len(scratch[k])
 	}
 	if ex := b.Exhausted(); ex != nil {
 		oc.degraded = &budget.Degradation{Unit: unit, Stage: "detect", Reason: ex.Reason, Detail: ex.Error()}

@@ -6,6 +6,7 @@ import (
 
 	"seal/internal/infer"
 	"seal/internal/ir"
+	"seal/internal/obs"
 	"seal/internal/pdg"
 	"seal/internal/progindex"
 	"seal/internal/spec"
@@ -32,6 +33,14 @@ type Shared struct {
 	// budget across every detector bound to this substrate (the counted
 	// warning of the formerly-silent MaxPaths/MaxDepth truncation).
 	truncations atomic.Int64
+	// enumerations counts slicer path enumerations started across every
+	// detector bound to this substrate.
+	enumerations atomic.Int64
+
+	// rec, when set via SetObs, receives one unit span per region group of
+	// a budgeted run (DetectParallelCtx). Nil — the default — is the
+	// disabled recorder: every obs call degenerates to a pointer check.
+	rec *obs.Recorder
 }
 
 const numPathShards = 64
@@ -92,6 +101,12 @@ type Stats struct {
 	PathCacheMisses int64
 	// IndexLookups counts program-index queries served.
 	IndexLookups int64
+	// PathEnumerations counts slicer path enumerations started (a cache
+	// hit avoids one; Truncations counts the subset cut short).
+	PathEnumerations int64
+	// PDGBuildNanos is the wall time spent inside actual PDG subgraph
+	// builds, mirrored from pdg.Graph.Stats.
+	PDGBuildNanos int64
 	// Truncations counts value-flow enumerations cut short by a path or
 	// depth cap or by a unit budget (never silent: each is also marked on
 	// the affected paths).
@@ -106,12 +121,33 @@ type Stats struct {
 }
 
 // PathHitRate returns the fraction of path lookups served from cache.
+// Guarded: a run with zero lookups (empty spec set, every unit quarantined
+// before its first lookup, or a freshly merged zero Stats) returns 0, not
+// NaN.
 func (s Stats) PathHitRate() float64 {
 	total := s.PathCacheHits + s.PathCacheMisses
 	if total == 0 {
 		return 0
 	}
 	return float64(s.PathCacheHits) / float64(total)
+}
+
+// Merge returns the field-wise sum of two stats snapshots, for aggregating
+// across substrates (e.g. per-group private graphs) or across runs.
+func (s Stats) Merge(o Stats) Stats {
+	return Stats{
+		EnsureCalls:      s.EnsureCalls + o.EnsureCalls,
+		EnsureBuilds:     s.EnsureBuilds + o.EnsureBuilds,
+		PathCacheHits:    s.PathCacheHits + o.PathCacheHits,
+		PathCacheMisses:  s.PathCacheMisses + o.PathCacheMisses,
+		IndexLookups:     s.IndexLookups + o.IndexLookups,
+		PathEnumerations: s.PathEnumerations + o.PathEnumerations,
+		PDGBuildNanos:    s.PDGBuildNanos + o.PDGBuildNanos,
+		Truncations:      s.Truncations + o.Truncations,
+		QuarantinedUnits: s.QuarantinedUnits + o.QuarantinedUnits,
+		DegradedUnits:    s.DegradedUnits + o.DegradedUnits,
+		RetriedUnits:     s.RetriedUnits + o.RetriedUnits,
+	}
 }
 
 // NewShared builds the substrate for a target program.
@@ -132,16 +168,24 @@ func NewSharedOnGraph(g *pdg.Graph) *Shared {
 	return sh
 }
 
+// SetObs binds an observability recorder to the substrate: budgeted runs
+// (DetectParallelCtx) record one unit span per region group, with stage
+// clocks and budget-spend deltas. A nil recorder (the default) disables
+// everything at the cost of a pointer check per unit.
+func (sh *Shared) SetObs(rec *obs.Recorder) { sh.rec = rec }
+
 // Stats returns the substrate counters accumulated so far.
 func (sh *Shared) Stats() Stats {
 	gs := sh.G.Stats()
 	return Stats{
-		EnsureCalls:     gs.EnsureCalls,
-		EnsureBuilds:    gs.EnsureBuilds,
-		PathCacheHits:   sh.pathHits.Load(),
-		PathCacheMisses: sh.pathMisses.Load(),
-		IndexLookups:    sh.Idx.Lookups(),
-		Truncations:     sh.truncations.Load(),
+		EnsureCalls:      gs.EnsureCalls,
+		EnsureBuilds:     gs.EnsureBuilds,
+		PathCacheHits:    sh.pathHits.Load(),
+		PathCacheMisses:  sh.pathMisses.Load(),
+		IndexLookups:     sh.Idx.Lookups(),
+		PathEnumerations: sh.enumerations.Load(),
+		PDGBuildNanos:    gs.BuildNanos,
+		Truncations:      sh.truncations.Load(),
 	}
 }
 
@@ -151,6 +195,7 @@ func (sh *Shared) Stats() Stats {
 func (sh *Shared) Detector() *Detector {
 	sl := vfp.NewSlicer(sh.G)
 	sl.OnTruncate = func(vfp.TruncateEvent) { sh.truncations.Add(1) }
+	sl.OnEnum = func() { sh.enumerations.Add(1) }
 	return &Detector{
 		G:              sh.G,
 		sh:             sh,

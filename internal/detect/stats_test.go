@@ -1,0 +1,123 @@
+package detect
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStatsMerge(t *testing.T) {
+	cases := []struct {
+		name    string
+		a, b    Stats
+		want    Stats
+		hitRate float64
+	}{
+		{
+			name:    "zero+zero",
+			hitRate: 0, // guarded: no lookups must not divide by zero
+		},
+		{
+			name: "zero+populated",
+			b: Stats{
+				EnsureCalls: 10, EnsureBuilds: 3,
+				PathCacheHits: 6, PathCacheMisses: 2,
+				IndexLookups: 5, PathEnumerations: 2,
+				PDGBuildNanos: 1e6, Truncations: 1,
+				QuarantinedUnits: 1, DegradedUnits: 2, RetriedUnits: 3,
+			},
+			want: Stats{
+				EnsureCalls: 10, EnsureBuilds: 3,
+				PathCacheHits: 6, PathCacheMisses: 2,
+				IndexLookups: 5, PathEnumerations: 2,
+				PDGBuildNanos: 1e6, Truncations: 1,
+				QuarantinedUnits: 1, DegradedUnits: 2, RetriedUnits: 3,
+			},
+			hitRate: 0.75,
+		},
+		{
+			name: "field-wise sum",
+			a: Stats{
+				EnsureCalls: 1, EnsureBuilds: 1, PathCacheHits: 1,
+				PathCacheMisses: 1, IndexLookups: 1, PathEnumerations: 1,
+				PDGBuildNanos: 1, Truncations: 1, QuarantinedUnits: 1,
+				DegradedUnits: 1, RetriedUnits: 1,
+			},
+			b: Stats{
+				EnsureCalls: 2, EnsureBuilds: 3, PathCacheHits: 4,
+				PathCacheMisses: 5, IndexLookups: 6, PathEnumerations: 7,
+				PDGBuildNanos: 8, Truncations: 9, QuarantinedUnits: 10,
+				DegradedUnits: 11, RetriedUnits: 12,
+			},
+			want: Stats{
+				EnsureCalls: 3, EnsureBuilds: 4, PathCacheHits: 5,
+				PathCacheMisses: 6, IndexLookups: 7, PathEnumerations: 8,
+				PDGBuildNanos: 9, Truncations: 10, QuarantinedUnits: 11,
+				DegradedUnits: 12, RetriedUnits: 13,
+			},
+			hitRate: 5.0 / 11.0,
+		},
+		{
+			name:    "hits only",
+			a:       Stats{PathCacheHits: 4},
+			want:    Stats{PathCacheHits: 4},
+			hitRate: 1,
+		},
+		{
+			name:    "misses only",
+			a:       Stats{PathCacheMisses: 4},
+			want:    Stats{PathCacheMisses: 4},
+			hitRate: 0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.a.Merge(tc.b)
+			if got != tc.want {
+				t.Fatalf("Merge = %+v, want %+v", got, tc.want)
+			}
+			// Merge must commute.
+			if rev := tc.b.Merge(tc.a); rev != got {
+				t.Fatalf("Merge not commutative: %+v vs %+v", rev, got)
+			}
+			hr := got.PathHitRate()
+			if math.IsNaN(hr) || math.IsInf(hr, 0) {
+				t.Fatalf("PathHitRate not finite: %v", hr)
+			}
+			if math.Abs(hr-tc.hitRate) > 1e-12 {
+				t.Fatalf("PathHitRate = %v, want %v", hr, tc.hitRate)
+			}
+		})
+	}
+}
+
+// TestStatsMergeMatchesTwoRuns checks the property Merge exists for:
+// summing the per-run stats of two passes equals one aggregate a caller
+// would keep while reusing the substrate across detection rounds.
+func TestStatsMergeMatchesTwoRuns(t *testing.T) {
+	specs, prog := corpusSpecsAndProg(t)
+	sh := NewShared(prog)
+	sh.DetectParallel(specs, 2)
+	first := sh.Stats()
+	sh.DetectParallel(specs, 2)
+	second := sh.Stats()
+
+	// The substrate's counters are cumulative, so second already includes
+	// first; the delta of the second pass merged onto the first must give
+	// back the cumulative reading.
+	delta := Stats{
+		EnsureCalls:      second.EnsureCalls - first.EnsureCalls,
+		EnsureBuilds:     second.EnsureBuilds - first.EnsureBuilds,
+		PathCacheHits:    second.PathCacheHits - first.PathCacheHits,
+		PathCacheMisses:  second.PathCacheMisses - first.PathCacheMisses,
+		IndexLookups:     second.IndexLookups - first.IndexLookups,
+		PathEnumerations: second.PathEnumerations - first.PathEnumerations,
+		PDGBuildNanos:    second.PDGBuildNanos - first.PDGBuildNanos,
+		Truncations:      second.Truncations - first.Truncations,
+	}
+	if got := first.Merge(delta); got != second {
+		t.Fatalf("first.Merge(delta) = %+v, want %+v", got, second)
+	}
+	if first.PathHitRate() < 0 || first.PathHitRate() > 1 {
+		t.Fatalf("hit rate out of range: %v", first.PathHitRate())
+	}
+}

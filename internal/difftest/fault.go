@@ -18,6 +18,7 @@ import (
 	"seal/internal/budget"
 	"seal/internal/detect"
 	"seal/internal/faultinject"
+	"seal/internal/obs"
 	"seal/internal/patch"
 	"seal/internal/randprog"
 	"seal/internal/spec"
@@ -92,6 +93,10 @@ type FaultOutcome struct {
 	Fired []faultinject.Record
 	// Result is the faulted run's detection result.
 	Result *detect.Result
+	// Manifest is the faulted run's observability manifest, checked
+	// against the same isolation contract (fired faults = quarantined
+	// manifest units, with matching reasons).
+	Manifest *obs.Manifest
 	// Problems lists every violated expectation (empty on success).
 	Problems []string
 }
@@ -154,12 +159,16 @@ func RunFaultCase(cfg FaultConfig) (*FaultOutcome, error) {
 	plan := faultinject.PlanFromSeed(cfg.Seed, "detect", units, cfg.NPanic, cfg.NStall)
 	faultinject.Set(plan)
 	defer faultinject.Reset()
-	gotRes, err := detect.NewShared(target.Prog).DetectParallelCtx(context.Background(), specs, cfg.Workers, limits)
+	rec := obs.New()
+	sh := detect.NewShared(target.Prog)
+	sh.SetObs(rec)
+	gotRes, err := sh.DetectParallelCtx(context.Background(), specs, cfg.Workers, limits)
 	if err != nil {
 		return nil, fmt.Errorf("faulted run: %w", err)
 	}
 	o.Fired = plan.Fired()
 	o.Result = gotRes
+	o.Manifest = rec.BuildManifest("detect", cfg.Workers, nil, 0)
 
 	// Exactly the fired units are quarantined, once each.
 	firedKind := make(map[string]faultinject.Kind)
@@ -205,6 +214,41 @@ func RunFaultCase(cfg FaultConfig) (*FaultOutcome, error) {
 	for unit := range quarantined {
 		if _, planned := firedKind[unit]; !planned {
 			o.Problems = append(o.Problems, fmt.Sprintf("unit %q quarantined without an injected fault", unit))
+		}
+	}
+
+	// The run manifest must tell the same story: every unit accounted for,
+	// and exactly the K panicked + M stalled units marked quarantined with
+	// the matching reason.
+	if m := o.Manifest; m == nil {
+		o.Problems = append(o.Problems, "no manifest recorded for the faulted run")
+	} else {
+		if len(m.Units) != len(units) {
+			o.Problems = append(o.Problems, fmt.Sprintf("manifest records %d units, corpus has %d", len(m.Units), len(units)))
+		}
+		if m.Outcomes.Quarantined != cfg.NPanic+cfg.NStall {
+			o.Problems = append(o.Problems, fmt.Sprintf("manifest quarantined count %d, want %d panics + %d stalls",
+				m.Outcomes.Quarantined, cfg.NPanic, cfg.NStall))
+		}
+		if m.Outcomes.Skipped != 0 {
+			o.Problems = append(o.Problems, fmt.Sprintf("manifest reports %d skipped units in a completed run", m.Outcomes.Skipped))
+		}
+		for _, u := range m.Units {
+			kind, fired := firedKind[u.ID]
+			if (u.Outcome == obs.OutcomeQuarantined) != fired {
+				o.Problems = append(o.Problems, fmt.Sprintf("manifest unit %q outcome %q disagrees with fired faults", u.ID, u.Outcome))
+				continue
+			}
+			if !fired {
+				continue
+			}
+			wantReason := budget.ReasonPanic
+			if kind == faultinject.KindStall {
+				wantReason = budget.ReasonDeadline
+			}
+			if u.Reason != string(wantReason) {
+				o.Problems = append(o.Problems, fmt.Sprintf("manifest unit %q reason %q, want %q", u.ID, u.Reason, wantReason))
+			}
 		}
 	}
 

@@ -29,6 +29,11 @@ func TestFaultIsolation(t *testing.T) {
 			t.Errorf("seed %d: Stats.QuarantinedUnits = %d, want %d",
 				cfg.Seed, o.Result.Stats.QuarantinedUnits, cfg.NPanic+cfg.NStall)
 		}
+		// The manifest must agree with the failure records (RunFaultCase
+		// already cross-checks unit-by-unit; this pins the headline count).
+		if o.Manifest == nil || o.Manifest.Outcomes.Quarantined != cfg.NPanic+cfg.NStall {
+			t.Errorf("seed %d: manifest quarantined outcome mismatch: %+v", cfg.Seed, o.Manifest)
+		}
 	}
 }
 

@@ -1,0 +1,76 @@
+package eval
+
+// Output-path tests for the evaluation formatters: FormatScaling is pinned
+// byte-for-byte against a golden file (durations in the input are fixed, so
+// the rendering is fully deterministic), and the degenerate shapes — empty
+// study, zero patches — must render without dividing by zero or panicking.
+// Regenerate with
+//
+//	go test ./internal/eval -run TestFormatScalingGolden -update
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s output differs from %s.\ngot:\n%s\nwant:\n%s", name, path, got, string(want))
+	}
+}
+
+func TestFormatScalingGolden(t *testing.T) {
+	points := []ScalePoint{
+		{Instances: 1, Files: 12, Patches: 12, Specs: 33, Reports: 53,
+			InferPerPatch: 412 * time.Microsecond, DetectTotal: 31 * time.Millisecond},
+		{Instances: 2, Files: 24, Patches: 24, Specs: 66, Reports: 106,
+			InferPerPatch: 398 * time.Microsecond, DetectTotal: 74 * time.Millisecond},
+		{Instances: 4, Files: 48, Patches: 48, Specs: 132, Reports: 212,
+			InferPerPatch: 405 * time.Microsecond, DetectTotal: 161 * time.Millisecond},
+	}
+	out := FormatScaling(points)
+	// Structural invariants first, so a failure explains itself even when
+	// the golden is stale.
+	if !strings.Contains(out, "instances") || !strings.Contains(out, "demand-driven") {
+		t.Fatalf("FormatScaling missing header or footnote:\n%s", out)
+	}
+	// Two header lines, one line per point, two footnote lines.
+	if got := strings.Count(out, "\n"); got != 2+len(points)+2 {
+		t.Fatalf("unexpected line count %d:\n%s", got, out)
+	}
+	checkGolden(t, "scaling", out)
+}
+
+func TestFormatScalingDegenerate(t *testing.T) {
+	// An empty study renders header and footnote only.
+	out := FormatScaling(nil)
+	if !strings.Contains(out, "Scaling study") {
+		t.Fatalf("empty study lost its header:\n%s", out)
+	}
+	// A zero-valued point (no patches, no durations) must render cleanly.
+	out = FormatScaling([]ScalePoint{{}})
+	if !strings.Contains(out, "0s") {
+		t.Fatalf("zero point rendered oddly:\n%s", out)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"seal/internal/budget"
 	"seal/internal/ir"
+	"seal/internal/obs"
 	"seal/internal/patch"
 	"seal/internal/pdg"
 	"seal/internal/solver"
@@ -51,6 +52,18 @@ func InferPatch(a *patch.Analyzed) *Result {
 // a pathological patch exhausts its own budget (and is marked Degraded by
 // the caller) instead of monopolizing the run. A nil budget is unmetered.
 func InferPatchBudget(a *patch.Analyzed, b *budget.Budget) *Result {
+	return InferPatchObs(a, b, nil)
+}
+
+// InferPatchObs is InferPatchBudget with staged observability: when span is
+// a live unit span, the pdg (graph construction and criteria selection),
+// diff (path collection on both patch sides), and infer (classification and
+// deduction) stages are recorded as child stage spans with monotonic-clock
+// durations and budget-spend deltas. A nil span compiles to near-no-ops —
+// no clock reads on the unobserved path.
+func InferPatchObs(a *patch.Analyzed, b *budget.Budget, span *obs.Span) *Result {
+	steps0 := b.StepsSpent()
+	st := span.StartStage("pdg")
 	gPre := pdg.New(a.PreProg)
 	gPost := pdg.New(a.PostProg)
 
@@ -61,10 +74,17 @@ func InferPatchBudget(a *patch.Analyzed, b *budget.Budget) *Result {
 	// both sides.
 	critPre = MergeCriteria(critPre, CounterpartStmts(critPost, a.PreProg))
 	critPost = MergeCriteria(critPost, CounterpartStmts(critPre, a.PostProg))
+	st.EndWithSpend(b.StepsSpent()-steps0, 0)
+
+	steps0 = b.StepsSpent()
+	st = span.StartStage("diff")
 	var trunc TruncCount
 	prePaths := CollectPathsBudget(gPre, critPre, b, &trunc)
 	postPaths := CollectPathsBudget(gPost, critPost, b, &trunc)
+	st.EndWithSpend(b.StepsSpent()-steps0, 0)
 
+	steps0 = b.StepsSpent()
+	st = span.StartStage("infer")
 	cls := Classify(gPre, gPost, prePaths, postPaths)
 	res := &Result{
 		PatchID: a.Patch.ID,
@@ -78,6 +98,10 @@ func InferPatchBudget(a *patch.Analyzed, b *budget.Budget) *Result {
 	}
 	res.Specs = Deduce(a.Patch.ID, gPre, gPost, cls, &res.Stats)
 	res.Stats.Relations = len(res.Specs)
+	st.EndWithSpend(b.StepsSpent()-steps0, 0)
+	if trunc.Total > 0 {
+		span.Annotate("truncated", fmt.Sprintf("%d path enumerations cut short", trunc.Total))
+	}
 	return res
 }
 

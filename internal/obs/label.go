@@ -1,0 +1,18 @@
+package obs
+
+import (
+	"context"
+	"runtime/pprof"
+)
+
+// WithUnitLabels runs fn with pprof goroutine labels identifying the
+// pipeline stage and unit of work, so CPU profiles (-cpuprofile)
+// attribute samples to the spec scope or patch being analyzed. Labels are
+// restored when fn returns. This is per-unit, not per-operation: the cost
+// is one label-set swap per unit of work.
+func WithUnitLabels(ctx context.Context, stage, unit string, fn func(context.Context)) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	pprof.Do(ctx, pprof.Labels("seal_stage", stage, "seal_unit", unit), fn)
+}

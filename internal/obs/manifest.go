@@ -1,0 +1,283 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"sort"
+	"time"
+)
+
+// Manifest is the deterministic JSON record of one run: what ran, over
+// which inputs, and how every unit of work ended. It is the run's
+// provenance artifact — when inference or detection is budgeted and
+// truncation-prone, the manifest is what makes a result auditable.
+//
+// Determinism contract: after Redact (which zeroes wall-clock fields and
+// drops the duration-ordered sections), the manifest is byte-identical
+// across worker counts and substrate arrangements for the same inputs.
+type Manifest struct {
+	Tool      string            `json:"tool"`
+	Command   string            `json:"command"`
+	StartedAt string            `json:"started_at,omitempty"` // RFC3339; redacted in goldens
+	WallMS    float64           `json:"wall_ms"`              // redacted in goldens
+	Workers   int               `json:"workers,omitempty"`
+	Inputs    map[string]string `json:"inputs,omitempty"` // flags and input paths
+	Outcomes  OutcomeCounts     `json:"outcomes"`
+	Cache     *CacheStats       `json:"cache,omitempty"`
+	Counters  map[string]float64 `json:"counters,omitempty"` // registry snapshot
+	Units     []UnitManifest    `json:"units"`               // sorted by (stage, id)
+	// Slowest lists the top-K slowest units by duration — the "where did
+	// the wall clock go" view. Duration-ordered, so dropped by Redact.
+	Slowest []SlowUnit `json:"slowest_units,omitempty"`
+}
+
+// OutcomeCounts summarizes unit verdicts.
+type OutcomeCounts struct {
+	OK          int `json:"ok"`
+	Degraded    int `json:"degraded"`
+	Quarantined int `json:"quarantined"`
+	Skipped     int `json:"skipped"`
+}
+
+// CacheStats embeds the shared-substrate counters (detect runs).
+type CacheStats struct {
+	PDGEnsureCalls   int64   `json:"pdg_ensure_calls"`
+	PDGBuilds        int64   `json:"pdg_builds"`
+	PathCacheHits    int64   `json:"path_cache_hits"`
+	PathCacheMisses  int64   `json:"path_cache_misses"`
+	PathHitRatePct   float64 `json:"path_hit_rate_pct"`
+	IndexLookups     int64   `json:"index_lookups"`
+	PathEnumerations int64   `json:"path_enumerations"`
+	Truncations      int64   `json:"truncations"`
+}
+
+// UnitManifest is one unit of work's outcome.
+type UnitManifest struct {
+	ID       string          `json:"id"`
+	Stage    string          `json:"stage"`
+	Outcome  string          `json:"outcome"`
+	Reason   string          `json:"reason,omitempty"`
+	DurMS    float64         `json:"dur_ms"` // redacted in goldens
+	Steps    int64           `json:"steps,omitempty"`
+	MemBytes int64           `json:"mem_bytes,omitempty"`
+	Attempts int             `json:"attempts,omitempty"`
+	Specs    int             `json:"specs,omitempty"`
+	Bugs     int             `json:"bugs,omitempty"`
+	Stages   []StageManifest `json:"stages,omitempty"`
+	Annots   []Annot         `json:"annotations,omitempty"`
+}
+
+// StageManifest is one pipeline stage inside a unit.
+type StageManifest struct {
+	Name  string  `json:"name"`
+	DurMS float64 `json:"dur_ms"` // redacted in goldens
+	Steps int64   `json:"steps,omitempty"`
+}
+
+// SlowUnit is one entry of the top-K slowest list.
+type SlowUnit struct {
+	ID    string  `json:"id"`
+	Stage string  `json:"stage"`
+	DurMS float64 `json:"dur_ms"`
+}
+
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+// BuildManifest assembles the manifest from the recorded run tree. topK
+// bounds the slowest-units section (0 disables it). Nil recorder returns
+// nil.
+func (r *Recorder) BuildManifest(command string, workers int, inputs map[string]string, topK int) *Manifest {
+	if r == nil {
+		return nil
+	}
+	run := r.Run()
+	run.End()
+	m := &Manifest{
+		Tool:      "seal",
+		Command:   command,
+		StartedAt: run.start.UTC().Format(time.RFC3339Nano),
+		WallMS:    ms(run.Dur),
+		Workers:   workers,
+		Inputs:    inputs,
+		Counters:  r.reg.Snapshot(),
+	}
+	for _, c := range run.Children() {
+		if c.Kind != KindUnit {
+			continue
+		}
+		u := UnitManifest{
+			ID:       c.Name,
+			Stage:    c.Stage,
+			Outcome:  c.Outcome,
+			Reason:   c.Reason,
+			DurMS:    ms(c.Dur),
+			Steps:    c.Steps,
+			MemBytes: c.Mem,
+			Attempts: c.Attempts,
+			Specs:    c.Specs,
+			Bugs:     c.Bugs,
+			Annots:   c.Annots,
+		}
+		for _, st := range c.Children() {
+			if st.Kind == KindStage {
+				u.Stages = append(u.Stages, StageManifest{Name: st.Name, DurMS: ms(st.Dur), Steps: st.Steps})
+			}
+		}
+		switch c.Outcome {
+		case OutcomeDegraded:
+			m.Outcomes.Degraded++
+		case OutcomeQuarantined:
+			m.Outcomes.Quarantined++
+		case OutcomeSkipped:
+			m.Outcomes.Skipped++
+		default:
+			m.Outcomes.OK++
+		}
+		m.Units = append(m.Units, u)
+	}
+	sort.Slice(m.Units, func(i, j int) bool {
+		if m.Units[i].Stage != m.Units[j].Stage {
+			return m.Units[i].Stage < m.Units[j].Stage
+		}
+		return m.Units[i].ID < m.Units[j].ID
+	})
+	if topK > 0 {
+		byDur := make([]UnitManifest, len(m.Units))
+		copy(byDur, m.Units)
+		sort.Slice(byDur, func(i, j int) bool {
+			if byDur[i].DurMS != byDur[j].DurMS {
+				return byDur[i].DurMS > byDur[j].DurMS
+			}
+			return byDur[i].ID < byDur[j].ID
+		})
+		if len(byDur) > topK {
+			byDur = byDur[:topK]
+		}
+		for _, u := range byDur {
+			m.Slowest = append(m.Slowest, SlowUnit{ID: u.ID, Stage: u.Stage, DurMS: u.DurMS})
+		}
+	}
+	return m
+}
+
+// SetCache attaches the shared-substrate counters.
+func (m *Manifest) SetCache(c CacheStats) {
+	if m != nil {
+		m.Cache = &c
+	}
+}
+
+// Redact returns a deep copy normalized for golden comparison: the start
+// timestamp, the worker count, wall-clock durations, every counter whose
+// name contains "_seconds", and the per-unit budget spend are zeroed, the
+// duration-ordered slowest-units section is dropped, and per-unit
+// "truncated" annotations are removed. Spend and truncation attribution
+// are normalized because under the shared single-flight caches they follow
+// whichever worker computed a shared artifact first — scheduling, not
+// semantics. Everything else — unit identities, outcomes, reasons,
+// spec/bug counts, stage structure, cache counters — is preserved, which
+// is exactly the set that must be deterministic across worker counts.
+func (m *Manifest) Redact() *Manifest {
+	if m == nil {
+		return nil
+	}
+	out := *m
+	out.StartedAt = ""
+	out.WallMS = 0
+	out.Workers = 0
+	out.Slowest = nil
+	if m.Counters != nil {
+		out.Counters = make(map[string]float64, len(m.Counters))
+		for k, v := range m.Counters {
+			if containsSeconds(k) {
+				v = 0
+			}
+			out.Counters[k] = v
+		}
+	}
+	if m.Cache != nil {
+		c := *m.Cache
+		out.Cache = &c
+	}
+	out.Units = make([]UnitManifest, len(m.Units))
+	for i, u := range m.Units {
+		ru := u
+		ru.DurMS = 0
+		ru.Steps = 0
+		ru.MemBytes = 0
+		ru.Stages = make([]StageManifest, len(u.Stages))
+		for j, st := range u.Stages {
+			st.DurMS = 0
+			st.Steps = 0
+			ru.Stages[j] = st
+		}
+		ru.Annots = nil
+		for _, a := range u.Annots {
+			if a.Key != "truncated" {
+				ru.Annots = append(ru.Annots, a)
+			}
+		}
+		out.Units[i] = ru
+	}
+	return &out
+}
+
+// RedactSubstrate is Redact plus the substrate-dependent counters: cache
+// hit/miss/build counts depend on how work was arranged over substrates
+// (one shared graph vs per-unit private graphs), so comparisons across
+// those arrangements zero them too. Unit outcomes, reasons, spend, and
+// result counts remain.
+func (m *Manifest) RedactSubstrate() *Manifest {
+	out := m.Redact()
+	if out == nil {
+		return nil
+	}
+	out.Cache = nil
+	out.Counters = nil
+	for i := range out.Units {
+		out.Units[i].Steps = 0
+		out.Units[i].MemBytes = 0
+		out.Units[i].Stages = nil
+	}
+	return out
+}
+
+func containsSeconds(name string) bool {
+	for i := 0; i+8 <= len(name); i++ {
+		if name[i:i+8] == "_seconds" {
+			return true
+		}
+	}
+	return false
+}
+
+// MarshalIndent renders the manifest as stable, human-diffable JSON.
+func (m *Manifest) MarshalIndent() ([]byte, error) {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// WriteFile writes the manifest JSON to path.
+func (m *Manifest) WriteFile(path string) error {
+	data, err := m.MarshalIndent()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// ReadManifest loads a manifest written by WriteFile.
+func ReadManifest(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}

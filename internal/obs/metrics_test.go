@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNilRegistryInstruments(t *testing.T) {
+	var reg *Registry
+	c := reg.Counter("x", "")
+	c.Add(3)
+	c.Inc()
+	if c.Value() != 0 {
+		t.Fatal("nil counter holds a value")
+	}
+	g := reg.Gauge("y", "")
+	g.Set(1.5)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge holds a value")
+	}
+	h := reg.Histogram("z", "", nil)
+	h.Observe(1)
+	if h.Count() != 0 {
+		t.Fatal("nil histogram holds samples")
+	}
+	if reg.Snapshot() != nil {
+		t.Fatal("nil registry snapshots")
+	}
+	if err := reg.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegistryReuseAndSnapshot(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("seal_a_total", "help a")
+	a.Add(2)
+	if b := reg.Counter("seal_a_total", "ignored"); b != a {
+		t.Fatal("same-name counter not shared")
+	}
+	reg.Gauge("seal_ratio", "").Set(0.5)
+	snap := reg.Snapshot()
+	if snap["seal_a_total"] != 2 || snap["seal_ratio"] != 0.5 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("seal_dur_seconds", "", []float64{1, 10})
+	for _, v := range []float64{0.5, 1.0, 5, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`seal_dur_seconds_bucket{le="1"} 2`, // 0.5 and the boundary 1.0
+		`seal_dur_seconds_bucket{le="10"} 3`,
+		`seal_dur_seconds_bucket{le="+Inf"} 4`,
+		`seal_dur_seconds_sum 106.5`,
+		`seal_dur_seconds_count 4`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("export missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWritePrometheusDeterministicOrder(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("seal_z_total", "last").Inc()
+	reg.Gauge("seal_a_gauge", "first").Set(3)
+	reg.Histogram("seal_m_seconds", "mid", []float64{1})
+	var one, two strings.Builder
+	if err := reg.WritePrometheus(&one); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.WritePrometheus(&two); err != nil {
+		t.Fatal(err)
+	}
+	if one.String() != two.String() {
+		t.Fatal("two exports differ")
+	}
+	out := one.String()
+	ia := strings.Index(out, "seal_a_gauge")
+	im := strings.Index(out, "seal_m_seconds")
+	iz := strings.Index(out, "seal_z_total")
+	if !(ia < im && im < iz) {
+		t.Fatalf("metrics not name-sorted:\n%s", out)
+	}
+	for _, want := range []string{
+		"# HELP seal_a_gauge first",
+		"# TYPE seal_a_gauge gauge",
+		"# TYPE seal_m_seconds histogram",
+		"# TYPE seal_z_total counter",
+		"seal_a_gauge 3",
+		"seal_z_total 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("export missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRedactTimings(t *testing.T) {
+	in := strings.Join([]string{
+		"# HELP seal_unit_duration_seconds unit wall time",
+		"# TYPE seal_unit_duration_seconds histogram",
+		`seal_unit_duration_seconds_bucket{le="0.001"} 2`,
+		`seal_unit_duration_seconds_bucket{le="+Inf"} 7`,
+		"seal_unit_duration_seconds_sum 1.25",
+		"seal_unit_duration_seconds_count 7",
+		"seal_units_total 7",
+		"",
+	}, "\n")
+	got := RedactTimings(in)
+	want := strings.Join([]string{
+		"# HELP seal_unit_duration_seconds unit wall time",
+		"# TYPE seal_unit_duration_seconds histogram",
+		`seal_unit_duration_seconds_bucket{le="0.001"} 0`,
+		`seal_unit_duration_seconds_bucket{le="+Inf"} 0`,
+		"seal_unit_duration_seconds_sum 0",
+		"seal_unit_duration_seconds_count 0",
+		"seal_units_total 7",
+		"",
+	}, "\n")
+	if got != want {
+		t.Fatalf("redacted =\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:      "0",
+		3:      "3",
+		0.5:    "0.5",
+		106.5:  "106.5",
+		1e15:   "1e+15",
+		-2:     "-2",
+		0.0001: "0.0001",
+	}
+	for in, want := range cases {
+		if got := formatFloat(in); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Progress is a stderr ticker for long corpus runs: every interval it
+// prints units done/total plus the degraded/quarantined counts, and a
+// final line when stopped. It reads the recorder's atomic progress
+// counters, so it never contends with workers.
+type Progress struct {
+	w        io.Writer
+	rec      *Recorder
+	label    string
+	interval time.Duration
+	start    time.Time
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+}
+
+// StartProgress launches the ticker. A nil recorder returns a nil
+// Progress whose Stop is a no-op, so call sites need no branching.
+func StartProgress(w io.Writer, rec *Recorder, label string, interval time.Duration) *Progress {
+	if rec == nil || w == nil {
+		return nil
+	}
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	p := &Progress{
+		w:        w,
+		rec:      rec,
+		label:    label,
+		interval: interval,
+		start:    rec.clock(),
+		stop:     make(chan struct{}),
+	}
+	p.wg.Add(1)
+	go p.loop()
+	return p
+}
+
+func (p *Progress) loop() {
+	defer p.wg.Done()
+	t := time.NewTicker(p.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			p.print(false)
+		case <-p.stop:
+			return
+		}
+	}
+}
+
+func (p *Progress) print(final bool) {
+	done, total, deg, quar := p.rec.Progress()
+	elapsed := p.rec.clock().Sub(p.start).Round(100 * time.Millisecond)
+	suffix := ""
+	if deg+quar > 0 {
+		suffix = fmt.Sprintf(" (%d degraded, %d quarantined)", deg, quar)
+	}
+	verb := "…"
+	if final {
+		verb = " done"
+	}
+	fmt.Fprintf(p.w, "seal: %s %d/%d units%s %v%s\n", p.label, done, total, suffix, elapsed, verb)
+}
+
+// Stop halts the ticker and prints the final progress line. Idempotent
+// and nil-safe.
+func (p *Progress) Stop() {
+	if p == nil {
+		return
+	}
+	p.once.Do(func() {
+		close(p.stop)
+		p.wg.Wait()
+		p.print(true)
+	})
+}

@@ -16,6 +16,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"seal/internal/callgraph"
 	"seal/internal/cfg"
@@ -72,6 +73,10 @@ type Edge struct {
 type Stats struct {
 	EnsureCalls  int64
 	EnsureBuilds int64
+	// BuildNanos is the wall time spent inside actual subgraph builds
+	// (waiting on another goroutine's build is not counted). Builds are
+	// heavyweight, so the two clock reads per build cost nothing.
+	BuildNanos int64
 }
 
 // buildState is the single-flight slot of one function's construction.
@@ -93,6 +98,7 @@ type Graph struct {
 
 	ensureCalls  atomic.Int64
 	ensureBuilds atomic.Int64
+	buildNanos   atomic.Int64
 
 	// mu guards every map below. Builds claim their slot under the write
 	// lock, run the heavy analysis unlocked, then install results under
@@ -144,6 +150,7 @@ func (g *Graph) Stats() Stats {
 	return Stats{
 		EnsureCalls:  g.ensureCalls.Load(),
 		EnsureBuilds: g.ensureBuilds.Load(),
+		BuildNanos:   g.buildNanos.Load(),
 	}
 }
 
@@ -191,7 +198,9 @@ func (g *Graph) Ensure(fn *ir.Func) {
 
 	g.ensureBuilds.Add(1)
 	func() {
+		t0 := time.Now()
 		defer func() {
+			g.buildNanos.Add(time.Since(t0).Nanoseconds())
 			st.panicVal = recover()
 			close(st.done)
 		}()

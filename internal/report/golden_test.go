@@ -1,0 +1,132 @@
+package report
+
+// Golden-file tests for the annotation-bearing report surfaces: truncation
+// notes on budget-cut paths and the robustness section of a degraded run.
+// Regenerate after an intentional formatting change with
+//
+//	go test ./internal/report -run TestGolden -update
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"seal/internal/budget"
+	"seal/internal/cir"
+	"seal/internal/detect"
+	"seal/internal/infer"
+	"seal/internal/ir"
+	"seal/internal/kernelgen"
+	"seal/internal/spec"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s output differs from %s.\ngot:\n%s\nwant:\n%s", name, path, got, string(want))
+	}
+}
+
+// tracedBug detects over the generated mini-Linux corpus and returns the
+// first bug carrying a witness path (the fig3 corpus only produces
+// Required-spec violations, which have none). Generation is seeded, so the
+// pick is deterministic.
+func tracedBug(t *testing.T) *detect.Bug {
+	t.Helper()
+	corpus := kernelgen.Generate(kernelgen.DefaultConfig())
+	var specs []*spec.Spec
+	for _, p := range corpus.Patches {
+		a, err := p.Analyze()
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs = append(specs, detect.ValidateSpecs(a.PostProg, infer.InferPatch(a).Specs)...)
+	}
+	var files []*cir.File
+	for _, name := range corpus.SortedFileNames() {
+		f, err := cir.ParseFile(name, corpus.Files[name])
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+	}
+	prog, err := ir.NewProgram(files...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range detect.New(prog).Detect(specs) {
+		if b.Trace != nil {
+			return b
+		}
+	}
+	t.Fatal("generated corpus produced no bug with a witness path")
+	return nil
+}
+
+// TestGoldenTruncatedAnnotation pins how a budget-truncated witness path is
+// annotated: the incompleteness note must appear for each truncated trace
+// and disappear when the flag is clear.
+func TestGoldenTruncatedAnnotation(t *testing.T) {
+	b := tracedBug(t)
+
+	plain := Render(b, nil)
+	if strings.Contains(plain, "truncated") {
+		t.Fatalf("untruncated report carries a truncation note:\n%s", plain)
+	}
+
+	b.Trace.Truncated = true
+	defer func() { b.Trace.Truncated = false }()
+	annotated := Render(b, nil)
+	if !strings.Contains(annotated, "path enumeration truncated by a budget") {
+		t.Fatalf("truncated trace not annotated:\n%s", annotated)
+	}
+	checkGolden(t, "truncated_report", annotated)
+}
+
+// TestGoldenRobustnessSection pins the degraded/quarantined section a
+// budgeted run appends to its report.
+func TestGoldenRobustnessSection(t *testing.T) {
+	degs := []budget.Degradation{
+		{Unit: "iface:vb2_ops.buf_prepare", Stage: "detect", Reason: budget.ReasonSteps, Detail: "step budget exhausted after 500 of 500"},
+		{Unit: "api:dma_alloc_coherent", Stage: "detect", Reason: budget.ReasonMemory, Detail: "memory budget exhausted"},
+	}
+	failures := []*budget.FailureRecord{
+		{Unit: "iface:cx88_ops.tune", Stage: "detect", Reason: budget.ReasonPanic, Detail: "nil deref", Attempts: 2},
+		{Unit: "api:kfree", Stage: "detect", Reason: budget.ReasonDeadline, Attempts: 1},
+	}
+	out := RenderRobustness(degs, failures)
+	for _, want := range []string{
+		"robustness notes",
+		"degraded    api:dma_alloc_coherent",
+		"degraded    iface:vb2_ops.buf_prepare",
+		"quarantined api:kfree",
+		"quarantined iface:cx88_ops.tune",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("robustness section missing %q:\n%s", want, out)
+		}
+	}
+	checkGolden(t, "robustness", out)
+
+	if RenderRobustness(nil, nil) != "" {
+		t.Error("empty robustness input must render nothing")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strings"
 
+	"seal/internal/budget"
 	"seal/internal/detect"
 	"seal/internal/patch"
 	"seal/internal/solver"
@@ -34,10 +35,16 @@ func Render(b *detect.Bug, patches map[string]*patch.Patch) string {
 	if b.Trace != nil {
 		sb.WriteString("Buggy value-flow path:\n")
 		indent(&sb, b.Trace.String())
+		if b.Trace.Truncated {
+			sb.WriteString("Note     : path enumeration truncated by a budget — the path set may be incomplete\n")
+		}
 	}
 	if b.Trace2 != nil {
 		sb.WriteString("Conflicting use (ordered before the path above):\n")
 		indent(&sb, b.Trace2.String())
+		if b.Trace2.Truncated {
+			sb.WriteString("Note     : conflicting-use enumeration truncated by a budget — the path set may be incomplete\n")
+		}
 	}
 	if patches != nil {
 		if p, ok := patches[b.Spec.OriginPatch]; ok {
@@ -89,6 +96,38 @@ func (s Summary) KindsSorted() []string {
 		return kinds[i] < kinds[j]
 	})
 	return kinds
+}
+
+// RenderRobustness renders the degradation and quarantine notes of a
+// budgeted run as a stable, sorted section. Reports that survive a
+// degraded run are sound but possibly incomplete; this section is what
+// tells a maintainer which scopes to re-run with a larger budget. Empty
+// input renders nothing.
+func RenderRobustness(degs []budget.Degradation, failures []*budget.FailureRecord) string {
+	if len(degs) == 0 && len(failures) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteString("--- robustness notes ---\n")
+	lines := make([]string, 0, len(degs))
+	for _, d := range degs {
+		lines = append(lines, fmt.Sprintf("degraded    %-30s %s (%s)", d.Unit, d.Reason, d.Detail))
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		sb.WriteString(l)
+		sb.WriteByte('\n')
+	}
+	lines = lines[:0]
+	for _, f := range failures {
+		lines = append(lines, fmt.Sprintf("quarantined %-30s %s (stage %s, attempts %d)", f.Unit, f.Reason, f.Stage, f.Attempts))
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		sb.WriteString(l)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
 }
 
 // RenderAll renders every report plus the summary table.

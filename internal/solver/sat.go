@@ -3,7 +3,18 @@ package solver
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
+
+// satChecks counts satisfiability checks process-wide; observability
+// exports the per-run delta. One atomic add per check is noise next to the
+// DNF expansion each check performs.
+var satChecks atomic.Int64
+
+// SatChecks returns the number of satisfiability checks performed since
+// process start (Sat and SatBudget, including via Unsat/Implies/Equiv).
+// Callers wanting a per-run figure snapshot it before and after.
+func SatChecks() int64 { return satChecks.Load() }
 
 // maxDNFConjuncts bounds DNF expansion; beyond it the solver answers
 // conservatively ("satisfiable").
@@ -14,6 +25,7 @@ const maxDNFConjuncts = 512
 // (x op c, x op y, x - y op c) — the fragment path conditions live in —
 // and conservatively answers true otherwise.
 func Sat(f Formula) bool {
+	satChecks.Add(1)
 	conjs, ok := toDNF(nnf(f))
 	if !ok {
 		return true // too large: conservative
@@ -35,6 +47,7 @@ func SatBudget(f Formula, step func(int64) error) bool {
 	if step == nil {
 		return Sat(f)
 	}
+	satChecks.Add(1)
 	conjs, ok := toDNF(nnf(f))
 	if !ok {
 		return true // too large: conservative

@@ -41,7 +41,14 @@ type Slicer struct {
 	// OnTruncate, when non-nil, is invoked once per truncated enumeration
 	// (the counted-warning hook; detection wires it into its stats).
 	OnTruncate func(TruncateEvent)
+	// OnEnum, when non-nil, is invoked once at the start of every path
+	// enumeration (Collect or PathsFrom); detection aggregates it across
+	// workers into its substrate stats.
+	OnEnum func()
 
+	// Enumerations counts path enumerations started since the slicer was
+	// created.
+	Enumerations int64
 	// Truncations counts enumerations cut short by any cap since the
 	// slicer was created.
 	Truncations int64
@@ -75,8 +82,13 @@ func (sl *Slicer) ApplyLimits(l budget.Limits) {
 	}
 }
 
-// beginEnum resets the per-enumeration truncation state.
+// beginEnum resets the per-enumeration truncation state and counts the
+// enumeration.
 func (sl *Slicer) beginEnum() {
+	sl.Enumerations++
+	if sl.OnEnum != nil {
+		sl.OnEnum()
+	}
 	sl.trunc.fired = false
 	sl.trunc.budgetHit = false
 	sl.trunc.reason = ""

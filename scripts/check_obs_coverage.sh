@@ -1,0 +1,20 @@
+#!/bin/sh
+# Enforce the statement-coverage floor for the observability substrate.
+# The floor is checked in (scripts/obs_coverage_floor.txt) so raising it is
+# a reviewed change and lowering it is a visible one.
+set -eu
+
+floor=$(cat "$(dirname "$0")/obs_coverage_floor.txt")
+out=$(go test -cover -count=1 ./internal/obs)
+echo "$out"
+pct=$(echo "$out" | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p')
+if [ -z "$pct" ]; then
+    echo "error: could not parse coverage from go test output" >&2
+    exit 1
+fi
+ok=$(awk -v p="$pct" -v f="$floor" 'BEGIN { print (p >= f) ? 1 : 0 }')
+if [ "$ok" != 1 ]; then
+    echo "error: internal/obs coverage ${pct}% is below the ${floor}% floor" >&2
+    exit 1
+fi
+echo "internal/obs coverage ${pct}% >= ${floor}% floor"

@@ -37,6 +37,7 @@ import (
 	"seal/internal/faultinject"
 	"seal/internal/infer"
 	"seal/internal/ir"
+	"seal/internal/obs"
 	"seal/internal/patch"
 	"seal/internal/spec"
 )
@@ -62,7 +63,18 @@ type (
 	Degradation = budget.Degradation
 	// DetectResult is the outcome of a fault-isolated detection run.
 	DetectResult = detect.Result
+	// Recorder is the observability recorder: span hierarchy, metric
+	// registry, progress counters, and run-manifest builder. A nil
+	// *Recorder disables observability at the cost of pointer checks.
+	Recorder = obs.Recorder
+	// Manifest is the deterministic JSON record of one observed run.
+	Manifest = obs.Manifest
 )
+
+// NewRecorder creates a live observability recorder. Thread it through
+// Options.Obs (inference) or DetectContextObs (detection), then export
+// with Recorder.BuildManifest and Registry().WritePrometheus.
+func NewRecorder() *Recorder { return obs.New() }
 
 // Target is a loaded analysis target: a linked program plus its sources.
 type Target struct {
@@ -137,6 +149,10 @@ type Options struct {
 	// FailFast aborts the run at the first quarantined patch instead of
 	// continuing with the remainder.
 	FailFast bool
+	// Obs, when non-nil, records one unit span per patch (with parse /
+	// pdg / diff / infer / validate stage spans and budget-spend deltas)
+	// under InferSpecsContext. Nil disables observability.
+	Obs *Recorder
 }
 
 // DefaultOptions enables validation with sequential processing.
@@ -277,34 +293,46 @@ func InferSpecsContext(ctx context.Context, patches []*Patch, opts Options) (*In
 
 	var failures atomic.Int64
 	var aborted atomic.Bool
+	rec := opts.Obs
+	rec.SetUnitsTotal(len(patches))
 
-	attempt := func(p *Patch, lim Limits, attemptNo int) (out []*Spec, st infer.Stats, fr *FailureRecord, deg *Degradation) {
+	attempt := func(p *Patch, lim Limits, attemptNo int, span *obs.Span) (out []*Spec, st infer.Stats, fr *FailureRecord, deg *Degradation, spend budget.Spend) {
 		b := budget.New(ctx, lim)
 		defer b.Close()
-		fr = budget.Protect("infer", p.ID, b, func() error {
-			if err := faultinject.Fire(b.Context(), "infer", p.ID, b); err != nil {
-				return err
-			}
-			a, err := p.Analyze()
-			if err != nil {
-				return err
-			}
-			ir := infer.InferPatchBudget(a, b)
-			sp := ir.Specs
-			if opts.Validate {
-				sp = detect.ValidateSpecsBudget(a.PostProg, sp, b)
-			}
-			out, st = sp, ir.Stats
-			return nil
+		// pprof goroutine labels attribute CPU samples to the patch (one
+		// label-set swap per unit, not per operation).
+		obs.WithUnitLabels(ctx, "infer", p.ID, func(context.Context) {
+			fr = budget.Protect("infer", p.ID, b, func() error {
+				if err := faultinject.Fire(b.Context(), "infer", p.ID, b); err != nil {
+					return err
+				}
+				ps := span.StartStage("parse")
+				a, err := p.Analyze()
+				ps.End()
+				if err != nil {
+					return err
+				}
+				ir := infer.InferPatchObs(a, b, span)
+				sp := ir.Specs
+				if opts.Validate {
+					steps0 := b.StepsSpent()
+					vs := span.StartStage("validate")
+					sp = detect.ValidateSpecsBudget(a.PostProg, sp, b)
+					vs.EndWithSpend(b.StepsSpent()-steps0, 0)
+				}
+				out, st = sp, ir.Stats
+				return nil
+			})
 		})
+		spend = b.Spend()
 		if fr != nil {
 			fr.Attempts = attemptNo
-			return nil, st, fr, nil
+			return nil, st, fr, nil, spend
 		}
 		if ex := b.Exhausted(); ex != nil {
 			deg = &Degradation{Unit: p.ID, Stage: "infer", Reason: ex.Reason, Detail: ex.Error()}
 		}
-		return out, st, nil, deg
+		return out, st, nil, deg, spend
 	}
 
 	run := func(i int) {
@@ -312,12 +340,19 @@ func InferSpecsContext(ctx context.Context, patches []*Patch, opts Options) (*In
 		out := PatchOutcome{PatchID: p.ID}
 		if aborted.Load() || ctx.Err() != nil {
 			out.Skipped = true
+			if span := rec.Unit("infer", p.ID); span != nil {
+				span.SetOutcome(obs.OutcomeSkipped, "aborted")
+				span.End()
+			}
 			res.Outcomes[i] = out
 			return
 		}
-		specs, st, fr, deg := attempt(p, opts.Limits, 1)
+		span := rec.Unit("infer", p.ID)
+		attempts := 1
+		specs, st, fr, deg, spend := attempt(p, opts.Limits, 1, span)
 		if fr != nil && opts.Limits.Retry {
-			specs, st, fr, deg = attempt(p, opts.Limits.Halved(), 2)
+			attempts = 2
+			specs, st, fr, deg, spend = attempt(p, opts.Limits.Halved(), 2, span)
 		}
 		out.Stats = st
 		out.Failure = fr
@@ -330,6 +365,20 @@ func InferSpecsContext(ctx context.Context, patches []*Patch, opts Options) (*In
 		} else {
 			out.Specs = len(specs)
 			specLists[i] = specs
+		}
+		if span != nil {
+			if attempts > 1 {
+				span.SetAttempts(attempts)
+			}
+			span.SetCounts(len(specs), 0)
+			switch {
+			case fr != nil:
+				span.SetOutcome(obs.OutcomeQuarantined, string(fr.Reason))
+			case deg != nil:
+				span.SetOutcome(obs.OutcomeDegraded, string(deg.Reason))
+				span.Annotate("degraded", deg.Detail)
+			}
+			span.EndWithSpend(spend.Steps, spend.MemBytes)
 		}
 		res.Outcomes[i] = out
 	}
@@ -417,7 +466,17 @@ func DetectParallelStats(t *Target, specs []*Spec, workers int) ([]*Bug, DetectS
 // run-level aborts (context canceled, or more than limits.MaxFailures units
 // quarantined) — the partial DetectResult is valid either way.
 func DetectContext(ctx context.Context, t *Target, specs []*Spec, workers int, limits Limits) (*DetectResult, error) {
+	return DetectContextObs(ctx, t, specs, workers, limits, nil)
+}
+
+// DetectContextObs is DetectContext with observability: a non-nil recorder
+// receives one unit span per region group (verdict, slice/solve stage
+// clocks, budget-spend deltas) plus the run's progress counters. A nil
+// recorder is the disabled instrument — identical behavior to
+// DetectContext.
+func DetectContextObs(ctx context.Context, t *Target, specs []*Spec, workers int, limits Limits, rec *Recorder) (*DetectResult, error) {
 	sh := detect.NewShared(t.Prog)
+	sh.SetObs(rec)
 	return sh.DetectParallelCtx(ctx, specs, workers, limits)
 }
 
