@@ -1,0 +1,273 @@
+package seal
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"seal/internal/cache"
+	"seal/internal/detect"
+	"seal/internal/infer"
+)
+
+// Version identifies the analysis semantics baked into every persistent
+// cache fingerprint. cache.SchemaVersion covers the on-disk entry shape;
+// this covers the analysis itself. Bump it whenever inference or detection
+// can produce different results for the same inputs (new relation kinds,
+// changed path classification, different dedup): old entries become
+// unreachable and every run recomputes.
+const Version = "0.5"
+
+// CacheStats is a snapshot of the persistent analysis cache's counters:
+// hits, misses, writes, corrupt entries degraded to misses, bytes moved,
+// and results deliberately not written (degraded/partial).
+type CacheStats = cache.Stats
+
+// ClearCache removes every object the persistent analysis cache owns under
+// dir — only the cache's own subtree, never other files sharing the
+// directory. Missing directories are fine.
+func ClearCache(dir string) error { return cache.Clear(dir) }
+
+// openCache opens the configured cache; an empty dir is the disabled cache
+// (nil, on which every operation is a no-op).
+func openCache(dir string, readOnly bool) (*cache.Cache, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	return cache.Open(dir, readOnly)
+}
+
+// inferConfigPart renders the inference knobs that change results for
+// identical sources. Dynamic budget limits (deadline, steps, memory) are
+// deliberately excluded: a result is only ever cached when it completed
+// un-degraded, and an un-degraded result is budget-invariant. The
+// deterministic caps (MaxPaths, MaxDepth) truncate silently, so they are
+// part of the key.
+func inferConfigPart(opts Options) string {
+	return fmt.Sprintf("cfg:validate=%t:maxpaths=%d:maxdepth=%d",
+		opts.Validate, opts.Limits.MaxPaths, opts.Limits.MaxDepth)
+}
+
+// inferPatchKey is the TierInfer fingerprint chain: schema version (inside
+// cache.Key) → seal analysis version → config → patch identity → source
+// bytes of both patch sides.
+func inferPatchKey(p *Patch, opts Options) string {
+	return cache.Key(
+		"tier:"+cache.TierInfer,
+		"seal:"+Version,
+		inferConfigPart(opts),
+		"patch:"+p.ID,
+		"pre:"+cache.FileSetHash(p.Pre),
+		"post:"+cache.FileSetHash(p.Post),
+	)
+}
+
+// inferRunKey fingerprints a whole inference run (corpus in input order +
+// config) for the run-summary tier.
+func inferRunKey(patchKeys []string) string {
+	parts := make([]string, 0, len(patchKeys)+1)
+	parts = append(parts, "tier:"+cache.TierInferRun)
+	parts = append(parts, patchKeys...)
+	return cache.Key(parts...)
+}
+
+// inferCacheEntry is the TierInfer payload: one patch's validated specs
+// (conditions in tree form via SpecDB's JSON round trip) and its relation
+// statistics.
+type inferCacheEntry struct {
+	DB    *SpecDB     `json:"db"`
+	Stats infer.Stats `json:"stats"`
+}
+
+// inferRunEntry is the TierInferRun payload: run-level counters a fully
+// warm run replays so its exported metrics match the cold run's.
+type inferRunEntry struct {
+	SatChecks int64 `json:"sat_checks"`
+}
+
+// detectConfigPart renders the detection knobs that change results for
+// identical sources; same exclusion rule as inferConfigPart.
+func detectConfigPart(limits Limits) string {
+	return fmt.Sprintf("cfg:maxpaths=%d:maxdepth=%d:calleedepth=%d",
+		limits.MaxPaths, limits.MaxDepth, detect.DefaultMaxCalleeDepth)
+}
+
+// specDBHash fingerprints a spec list in order, conditions included.
+func specDBHash(specs []*Spec) (string, error) {
+	data, err := json.Marshal(&SpecDB{Specs: specs})
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// detectCacheEntry is the TierDetect payload: everything a warm run needs
+// to reproduce a cold run's observable output — rendered-report records,
+// per-unit manifest summaries, the deterministic substrate counters, and
+// the solver-check delta — with no live IR.
+type detectCacheEntry struct {
+	Recs      []detect.BugRec  `json:"recs"`
+	Units     []detect.UnitRec `json:"units"`
+	Stats     detect.Stats     `json:"stats"`
+	SatChecks int64            `json:"sat_checks"`
+}
+
+// regionsKey is the TierRegions fingerprint: target content and closure
+// depth only, so the artifact survives spec-DB changes.
+func regionsKey(targetHash string) string {
+	return cache.Key(
+		"tier:"+cache.TierRegions,
+		"seal:"+Version,
+		fmt.Sprintf("calleedepth=%d", detect.DefaultMaxCalleeDepth),
+		"target:"+targetHash,
+	)
+}
+
+// ReadSourceDir reads every .c file under root (recursively) into a
+// name → source map, the raw-bytes form a cached detection run fingerprints
+// before any parsing happens.
+func ReadSourceDir(root string) (map[string]string, error) {
+	files := make(map[string]string)
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() || !strings.HasSuffix(path, ".c") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			rel = path
+		}
+		files[rel] = string(data)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("seal: no .c files under %s", root)
+	}
+	return files, nil
+}
+
+// DetectRunOptions configures a cached, budgeted detection run.
+type DetectRunOptions struct {
+	// Workers is the concurrent detection worker count over one shared
+	// substrate (output is identical at any count).
+	Workers int
+	// Limits is the per-unit resource budget.
+	Limits Limits
+	// Obs, when non-nil, records one unit span per region group — live or
+	// replayed from cache — so warm and cold manifests agree.
+	Obs *Recorder
+	// CacheDir enables the persistent analysis cache rooted there; empty
+	// disables it.
+	CacheDir string
+	// CacheReadOnly serves hits but never writes (shared or archived
+	// caches).
+	CacheReadOnly bool
+}
+
+// DetectDirCached runs detection over the tree at root with an optional
+// persistent cache. On a warm hit the sources are fingerprinted but never
+// parsed: the result (report records, unit summaries, substrate counters,
+// solver-check delta) is replayed from disk, byte-identical to the cold
+// run's observable output. Degraded or quarantined runs are never written
+// to the cache.
+func DetectDirCached(ctx context.Context, root string, specs []*Spec, opts DetectRunOptions) (*DetectResult, error) {
+	files, err := ReadSourceDir(root)
+	if err != nil {
+		return nil, err
+	}
+	return DetectFilesCached(ctx, files, specs, opts)
+}
+
+// DetectFilesCached is DetectDirCached over an in-memory source set.
+func DetectFilesCached(ctx context.Context, files map[string]string, specs []*Spec, opts DetectRunOptions) (*DetectResult, error) {
+	pc, err := openCache(opts.CacheDir, opts.CacheReadOnly)
+	if err != nil {
+		return nil, err
+	}
+	targetHash := cache.FileSetHash(files)
+	var key string
+	if pc.Enabled() {
+		if specHash, herr := specDBHash(specs); herr == nil {
+			key = cache.Key(
+				"tier:"+cache.TierDetect,
+				"seal:"+Version,
+				detectConfigPart(opts.Limits),
+				"target:"+targetHash,
+				"specs:"+specHash,
+			)
+			var ent detectCacheEntry
+			if pc.Get(cache.TierDetect, key, &ent) {
+				return replayDetect(&ent, opts.Obs, pc), nil
+			}
+		}
+	}
+	t, err := LoadFiles(files)
+	if err != nil {
+		return nil, err
+	}
+	sh := detect.NewShared(t.Prog)
+	sh.SetObs(opts.Obs)
+	if pc.Enabled() {
+		var snap map[string][]string
+		if pc.Get(cache.TierRegions, regionsKey(targetHash), &snap) {
+			sh.PrimeRegions(snap, detect.DefaultMaxCalleeDepth)
+		}
+	}
+	res, runErr := sh.DetectParallelCtx(ctx, specs, opts.Workers, opts.Limits)
+	if pc.Enabled() {
+		if runErr == nil && len(res.Failures) == 0 && len(res.Degraded) == 0 && key != "" {
+			pc.Put(cache.TierDetect, key, &detectCacheEntry{
+				Recs:      res.Recs,
+				Units:     res.Units,
+				Stats:     res.Stats,
+				SatChecks: res.SatChecks,
+			})
+			pc.Put(cache.TierRegions, regionsKey(targetHash),
+				sh.RegionsSnapshot(detect.DefaultMaxCalleeDepth))
+		} else {
+			pc.NoteUncacheable()
+		}
+		res.PCache = pc.Stats()
+	}
+	return res, runErr
+}
+
+// replayDetect reconstructs a DetectResult from a cache entry, re-recording
+// one OK unit span per region group (zero-duration slice/solve stages, the
+// original spec/bug counts) so the redacted manifest of a warm run is
+// byte-identical to the cold run's. Bugs stays nil — rendering goes through
+// Recs, the single render path.
+func replayDetect(ent *detectCacheEntry, rec *Recorder, pc *cache.Cache) *DetectResult {
+	rec.SetUnitsTotal(len(ent.Units))
+	for _, u := range ent.Units {
+		if span := rec.Unit("detect", u.ID); span != nil {
+			span.AddStage("slice", 0, 0)
+			span.AddStage("solve", 0, 0)
+			span.SetCounts(u.Specs, u.Bugs)
+			span.End()
+		}
+	}
+	res := &detect.Result{
+		Recs:      ent.Recs,
+		Units:     ent.Units,
+		Stats:     ent.Stats,
+		SatChecks: ent.SatChecks,
+	}
+	res.PCache = pc.Stats()
+	return res
+}

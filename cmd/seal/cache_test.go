@@ -1,0 +1,248 @@
+package main
+
+// End-to-end contract tests for the persistent analysis cache: a warm run
+// must be byte-identical to a cold one in every user-visible artifact
+// (spec database, bug reports, redacted manifest, redacted metrics), a
+// corrupted cache must silently degrade to a recompute with identical
+// output, and a read-only cache must never write.
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"seal/internal/obs"
+)
+
+// cacheRun is one infer-then-detect pipeline execution against a shared
+// cache directory, with every artifact captured for comparison.
+type cacheRun struct {
+	specDB          string // spec database file contents
+	inferManifest   string // redacted infer manifest
+	inferMetrics    string // redacted infer metrics
+	detectOut       string // detect stdout (bug reports + summary)
+	detectManifest  string // redacted detect manifest
+	detectMetrics   string // redacted detect metrics
+	inferRawCache   *obs.CacheStats
+	detectRawCache  *obs.CacheStats
+	detectRawCalled bool
+}
+
+// rawCacheStats loads the unredacted manifest's cache counters (nil when
+// the manifest carries none).
+func rawCacheStats(t *testing.T, path string) *obs.CacheStats {
+	t.Helper()
+	m, err := obs.ReadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m.Cache
+}
+
+// runCachedPipeline executes infer and detect with -cache-dir set, writing
+// artifacts under dir/<tag>, and captures everything a caller might diff.
+// The spec DB is written to a tag-independent path so manifests (which
+// record output paths) stay comparable across runs.
+func runCachedPipeline(t *testing.T, dir, corpusDir, specFile, cacheDir, tag string, extra ...string) cacheRun {
+	t.Helper()
+	outDir := filepath.Join(dir, tag)
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	sanitize := func(s string) string {
+		return strings.ReplaceAll(s, dir, "$WORK")
+	}
+	var r cacheRun
+	inferManifest := filepath.Join(outDir, "infer_manifest.json")
+	inferMetrics := filepath.Join(outDir, "infer_metrics.txt")
+	captureStdout(t, func() error {
+		return cmdInfer(append([]string{
+			"-patches", filepath.Join(corpusDir, "patches"), "-out", specFile,
+			"-cache-dir", cacheDir,
+			"-manifest-out", inferManifest, "-metrics-out", inferMetrics,
+		}, extra...))
+	})
+	db, err := os.ReadFile(specFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.specDB = string(db)
+	r.inferManifest = sanitize(redactedManifest(t, inferManifest))
+	r.inferMetrics = redactedMetrics(t, inferMetrics)
+	r.inferRawCache = rawCacheStats(t, inferManifest)
+
+	detectManifest := filepath.Join(outDir, "detect_manifest.json")
+	detectMetrics := filepath.Join(outDir, "detect_metrics.txt")
+	r.detectOut = sanitize(captureStdout(t, func() error {
+		return cmdDetect(append([]string{
+			"-target", filepath.Join(corpusDir, "tree"), "-specs", specFile,
+			"-cache-dir", cacheDir,
+			"-manifest-out", detectManifest, "-metrics-out", detectMetrics,
+		}, extra...))
+	}))
+	r.detectManifest = sanitize(redactedManifest(t, detectManifest))
+	r.detectMetrics = redactedMetrics(t, detectMetrics)
+	r.detectRawCache = rawCacheStats(t, detectManifest)
+	r.detectRawCalled = true
+	return r
+}
+
+// diffRuns asserts every comparable artifact of two runs is byte-identical.
+func diffRuns(t *testing.T, what string, a, b cacheRun) {
+	t.Helper()
+	for _, c := range []struct{ name, x, y string }{
+		{"spec DB", a.specDB, b.specDB},
+		{"redacted infer manifest", a.inferManifest, b.inferManifest},
+		{"redacted infer metrics", a.inferMetrics, b.inferMetrics},
+		{"detect stdout", a.detectOut, b.detectOut},
+		{"redacted detect manifest", a.detectManifest, b.detectManifest},
+		{"redacted detect metrics", a.detectMetrics, b.detectMetrics},
+	} {
+		if c.x != c.y {
+			t.Errorf("%s: %s differs between runs:\n--- first ---\n%s\n--- second ---\n%s", what, c.name, c.x, c.y)
+		}
+	}
+}
+
+// TestCLICacheWarmColdIdentity is the core correctness contract: with a
+// persistent cache configured, a second (warm) run of the identical
+// pipeline serves every analysis from disk yet produces byte-identical
+// reports, spec databases, redacted manifests, and redacted metrics.
+func TestCLICacheWarmColdIdentity(t *testing.T) {
+	dir := t.TempDir()
+	corpusDir := filepath.Join(dir, "corpus")
+	specFile := filepath.Join(dir, "specs.json")
+	cacheDir := filepath.Join(dir, "cache")
+	if err := cmdGen([]string{"-out", corpusDir}); err != nil {
+		t.Fatal(err)
+	}
+
+	cold := runCachedPipeline(t, dir, corpusDir, specFile, cacheDir, "cold")
+	warm := runCachedPipeline(t, dir, corpusDir, specFile, cacheDir, "warm")
+	diffRuns(t, "warm vs cold", cold, warm)
+
+	// The cold run must have populated the cache, and the warm run must
+	// have actually served from it — otherwise identity is vacuous.
+	if cold.inferRawCache == nil || cold.inferRawCache.PCacheWrites == 0 {
+		t.Errorf("cold infer wrote no cache entries: %+v", cold.inferRawCache)
+	}
+	if cold.detectRawCache == nil || cold.detectRawCache.PCacheWrites == 0 {
+		t.Errorf("cold detect wrote no cache entries: %+v", cold.detectRawCache)
+	}
+	if warm.inferRawCache == nil || warm.inferRawCache.PCacheHits == 0 || warm.inferRawCache.PCacheMisses != 0 {
+		t.Errorf("warm infer was not fully served from cache: %+v", warm.inferRawCache)
+	}
+	if warm.detectRawCache == nil || warm.detectRawCache.PCacheHits == 0 || warm.detectRawCache.PCacheMisses != 0 {
+		t.Errorf("warm detect was not fully served from cache: %+v", warm.detectRawCache)
+	}
+	if warm.detectRawCache != nil && warm.detectRawCache.PCacheWrites != 0 {
+		t.Errorf("warm detect rewrote cache entries: %+v", warm.detectRawCache)
+	}
+
+	// -cache-clear wipes the cache's own subtree: the next run is cold
+	// again (recomputes and rewrites) but still byte-identical.
+	cleared := runCachedPipeline(t, dir, corpusDir, specFile, cacheDir, "cleared", "-cache-clear")
+	diffRuns(t, "cleared vs cold", cold, cleared)
+	if cleared.inferRawCache == nil || cleared.inferRawCache.PCacheHits != 0 || cleared.inferRawCache.PCacheWrites == 0 {
+		t.Errorf("-cache-clear infer still hit the cache: %+v", cleared.inferRawCache)
+	}
+}
+
+// TestCLICacheCorruptFallback flips bytes in every cached entry and
+// requires the next run to detect the corruption via checksums, count
+// misses, recompute, and still produce byte-identical output — with
+// exit code 0 (no error) throughout.
+func TestCLICacheCorruptFallback(t *testing.T) {
+	dir := t.TempDir()
+	corpusDir := filepath.Join(dir, "corpus")
+	specFile := filepath.Join(dir, "specs.json")
+	cacheDir := filepath.Join(dir, "cache")
+	if err := cmdGen([]string{"-out", corpusDir}); err != nil {
+		t.Fatal(err)
+	}
+
+	cold := runCachedPipeline(t, dir, corpusDir, specFile, cacheDir, "cold")
+
+	// Corrupt every entry file in place (overwrite the tail so size and
+	// mtime games can't save a naive reader).
+	var corrupted int
+	err := filepath.Walk(cacheDir, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i := len(data) / 2; i < len(data); i++ {
+			data[i] ^= 0xFF
+		}
+		corrupted++
+		return os.WriteFile(path, data, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corrupted == 0 {
+		t.Fatal("cold run left no cache entry files to corrupt")
+	}
+
+	damaged := runCachedPipeline(t, dir, corpusDir, specFile, cacheDir, "damaged")
+	diffRuns(t, "corrupt-cache vs cold", cold, damaged)
+	if damaged.detectRawCache == nil || damaged.detectRawCache.PCacheCorrupt == 0 {
+		t.Errorf("corrupted detect entries were not counted: %+v", damaged.detectRawCache)
+	}
+	if damaged.inferRawCache == nil || damaged.inferRawCache.PCacheCorrupt == 0 {
+		t.Errorf("corrupted infer entries were not counted: %+v", damaged.inferRawCache)
+	}
+	if damaged.detectRawCache != nil && damaged.detectRawCache.PCacheHits != 0 {
+		t.Errorf("corrupted entries served as hits: %+v", damaged.detectRawCache)
+	}
+
+	// The damaged run rewrote good entries, so a fourth run is warm again.
+	healed := runCachedPipeline(t, dir, corpusDir, specFile, cacheDir, "healed")
+	diffRuns(t, "healed vs cold", cold, healed)
+	if healed.detectRawCache == nil || healed.detectRawCache.PCacheHits == 0 {
+		t.Errorf("cache did not heal after corruption recompute: %+v", healed.detectRawCache)
+	}
+}
+
+// TestCLICacheReadOnly runs the pipeline with -cache-readonly against an
+// empty cache: the run must succeed, count misses, and leave no entry
+// files behind.
+func TestCLICacheReadOnly(t *testing.T) {
+	dir := t.TempDir()
+	corpusDir := filepath.Join(dir, "corpus")
+	specFile := filepath.Join(dir, "specs.json")
+	cacheDir := filepath.Join(dir, "cache")
+	if err := cmdGen([]string{"-out", corpusDir}); err != nil {
+		t.Fatal(err)
+	}
+
+	r := runCachedPipeline(t, dir, corpusDir, specFile, cacheDir, "ro", "-cache-readonly")
+	if r.inferRawCache != nil && r.inferRawCache.PCacheWrites != 0 {
+		t.Errorf("read-only infer wrote entries: %+v", r.inferRawCache)
+	}
+	if r.detectRawCache != nil && r.detectRawCache.PCacheWrites != 0 {
+		t.Errorf("read-only detect wrote entries: %+v", r.detectRawCache)
+	}
+	var files []string
+	if err := filepath.Walk(cacheDir, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			if os.IsNotExist(err) {
+				return nil
+			}
+			return err
+		}
+		if !info.IsDir() {
+			files = append(files, path)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 0 {
+		t.Errorf("read-only cache left %d entry files: %v", len(files), files)
+	}
+}

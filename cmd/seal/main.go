@@ -167,6 +167,29 @@ func (lf *limitFlags) limits() seal.Limits {
 	}
 }
 
+// cacheFlags is the shared persistent-cache flag set of infer and detect.
+type cacheFlags struct {
+	dir      string
+	readOnly bool
+	clear    bool
+}
+
+func addCacheFlags(fs *flag.FlagSet) *cacheFlags {
+	cf := &cacheFlags{}
+	fs.StringVar(&cf.dir, "cache-dir", "", "persistent analysis cache directory (content-addressed; warm runs replay unchanged results); empty = disabled")
+	fs.BoolVar(&cf.readOnly, "cache-readonly", false, "serve cache hits but never write (shared or archived caches)")
+	fs.BoolVar(&cf.clear, "cache-clear", false, "remove the cache's own objects under -cache-dir before running")
+	return cf
+}
+
+// prepare applies -cache-clear before the run.
+func (cf *cacheFlags) prepare() error {
+	if cf.clear && cf.dir != "" {
+		return seal.ClearCache(cf.dir)
+	}
+	return nil
+}
+
 // obsFlags is the shared observability flag set of infer and detect: a
 // JSON run manifest, Prometheus-text metrics, and a stderr progress ticker.
 // When none is requested, no recorder is created and the pipeline pays
@@ -175,10 +198,10 @@ type obsFlags struct {
 	manifestOut string
 	metricsOut  string
 	progress    bool
-	// sat0 is the solver's check counter at recorder creation, so the
-	// exported figure is this run's delta even when several commands run
-	// in one process (tests).
-	sat0 int64
+	// memoHits0/memoMisses0 snapshot the solver's in-process memo counters
+	// at recorder creation, so the exported figures are this run's deltas
+	// even when several commands run in one process (tests).
+	memoHits0, memoMisses0 int64
 }
 
 func addObsFlags(fs *flag.FlagSet) *obsFlags {
@@ -195,7 +218,7 @@ func (of *obsFlags) recorder(command string) *obs.Recorder {
 	if of.manifestOut == "" && of.metricsOut == "" && !of.progress {
 		return nil
 	}
-	of.sat0 = solver.SatChecks()
+	of.memoHits0, of.memoMisses0 = solver.SatMemoStats()
 	rec := obs.New()
 	rec.StartRun(command)
 	return rec
@@ -211,17 +234,40 @@ func (of *obsFlags) startProgress(rec *obs.Recorder, label string) *obs.Progress
 
 // finish derives the outcome and duration metrics from the recorded run
 // and writes the requested artifacts. cache, when non-nil, attaches the
-// shared-substrate counters to the manifest.
-func (of *obsFlags) finish(rec *obs.Recorder, command string, workers int, inputs map[string]string, cache *obs.CacheStats) error {
+// shared-substrate counters to the manifest. satDelta is the run's solver
+// check count — the library's own figure, replayed from the persistent
+// cache on warm runs so warm and cold metrics agree. pstats carries the
+// persistent-cache counters (zero when no -cache-dir).
+func (of *obsFlags) finish(rec *obs.Recorder, command string, workers int, inputs map[string]string, cache *obs.CacheStats, satDelta int64, pstats seal.CacheStats) error {
 	if rec == nil {
 		return nil
 	}
 	m := rec.BuildManifest(command, workers, inputs, 10)
+	if cache == nil && pstats != (seal.CacheStats{}) {
+		// Inference has no substrate counters, but a cached run still
+		// surfaces its persistent-cache figures in the manifest.
+		cache = &obs.CacheStats{}
+	}
 	if cache != nil {
+		cache.PCacheHits = pstats.Hits
+		cache.PCacheMisses = pstats.Misses
+		cache.PCacheWrites = pstats.Writes
+		cache.PCacheCorrupt = pstats.Corrupt
+		cache.PCacheReadBytes = pstats.ReadBytes
+		cache.PCacheWriteBytes = pstats.WriteBytes
+		cache.PCacheUncacheable = pstats.Uncacheable
 		m.SetCache(*cache)
 	}
 	reg := rec.Registry()
-	reg.Counter("seal_solver_sat_checks_total", "satisfiability checks performed").Add(solver.SatChecks() - of.sat0)
+	reg.Counter("seal_solver_sat_checks_total", "satisfiability checks performed").Add(satDelta)
+	mh, mm := solver.SatMemoStats()
+	reg.Counter("seal_solver_sat_memo_hits_total", "solver memo hits").Add(mh - of.memoHits0)
+	reg.Counter("seal_solver_sat_memo_misses_total", "solver memo misses").Add(mm - of.memoMisses0)
+	reg.Counter("seal_pcache_hits_total", "persistent analysis cache hits").Add(pstats.Hits)
+	reg.Counter("seal_pcache_misses_total", "persistent analysis cache misses").Add(pstats.Misses)
+	reg.Counter("seal_pcache_writes_total", "persistent analysis cache writes").Add(pstats.Writes)
+	reg.Counter("seal_pcache_corrupt_total", "cache entries failing verification, degraded to misses").Add(pstats.Corrupt)
+	reg.Counter("seal_pcache_uncacheable_total", "results not cached because they were degraded or partial").Add(pstats.Uncacheable)
 	reg.Counter("seal_units_ok_total", "units of work completing normally").Add(int64(m.Outcomes.OK))
 	reg.Counter("seal_units_degraded_total", "units completing with budget-truncated results").Add(int64(m.Outcomes.Degraded))
 	reg.Counter("seal_units_quarantined_total", "units isolated after a panic, deadline, or error").Add(int64(m.Outcomes.Quarantined))
@@ -355,9 +401,13 @@ func cmdInfer(args []string) error {
 	failFast := fs.Bool("fail-fast", false, "abort at the first quarantined patch (exit 1) instead of continuing")
 	lf := addLimitFlags(fs)
 	of := addObsFlags(fs)
+	cf := addCacheFlags(fs)
 	fs.Parse(args)
 	if *patchesDir == "" || *out == "" {
 		return fmt.Errorf("infer: -patches and -out are required")
+	}
+	if err := cf.prepare(); err != nil {
+		return err
 	}
 	patches, err := kernelgen.LoadPatches(*patchesDir)
 	if err != nil {
@@ -366,11 +416,13 @@ func cmdInfer(args []string) error {
 	rec := of.recorder("infer")
 	pg := of.startProgress(rec, "infer")
 	res, runErr := seal.InferSpecsContext(context.Background(), patches, seal.Options{
-		Validate: !*noValidate,
-		Workers:  *workers,
-		Limits:   lf.limits(),
-		FailFast: *failFast,
-		Obs:      rec,
+		Validate:      !*noValidate,
+		Workers:       *workers,
+		Limits:        lf.limits(),
+		FailFast:      *failFast,
+		Obs:           rec,
+		CacheDir:      cf.dir,
+		CacheReadOnly: cf.readOnly,
 	})
 	pg.Stop()
 	for _, d := range res.Degraded {
@@ -399,7 +451,7 @@ func cmdInfer(args []string) error {
 		if *noValidate {
 			inputs["validate"] = "false"
 		}
-		return of.finish(rec, "infer", *workers, inputs, nil)
+		return of.finish(rec, "infer", *workers, inputs, nil, res.SatChecks, res.PCache)
 	}
 	if runErr != nil {
 		if err := finishObs(); err != nil {
@@ -459,19 +511,19 @@ func cmdDetect(args []string) error {
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	lf := addLimitFlags(fs)
 	of := addObsFlags(fs)
+	cf := addCacheFlags(fs)
 	fs.Parse(args)
 	if *target == "" || *specFile == "" {
 		return fmt.Errorf("detect: -target and -specs are required")
+	}
+	if err := cf.prepare(); err != nil {
+		return err
 	}
 	stop, err := startProfiles(*cpuprofile, *memprofile)
 	if err != nil {
 		return err
 	}
 	defer stop()
-	t, err := seal.LoadDir(*target)
-	if err != nil {
-		return err
-	}
 	data, err := os.ReadFile(*specFile)
 	if err != nil {
 		return err
@@ -482,9 +534,18 @@ func cmdDetect(args []string) error {
 	}
 	rec := of.recorder("detect")
 	pg := of.startProgress(rec, "detect")
-	res, runErr := seal.DetectContextObs(context.Background(), t, db.Specs, *workers, lf.limits(), rec)
+	res, runErr := seal.DetectDirCached(context.Background(), *target, db.Specs, seal.DetectRunOptions{
+		Workers:       *workers,
+		Limits:        lf.limits(),
+		Obs:           rec,
+		CacheDir:      cf.dir,
+		CacheReadOnly: cf.readOnly,
+	})
 	pg.Stop()
-	bugs, st := res.Bugs, res.Stats
+	if res == nil {
+		return runErr
+	}
+	recs, st := res.Recs, res.Stats
 	if *stats {
 		fmt.Fprintf(os.Stderr, "substrate: pdg builds=%d/%d calls, path cache hits=%d misses=%d (%.1f%%), index lookups=%d\n",
 			st.EnsureBuilds, st.EnsureCalls, st.PathCacheHits, st.PathCacheMisses,
@@ -510,7 +571,7 @@ func cmdDetect(args []string) error {
 		}
 		reg := rec.Registry()
 		reg.Counter("seal_detect_specs_total", "specifications checked").Add(int64(len(db.Specs)))
-		reg.Counter("seal_detect_bugs_total", "bug reports emitted").Add(int64(len(bugs)))
+		reg.Counter("seal_detect_bugs_total", "bug reports emitted").Add(int64(len(recs)))
 		reg.Counter("seal_pdg_ensure_calls_total", "PDG ensure calls against the shared substrate").Add(st.EnsureCalls)
 		reg.Counter("seal_pdg_builds_total", "PDGs actually built (single-flight misses)").Add(st.EnsureBuilds)
 		reg.Gauge("seal_pdg_build_seconds_total", "wall time spent building PDGs").Set(float64(st.PDGBuildNanos) / 1e9)
@@ -532,7 +593,7 @@ func cmdDetect(args []string) error {
 			Truncations:      st.Truncations,
 		}
 		inputs := map[string]string{"target": *target, "specs": *specFile}
-		return of.finish(rec, "detect", *workers, inputs, cache)
+		return of.finish(rec, "detect", *workers, inputs, cache, res.SatChecks, res.PCache)
 	}
 	if runErr != nil {
 		if err := finishObs(); err != nil {
@@ -542,13 +603,13 @@ func cmdDetect(args []string) error {
 	}
 	renderStart := time.Now()
 	if *full {
-		fmt.Print(report.RenderAll(bugs, map[string]*patch.Patch{}))
+		fmt.Print(report.RenderAllRecs(recs, map[string]*patch.Patch{}))
 		fmt.Print(report.RenderRobustness(res.Degraded, res.Failures))
 	} else {
-		for _, b := range bugs {
+		for _, b := range recs {
 			fmt.Println(b.String())
 		}
-		sum := report.Summarize(bugs)
+		sum := report.SummarizeRecs(recs)
 		fmt.Printf("---\n%d reports over %d specs\n", sum.Total, len(db.Specs))
 	}
 	renderSecs = time.Since(renderStart).Seconds()

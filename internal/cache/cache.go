@@ -1,0 +1,272 @@
+// Package cache is the content-addressed, on-disk analysis cache that
+// makes warm seal runs approach I/O speed. Products are keyed by a stable
+// fingerprint chain — source bytes → parsed-unit hash → (analysis config,
+// budget limits, seal schema version) → product — so any input or
+// configuration change lands on a different key and stale entries are
+// simply never found.
+//
+// The cache is a performance layer, never a correctness layer: every entry
+// carries a checksum and a schema version, and anything that fails
+// verification (truncated file, flipped bit, entry written by a different
+// seal schema) is silently treated as a miss and recomputed. A nil *Cache
+// is the disabled cache: every method is a no-op, so call sites need no
+// branching.
+package cache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync/atomic"
+)
+
+// SchemaVersion is baked into every fingerprint and entry envelope. Bump
+// it whenever a cached product's shape or the analysis that produces it
+// changes incompatibly: old entries become unreachable (different keys)
+// and unreadable (version check), both of which degrade to misses.
+const SchemaVersion = 1
+
+// subdir is the directory the cache owns under the user-supplied root.
+// Keeping our objects one level down makes Clear safe: it removes only
+// this subtree, never user files that happen to share the root.
+const subdir = "seal-analysis-cache"
+
+// Product tiers. Each tier invalidates independently: its keys hash
+// different inputs.
+const (
+	// TierInfer holds per-patch inference results (specs + stats).
+	TierInfer = "infer"
+	// TierInferRun holds run-level inference summaries (solver work
+	// counters for metric replay), keyed over the whole corpus.
+	TierInferRun = "infer-run"
+	// TierDetect holds per-target detection results (bug records, unit
+	// outcomes, substrate counters), keyed over target + spec DB.
+	TierDetect = "detect"
+	// TierRegions holds per-target region-closure artifacts (root →
+	// callee-closure function names), keyed over the target only, so they
+	// survive spec-DB changes.
+	TierRegions = "regions"
+)
+
+// Stats are the cache's instrumentation counters.
+type Stats struct {
+	Hits        int64
+	Misses      int64
+	Writes      int64
+	Corrupt     int64 // entries present but failing version/checksum/decode
+	ReadBytes   int64
+	WriteBytes  int64
+	Uncacheable int64 // results not written because they were degraded/partial
+}
+
+// Cache is an open handle on one on-disk cache. Safe for concurrent use.
+// The nil *Cache is valid and disabled: Get always misses, Put does
+// nothing.
+type Cache struct {
+	root     string // <user dir>/<subdir>/v<SchemaVersion>
+	readOnly bool
+
+	hits, misses, writes, corrupt   atomic.Int64
+	readBytes, writeBytes, uncached atomic.Int64
+}
+
+// Open opens (creating if needed) the cache under dir. readOnly serves
+// hits but never writes — for shared or archived caches.
+func Open(dir string, readOnly bool) (*Cache, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("cache: empty directory")
+	}
+	root := filepath.Join(dir, subdir, "v"+strconv.Itoa(SchemaVersion))
+	if !readOnly {
+		if err := os.MkdirAll(root, 0o755); err != nil {
+			return nil, fmt.Errorf("cache: %w", err)
+		}
+	}
+	return &Cache{root: root, readOnly: readOnly}, nil
+}
+
+// Clear removes every object the cache owns under dir (the cache's own
+// subtree only — never other files in dir). Missing directories are fine.
+func Clear(dir string) error {
+	if dir == "" {
+		return fmt.Errorf("cache: empty directory")
+	}
+	return os.RemoveAll(filepath.Join(dir, subdir))
+}
+
+// Enabled reports whether the cache is live.
+func (c *Cache) Enabled() bool { return c != nil }
+
+// ReadOnly reports whether writes are suppressed.
+func (c *Cache) ReadOnly() bool { return c != nil && c.readOnly }
+
+// envelope is the on-disk entry format: the JSON payload plus enough
+// self-description to detect corruption, truncation, and version skew.
+type envelope struct {
+	Version int             `json:"version"`
+	Tier    string          `json:"tier"`
+	Key     string          `json:"key"`
+	Sum     string          `json:"sum"` // sha256 of Payload bytes
+	Payload json.RawMessage `json:"payload"`
+}
+
+func (c *Cache) path(tier, key string) string {
+	// Two-level fanout keeps directories small on big corpora.
+	return filepath.Join(c.root, tier, key[:2], key+".json")
+}
+
+// Get looks up (tier, key) and decodes the payload into out. It returns
+// true only for a verified hit; every failure mode — absent, unreadable,
+// version-skewed, checksum mismatch, undecodable — counts as a miss (and,
+// when an entry existed but failed verification, as Corrupt).
+func (c *Cache) Get(tier, key string, out any) bool {
+	if c == nil || len(key) < 3 {
+		return false
+	}
+	data, err := os.ReadFile(c.path(tier, key))
+	if err != nil {
+		c.misses.Add(1)
+		return false
+	}
+	c.readBytes.Add(int64(len(data)))
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		c.miss(true)
+		return false
+	}
+	if env.Version != SchemaVersion || env.Tier != tier || env.Key != key {
+		c.miss(true)
+		return false
+	}
+	sum := sha256.Sum256(env.Payload)
+	if hex.EncodeToString(sum[:]) != env.Sum {
+		c.miss(true)
+		return false
+	}
+	if err := json.Unmarshal(env.Payload, out); err != nil {
+		c.miss(true)
+		return false
+	}
+	c.hits.Add(1)
+	return true
+}
+
+func (c *Cache) miss(corrupt bool) {
+	c.misses.Add(1)
+	if corrupt {
+		c.corrupt.Add(1)
+	}
+}
+
+// Put stores val under (tier, key). Best-effort: encoding or I/O errors
+// are swallowed (a cache that cannot write is merely cold), and read-only
+// caches never write. The write is atomic (temp file + rename) so a
+// concurrent reader sees either the old entry or the complete new one.
+func (c *Cache) Put(tier, key string, val any) {
+	if c == nil || c.readOnly || len(key) < 3 {
+		return
+	}
+	payload, err := json.Marshal(val)
+	if err != nil {
+		return
+	}
+	sum := sha256.Sum256(payload)
+	env := envelope{
+		Version: SchemaVersion,
+		Tier:    tier,
+		Key:     key,
+		Sum:     hex.EncodeToString(sum[:]),
+		Payload: payload,
+	}
+	data, err := json.Marshal(&env)
+	if err != nil {
+		return
+	}
+	path := c.path(tier, key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), key+".tmp*")
+	if err != nil {
+		return
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	c.writes.Add(1)
+	c.writeBytes.Add(int64(len(data)))
+}
+
+// NoteUncacheable records a result that was deliberately not written —
+// degraded, quarantined, or otherwise partial. Counted so the poisoning
+// guard is observable, not silent.
+func (c *Cache) NoteUncacheable() {
+	if c != nil {
+		c.uncached.Add(1)
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	return Stats{
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		Writes:      c.writes.Load(),
+		Corrupt:     c.corrupt.Load(),
+		ReadBytes:   c.readBytes.Load(),
+		WriteBytes:  c.writeBytes.Load(),
+		Uncacheable: c.uncached.Load(),
+	}
+}
+
+// Key builds a content-addressed key from ordered parts. Each part is
+// length-prefixed before hashing so part boundaries cannot alias
+// ("ab","c" ≠ "a","bc"), and SchemaVersion is always the first link of
+// the chain.
+func Key(parts ...string) string {
+	h := sha256.New()
+	writePart(h, "schema:"+strconv.Itoa(SchemaVersion))
+	for _, p := range parts {
+		writePart(h, p)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// FileSetHash fingerprints a set of named sources (the "parsed-unit hash"
+// link of the chain): names are sorted, and each name and body is
+// length-prefixed, so the hash is order-independent and unambiguous.
+func FileSetHash(files map[string]string) string {
+	names := make([]string, 0, len(files))
+	for n := range files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	h := sha256.New()
+	for _, n := range names {
+		writePart(h, n)
+		writePart(h, files[n])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func writePart(h interface{ Write([]byte) (int, error) }, p string) {
+	var lenbuf [16]byte
+	b := strconv.AppendInt(lenbuf[:0], int64(len(p)), 10)
+	h.Write(append(b, ':'))
+	h.Write([]byte(p))
+}

@@ -48,8 +48,10 @@ func (b *Bug) String() string {
 	return fmt.Sprintf("%s in %s (%s): %s", b.Kind, b.Fn.Name, b.Fn.File, b.Message)
 }
 
-// defaultMaxCalleeDepth bounds the callee closure of a detection region.
-const defaultMaxCalleeDepth = 3
+// DefaultMaxCalleeDepth bounds the callee closure of a detection region.
+// Exported because it is an analysis-semantics input to persistent cache
+// fingerprints: changing it must change every detection cache key.
+const DefaultMaxCalleeDepth = 3
 
 // Detector checks specifications against a target program. A Detector is
 // a lightweight worker view over a Shared substrate: any number of

@@ -3,13 +3,16 @@ package detect
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"seal/internal/budget"
+	"seal/internal/cache"
 	"seal/internal/faultinject"
 	"seal/internal/obs"
+	"seal/internal/solver"
 	"seal/internal/spec"
 )
 
@@ -18,6 +21,11 @@ import (
 // degradation records of the units that were not.
 type Result struct {
 	Bugs []*Bug
+	// Recs is the serializable form of Bugs, always populated. It is the
+	// report-rendering payload: a warm (cache-replayed) run carries only
+	// Recs — no live IR — and renders byte-identically to a cold one
+	// because both go through report.RenderRec.
+	Recs []BugRec
 	// Failures are the quarantined units (panic, deadline, error). Their
 	// results are dropped entirely; everything else is unaffected.
 	Failures []*budget.FailureRecord
@@ -26,6 +34,24 @@ type Result struct {
 	Degraded []budget.Degradation
 	// Stats are the substrate counters plus this run's unit outcomes.
 	Stats Stats
+	// Units summarizes each region group for manifest replay: a warm run
+	// re-records one OK unit span per entry so the redacted manifest is
+	// byte-identical to the cold run's. Sorted by ID.
+	Units []UnitRec
+	// SatChecks is the solver satisfiability-check delta attributable to
+	// this run (replayed from the cache on a warm hit, so exported
+	// metrics match the cold run's).
+	SatChecks int64
+	// PCache is the persistent analysis cache's counter snapshot; zero
+	// unless the run was configured with a cache directory.
+	PCache cache.Stats
+}
+
+// UnitRec is the serializable per-unit summary of one region group.
+type UnitRec struct {
+	ID    string `json:"id"`
+	Specs int    `json:"specs"`
+	Bugs  int    `json:"bugs"`
 }
 
 // Quarantined reports whether any unit was quarantined.
@@ -61,6 +87,7 @@ func (sh *Shared) DetectParallelCtx(ctx context.Context, specs []*spec.Spec, wor
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	sat0 := solver.SatChecks()
 	groups := groupByScope(specs)
 	if workers < 1 {
 		workers = 1
@@ -107,14 +134,22 @@ func (sh *Shared) DetectParallelCtx(ctx context.Context, specs []*spec.Spec, wor
 	wg.Wait()
 
 	res := &Result{Bugs: mergeBugs(perSpec)}
-	for _, oc := range outcomes {
+	res.Recs = Records(res.Bugs)
+	res.SatChecks = solver.SatChecks() - sat0
+	for gi, oc := range outcomes {
 		if oc.failure != nil {
 			res.Failures = append(res.Failures, oc.failure)
 		}
 		if oc.degraded != nil {
 			res.Degraded = append(res.Degraded, *oc.degraded)
 		}
+		res.Units = append(res.Units, UnitRec{
+			ID:    specs[groups[gi][0]].Scope(),
+			Specs: len(groups[gi]),
+			Bugs:  oc.bugs,
+		})
 	}
+	sort.Slice(res.Units, func(i, j int) bool { return res.Units[i].ID < res.Units[j].ID })
 	res.Stats = sh.Stats()
 	res.Stats.QuarantinedUnits = int64(len(res.Failures))
 	res.Stats.DegradedUnits = int64(len(res.Degraded))

@@ -27,6 +27,19 @@ type Shared struct {
 
 	pathShards [numPathShards]pathShard
 
+	// Canonical-shape reuse (canon.go): interned region shapes, completed
+	// path sets keyed up to region isomorphism, and per-function statement
+	// position maps for translation.
+	shapeMu sync.Mutex
+	shapes  map[string]*shapeInfo
+
+	canonMu    sync.Mutex
+	canonPaths map[canonPathKey]*canonEntry
+
+	stmtMu      sync.Mutex
+	stmtPos     map[*ir.Stmt]int
+	stmtIndexed map[*ir.Func]bool
+
 	pathHits   atomic.Int64
 	pathMisses atomic.Int64
 	// truncations counts slicer enumerations cut short by any cap or
@@ -48,6 +61,10 @@ const numPathShards = 64
 type pathShard struct {
 	mu sync.Mutex
 	m  map[pathKey]*pathEntry
+	// bySrc indexes completed entries by (source, depth) across regions,
+	// for footprint-compatible reuse: two regions whose closures agree on
+	// every function the traversal actually consulted get one path set.
+	bySrc map[srcKey][]*pathEntry
 }
 
 // pathKey identifies one memoized PathsFrom computation: the source
@@ -56,6 +73,13 @@ type pathShard struct {
 type pathKey struct {
 	src   *ir.Stmt
 	root  *ir.Func
+	depth int
+}
+
+// srcKey is the region-independent part of a pathKey — the canonical key
+// of the cross-region reuse index.
+type srcKey struct {
+	src   *ir.Stmt
 	depth int
 }
 
@@ -73,6 +97,12 @@ type pathEntry struct {
 	// must not be served to other units: the computing worker removes the
 	// entry and keeps the partial result private; waiters recompute.
 	volatile bool
+	// footprint is the set of scope-membership answers the traversal
+	// consulted (vfp.Slicer.ScopeTrace), written before done closes on a
+	// successful computation. A region whose closure answers every
+	// recorded query identically would traverse identically, so the entry
+	// is sound to serve to it.
+	footprint map[*ir.Func]bool
 }
 
 type regionKey struct {
@@ -87,6 +117,12 @@ type regionCtx struct {
 	root  *ir.Func
 	funcs []*ir.Func
 	set   map[*ir.Func]bool
+	// idx is each closure function's position in funcs (the canonical
+	// function numbering of the region's shape).
+	idx map[*ir.Func]int
+	// shape is the interned canonical shape (canon.go); regions sharing a
+	// shape pointer are isomorphic up to renaming.
+	shape *shapeInfo
 }
 
 // Stats aggregates the substrate's instrumentation counters.
@@ -158,12 +194,17 @@ func NewShared(prog *ir.Program) *Shared {
 // NewSharedOnGraph builds the substrate over an existing PDG.
 func NewSharedOnGraph(g *pdg.Graph) *Shared {
 	sh := &Shared{
-		G:       g,
-		Idx:     progindex.Build(g.Prog),
-		regions: make(map[regionKey]*regionCtx),
+		G:           g,
+		Idx:         progindex.Build(g.Prog),
+		regions:     make(map[regionKey]*regionCtx),
+		shapes:      make(map[string]*shapeInfo),
+		canonPaths:  make(map[canonPathKey]*canonEntry),
+		stmtPos:     make(map[*ir.Stmt]int),
+		stmtIndexed: make(map[*ir.Func]bool),
 	}
 	for i := range sh.pathShards {
 		sh.pathShards[i].m = make(map[pathKey]*pathEntry)
+		sh.pathShards[i].bySrc = make(map[srcKey][]*pathEntry)
 	}
 	return sh
 }
@@ -201,7 +242,7 @@ func (sh *Shared) Detector() *Detector {
 		sh:             sh,
 		sl:             sl,
 		ab:             infer.NewAbstracter(sh.G),
-		MaxCalleeDepth: defaultMaxCalleeDepth,
+		MaxCalleeDepth: DefaultMaxCalleeDepth,
 	}
 }
 
@@ -230,9 +271,76 @@ func (sh *Shared) region(root *ir.Func, depth int) *regionCtx {
 		}
 		frontier = next
 	}
-	rc := &regionCtx{root: root, funcs: out, set: seen}
+	idx := make(map[*ir.Func]int, len(out))
+	for i, f := range out {
+		idx[f] = i
+	}
+	rc := &regionCtx{root: root, funcs: out, set: seen, idx: idx}
+	rc.shape = sh.shapeOf(rc)
 	sh.regions[key] = rc
 	return rc
+}
+
+// RegionsSnapshot returns every materialized region closure at the given
+// callee depth as root → ordered closure function names. The ordering is
+// the canonical one region() produced (BFS over DefinedCallees), so a
+// snapshot primed into a fresh substrate over the same program reproduces
+// identical regionCtx structures. This is the TierRegions cache artifact:
+// keyed by target content only, it survives spec-DB changes.
+func (sh *Shared) RegionsSnapshot(depth int) map[string][]string {
+	sh.regionMu.Lock()
+	defer sh.regionMu.Unlock()
+	out := make(map[string][]string)
+	for key, rc := range sh.regions {
+		if key.depth != depth {
+			continue
+		}
+		names := make([]string, len(rc.funcs))
+		for i, f := range rc.funcs {
+			names[i] = f.Name
+		}
+		out[rc.root.Name] = names
+	}
+	return out
+}
+
+// PrimeRegions installs region closures from a prior run's snapshot over
+// the same target, skipping the call-graph walk region() would do. Strictly
+// a warm-start: a root whose functions no longer all resolve is ignored
+// (region() computes it from scratch on demand), so a stale snapshot can
+// cost time but never correctness. Callers guarantee same-target semantics
+// by keying the snapshot on the target's content hash.
+func (sh *Shared) PrimeRegions(snap map[string][]string, depth int) {
+	sh.regionMu.Lock()
+	defer sh.regionMu.Unlock()
+	for rootName, names := range snap {
+		funcs := make([]*ir.Func, 0, len(names))
+		ok := true
+		for _, n := range names {
+			f := sh.G.Prog.Funcs[n]
+			if f == nil {
+				ok = false
+				break
+			}
+			funcs = append(funcs, f)
+		}
+		if !ok || len(funcs) == 0 || funcs[0].Name != rootName {
+			continue
+		}
+		key := regionKey{root: funcs[0], depth: depth}
+		if _, exists := sh.regions[key]; exists {
+			continue
+		}
+		set := make(map[*ir.Func]bool, len(funcs))
+		idx := make(map[*ir.Func]int, len(funcs))
+		for i, f := range funcs {
+			set[f] = true
+			idx[f] = i
+		}
+		rc := &regionCtx{root: funcs[0], funcs: funcs, set: set, idx: idx}
+		rc.shape = sh.shapeOf(rc)
+		sh.regions[key] = rc
+	}
 }
 
 // pathsFor returns the value-flow paths from src confined to rc, computing
@@ -248,6 +356,7 @@ func (sh *Shared) region(root *ir.Func, depth int) *regionCtx {
 // starved unit cannot silently degrade its neighbors.
 func (sh *Shared) pathsFor(src *ir.Stmt, rc *regionCtx, depth int, sl *vfp.Slicer) []*vfp.Path {
 	key := pathKey{src: src, root: rc.root, depth: depth}
+	skey := srcKey{src: src, depth: depth}
 	shard := &sh.pathShards[uint(src.ID)%numPathShards]
 
 	for {
@@ -264,20 +373,51 @@ func (sh *Shared) pathsFor(src *ir.Stmt, rc *regionCtx, depth int, sl *vfp.Slice
 			sh.pathHits.Add(1)
 			return e.paths
 		}
+		// Exact miss: a sibling region may already hold this source's
+		// paths. If a completed entry's footprint — the scope answers its
+		// traversal consulted — matches our region, its paths are ours
+		// too; alias it under our exact key so later lookups are direct.
+		if e := shard.reusable(skey, rc.set); e != nil {
+			shard.m[key] = e
+			shard.mu.Unlock()
+			sh.pathHits.Add(1)
+			return e.paths
+		}
+		// Still a miss: an isomorphic sibling region (same canonical
+		// shape, canon.go) may have computed this source's paths one
+		// renaming away. Translate them in and pin the result under our
+		// exact key so later lookups are direct.
+		if ps, ok := sh.canonTranslate(src, rc, depth); ok {
+			e := &pathEntry{done: make(chan struct{}), paths: ps}
+			close(e.done)
+			shard.m[key] = e
+			shard.mu.Unlock()
+			sh.pathHits.Add(1)
+			return ps
+		}
 		e := &pathEntry{done: make(chan struct{})}
 		shard.m[key] = e
+		shard.bySrc[skey] = append(shard.bySrc[skey], e)
 		shard.mu.Unlock()
 
 		sh.pathMisses.Add(1)
 		trunc0 := sl.BudgetTruncations
+		fp := make(map[*ir.Func]bool)
+		prevTrace := sl.ScopeTrace
+		sl.ScopeTrace = fp
 		func() {
 			defer func() {
+				sl.ScopeTrace = prevTrace
 				e.panicVal = recover()
 				if e.panicVal != nil || sl.BudgetTruncations > trunc0 {
 					e.volatile = true
 					shard.mu.Lock()
 					delete(shard.m, key)
+					shard.dropBySrc(skey, e)
 					shard.mu.Unlock()
+				} else {
+					e.footprint = fp
+					sh.canonPublish(src, rc, depth, e.paths)
 				}
 				close(e.done)
 			}()
@@ -287,6 +427,50 @@ func (sh *Shared) pathsFor(src *ir.Stmt, rc *regionCtx, depth int, sl *vfp.Slice
 			panic(e.panicVal)
 		}
 		return e.paths
+	}
+}
+
+// reusable scans the completed entries for (src, depth) and returns the
+// first whose footprint the scope set satisfies. Caller holds shard.mu;
+// entry fields are read only after a non-blocking done check (the channel
+// close orders the computing goroutine's writes before our reads).
+func (shard *pathShard) reusable(skey srcKey, set map[*ir.Func]bool) *pathEntry {
+	for _, e := range shard.bySrc[skey] {
+		select {
+		case <-e.done:
+		default:
+			continue // still computing; never block under the shard lock
+		}
+		if e.panicVal != nil || e.volatile || e.footprint == nil {
+			continue
+		}
+		if footprintCompatible(e.footprint, set) {
+			return e
+		}
+	}
+	return nil
+}
+
+// footprintCompatible reports whether the scope set answers every recorded
+// membership query the same way the computing region did.
+func footprintCompatible(fp map[*ir.Func]bool, set map[*ir.Func]bool) bool {
+	for fn, in := range fp {
+		if set[fn] != in {
+			return false
+		}
+	}
+	return true
+}
+
+// dropBySrc removes a retired (volatile) entry from the reuse index.
+// Caller holds shard.mu.
+func (shard *pathShard) dropBySrc(skey srcKey, e *pathEntry) {
+	list := shard.bySrc[skey]
+	for i, x := range list {
+		if x == e {
+			shard.bySrc[skey] = append(list[:i], list[i+1:]...)
+			return
+		}
 	}
 }
 

@@ -13,6 +13,8 @@
 package difftest
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -47,6 +49,17 @@ func NormalizeDB(db *spec.DB) string {
 		fmt.Fprintf(&sb, "%s|%s|%s|%s\n", s.ID, s.Key(), s.Origin, s.OriginPatch)
 	}
 	return sb.String()
+}
+
+// NormalizeRecs renders serialized bug records in canonical form — the
+// complete record, so a cache replay diverging in any rendered field
+// (message, trace, spec provenance) is caught, not just the headline.
+func NormalizeRecs(recs []detect.BugRec) string {
+	data, err := json.Marshal(recs)
+	if err != nil {
+		return fmt.Sprintf("marshal error: %v", err)
+	}
+	return string(data)
 }
 
 // Divergence describes one reference-vs-optimized mismatch.
@@ -192,6 +205,59 @@ func RunCase(c *randprog.PatchCase) (*CaseResult, error) {
 	sort.Strings(r.MissedFuncs)
 	sort.Strings(r.SpuriousFuncs)
 	return r, nil
+}
+
+// RunCacheCase is the persistent-cache differential protocol for one case:
+// an uncached reference run, a cold cached run (populates cacheDir), and a
+// warm cached run (must replay from disk) — all three must normalize
+// byte-identically for both the inferred database and the bug records,
+// and the warm run must actually hit. Returns the divergences.
+func RunCacheCase(c *randprog.PatchCase, cacheDir string) ([]Divergence, error) {
+	ctx := context.Background()
+	ref, err := seal.InferSpecsContext(ctx, []*patch.Patch{c.Patch}, seal.Options{Validate: true})
+	if err != nil {
+		return nil, fmt.Errorf("seed %d: reference inference: %w", c.Seed, err)
+	}
+	refDB := NormalizeDB(ref.DB)
+
+	var divs []Divergence
+	for _, conf := range []string{"cache-cold", "cache-warm"} {
+		got, err := seal.InferSpecsContext(ctx, []*patch.Patch{c.Patch}, seal.Options{
+			Validate: true, CacheDir: cacheDir,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("seed %d: %s inference: %w", c.Seed, conf, err)
+		}
+		if n := NormalizeDB(got.DB); n != refDB {
+			divs = append(divs, Divergence{Stage: "infer", Conf: conf, Ref: refDB, Got: n})
+		}
+		if conf == "cache-warm" && got.PCache.Hits == 0 {
+			divs = append(divs, Divergence{Stage: "infer", Conf: conf,
+				Ref: "warm run served from cache", Got: fmt.Sprintf("stats %+v", got.PCache)})
+		}
+	}
+
+	refDet, err := seal.DetectFilesCached(ctx, c.Target, ref.DB.Specs, seal.DetectRunOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("seed %d: reference detection: %w", c.Seed, err)
+	}
+	refBugs := NormalizeRecs(refDet.Recs)
+	for _, conf := range []string{"cache-cold", "cache-warm"} {
+		got, err := seal.DetectFilesCached(ctx, c.Target, ref.DB.Specs, seal.DetectRunOptions{
+			CacheDir: cacheDir,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("seed %d: %s detection: %w", c.Seed, conf, err)
+		}
+		if n := NormalizeRecs(got.Recs); n != refBugs {
+			divs = append(divs, Divergence{Stage: "detect", Conf: conf, Ref: refBugs, Got: n})
+		}
+		if conf == "cache-warm" && got.PCache.Hits == 0 {
+			divs = append(divs, Divergence{Stage: "detect", Conf: conf,
+				Ref: "warm run served from cache", Got: fmt.Sprintf("stats %+v", got.PCache)})
+		}
+	}
+	return divs, nil
 }
 
 // RunSeedRange runs [first, first+n) and returns the failing results.

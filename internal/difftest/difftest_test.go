@@ -51,6 +51,29 @@ func TestDifferentialBatch(t *testing.T) {
 	t.Logf("%d cases, kind mix %v", n, kinds)
 }
 
+// TestCacheDifferentialBatch extends the oracle to the persistent analysis
+// cache: over a batch of generated cases, an uncached reference run, a
+// cold cached run, and a warm cached run must agree byte-for-byte on the
+// inferred database and the full bug records, and the warm runs must be
+// served from disk. Each case gets its own cache directory so entries
+// cannot leak across seeds.
+func TestCacheDifferentialBatch(t *testing.T) {
+	n := 40
+	if testing.Short() {
+		n = 10
+	}
+	for seed := int64(0); seed < int64(n); seed++ {
+		c := randprog.GenPatchCase(seed)
+		divs, err := RunCacheCase(c, t.TempDir())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, d := range divs {
+			t.Errorf("seed %d (%s): %s", seed, c.Kind, d)
+		}
+	}
+}
+
 // TestCaseGeneratorDeterministic: the same seed renders the same case, and
 // nearby seeds render different programs.
 func TestCaseGeneratorDeterministic(t *testing.T) {

@@ -39,7 +39,8 @@ type OutcomeCounts struct {
 	Skipped     int `json:"skipped"`
 }
 
-// CacheStats embeds the shared-substrate counters (detect runs).
+// CacheStats embeds the shared-substrate counters (detect runs) plus the
+// persistent cross-run analysis-cache counters (any cached run).
 type CacheStats struct {
 	PDGEnsureCalls   int64   `json:"pdg_ensure_calls"`
 	PDGBuilds        int64   `json:"pdg_builds"`
@@ -49,6 +50,17 @@ type CacheStats struct {
 	IndexLookups     int64   `json:"index_lookups"`
 	PathEnumerations int64   `json:"path_enumerations"`
 	Truncations      int64   `json:"truncations"`
+
+	// Persistent-cache counters (internal/cache): zero unless the run had
+	// a -cache-dir. Redact zeroes them — they are exactly what differs
+	// between a cold and a warm run of the same inputs.
+	PCacheHits        int64 `json:"pcache_hits,omitempty"`
+	PCacheMisses      int64 `json:"pcache_misses,omitempty"`
+	PCacheWrites      int64 `json:"pcache_writes,omitempty"`
+	PCacheCorrupt     int64 `json:"pcache_corrupt,omitempty"`
+	PCacheReadBytes   int64 `json:"pcache_read_bytes,omitempty"`
+	PCacheWriteBytes  int64 `json:"pcache_write_bytes,omitempty"`
+	PCacheUncacheable int64 `json:"pcache_uncacheable,omitempty"`
 }
 
 // UnitManifest is one unit of work's outcome.
@@ -168,15 +180,19 @@ func (m *Manifest) SetCache(c CacheStats) {
 }
 
 // Redact returns a deep copy normalized for golden comparison: the start
-// timestamp, the worker count, wall-clock durations, every counter whose
-// name contains "_seconds", and the per-unit budget spend are zeroed, the
-// duration-ordered slowest-units section is dropped, and per-unit
+// timestamp, the worker count, wall-clock durations, every volatile
+// counter (see VolatileMetric), and the per-unit budget spend are zeroed,
+// the duration-ordered slowest-units section is dropped, and per-unit
 // "truncated" annotations are removed. Spend and truncation attribution
 // are normalized because under the shared single-flight caches they follow
 // whichever worker computed a shared artifact first — scheduling, not
-// semantics. Everything else — unit identities, outcomes, reasons,
-// spec/bug counts, stage structure, cache counters — is preserved, which
-// is exactly the set that must be deterministic across worker counts.
+// semantics; likewise the in-run path-cache and persistent-cache counters,
+// which depend on scheduling (cross-region footprint reuse) and cache
+// temperature (cold vs warm) respectively. Everything else — unit
+// identities, outcomes, reasons, spec/bug counts, stage structure, PDG
+// build and index counters — is preserved, which is exactly the set that
+// must be deterministic across worker counts AND across cold/warm runs of
+// the same inputs.
 func (m *Manifest) Redact() *Manifest {
 	if m == nil {
 		return nil
@@ -189,7 +205,7 @@ func (m *Manifest) Redact() *Manifest {
 	if m.Counters != nil {
 		out.Counters = make(map[string]float64, len(m.Counters))
 		for k, v := range m.Counters {
-			if containsSeconds(k) {
+			if VolatileMetric(k) {
 				v = 0
 			}
 			out.Counters[k] = v
@@ -197,6 +213,18 @@ func (m *Manifest) Redact() *Manifest {
 	}
 	if m.Cache != nil {
 		c := *m.Cache
+		c.PathCacheHits = 0
+		c.PathCacheMisses = 0
+		c.PathHitRatePct = 0
+		c.PathEnumerations = 0
+		c.Truncations = 0
+		c.PCacheHits = 0
+		c.PCacheMisses = 0
+		c.PCacheWrites = 0
+		c.PCacheCorrupt = 0
+		c.PCacheReadBytes = 0
+		c.PCacheWriteBytes = 0
+		c.PCacheUncacheable = 0
 		out.Cache = &c
 	}
 	out.Units = make([]UnitManifest, len(m.Units))
@@ -240,6 +268,32 @@ func (m *Manifest) RedactSubstrate() *Manifest {
 		out.Units[i].Stages = nil
 	}
 	return out
+}
+
+// VolatileMetric reports whether a metric is scheduling- or
+// cache-temperature-dependent and therefore zeroed by the determinism
+// normalizers (Redact, RedactTimings): wall-clock series ("_seconds"),
+// persistent-cache counters (cold vs warm), solver-memo counters
+// (cross-worker racing), and the in-run path-cache family (cross-region
+// footprint reuse follows entry completion order).
+func VolatileMetric(name string) bool {
+	if containsSeconds(name) {
+		return true
+	}
+	if hasPrefix(name, "seal_pcache_") || hasPrefix(name, "seal_solver_sat_memo_") {
+		return true
+	}
+	switch name {
+	case "seal_path_cache_hits_total", "seal_path_cache_misses_total",
+		"seal_path_cache_hit_ratio", "seal_path_enumerations_total",
+		"seal_truncations_total":
+		return true
+	}
+	return false
+}
+
+func hasPrefix(s, p string) bool {
+	return len(s) >= len(p) && s[:len(p)] == p
 }
 
 func containsSeconds(name string) bool {

@@ -136,8 +136,41 @@ func TestRedactNormalizesTimingAndSpend(t *testing.T) {
 	if a.Units[0].DurMS != 99 || a.Units[3].Stages[0].DurMS != 42 {
 		t.Fatal("Redact mutated its receiver")
 	}
-	if a.Redact().Cache == nil || a.Redact().Cache.PathHitRatePct != 50 {
-		t.Fatal("redact dropped cache stats")
+	// The Cache section survives, its deterministic counters intact, but
+	// the path-cache family (cross-region footprint reuse makes it follow
+	// scheduling) and the persistent-cache counters (cold vs warm) zeroed.
+	rc := a.Redact().Cache
+	if rc == nil || rc.PDGBuilds != 3 || rc.PDGEnsureCalls != 9 {
+		t.Fatalf("redact dropped deterministic cache stats: %+v", rc)
+	}
+	if rc.PathCacheHits != 0 || rc.PathCacheMisses != 0 || rc.PathHitRatePct != 0 ||
+		rc.PCacheHits != 0 || rc.PCacheWrites != 0 {
+		t.Fatalf("redact left volatile cache stats: %+v", rc)
+	}
+	if a.Cache.PathHitRatePct != 50 {
+		t.Fatal("Redact mutated its receiver's cache stats")
+	}
+}
+
+func TestVolatileMetric(t *testing.T) {
+	for name, want := range map[string]bool{
+		"seal_unit_duration_seconds_sum": true,
+		"seal_pdg_build_seconds_total":   true,
+		"seal_pcache_hits_total":         true,
+		"seal_pcache_corrupt_total":      true,
+		"seal_solver_sat_memo_hits_total": true,
+		"seal_path_cache_hits_total":     true,
+		"seal_path_cache_hit_ratio":      true,
+		"seal_path_enumerations_total":   true,
+		"seal_truncations_total":         true,
+		"seal_solver_sat_checks_total":   false,
+		"seal_pdg_builds_total":          false,
+		"seal_index_lookups_total":       false,
+		"seal_detect_bugs_total":         false,
+	} {
+		if got := VolatileMetric(name); got != want {
+			t.Errorf("VolatileMetric(%q) = %v, want %v", name, got, want)
+		}
 	}
 }
 

@@ -274,9 +274,9 @@ func writeHeader(w io.Writer, name, help, typ string) error {
 }
 
 // RedactTimings normalizes a Prometheus text export for golden
-// comparison: every sample of a metric whose name contains "_seconds"
-// (durations and duration histograms — the only nondeterministic values
-// the pipeline emits) has its value replaced with 0. Comments, metric
+// comparison: every sample of a volatile metric (durations, persistent
+// cache counters, solver-memo counters, the in-run path-cache family —
+// see VolatileMetric) has its value replaced with 0. Comments, metric
 // names, and bucket labels are preserved, so a redacted export still pins
 // the full metric structure.
 func RedactTimings(prom string) string {
@@ -293,7 +293,7 @@ func RedactTimings(prom string) string {
 		if j := strings.IndexByte(name, '{'); j >= 0 {
 			name = name[:j]
 		}
-		if strings.Contains(name, "_seconds") {
+		if VolatileMetric(name) {
 			lines[i] = line[:sp+1] + "0"
 		}
 	}

@@ -13,41 +13,46 @@ import (
 	"seal/internal/budget"
 	"seal/internal/detect"
 	"seal/internal/patch"
-	"seal/internal/solver"
 	"seal/internal/spec"
 )
 
 // Render formats one bug report. patches indexes the originating patches
 // by ID (may be nil).
 func Render(b *detect.Bug, patches map[string]*patch.Patch) string {
+	return RenderRec(detect.Record(b), patches)
+}
+
+// RenderRec formats one bug report from its serializable record. This is
+// the single render path: live bugs are flattened through detect.Record
+// first, and cache-replayed bugs arrive as records already, so a warm run
+// reproduces a cold run's report byte for byte by construction.
+func RenderRec(b detect.BugRec, patches map[string]*patch.Patch) string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "=== %s in %s ===\n", b.Kind, b.Fn.Name)
-	fmt.Fprintf(&sb, "Location : %s\n", b.Fn.File)
+	fmt.Fprintf(&sb, "=== %s in %s ===\n", b.Kind, b.Fn)
+	fmt.Fprintf(&sb, "Location : %s\n", b.File)
 	fmt.Fprintf(&sb, "Summary  : %s\n", b.Message)
-	fmt.Fprintf(&sb, "Spec     : %s\n", b.Spec.Constraint.String())
-	if c := b.Spec.Constraint.Rel.Cond; c != nil {
-		if s := solver.String(c); s != "true" {
-			fmt.Fprintf(&sb, "Condition: %s\n", s)
-		}
+	fmt.Fprintf(&sb, "Spec     : %s\n", b.SpecConstraint)
+	if b.SpecCond != "" {
+		fmt.Fprintf(&sb, "Condition: %s\n", b.SpecCond)
 	}
 	fmt.Fprintf(&sb, "Scope    : %s (inferred from patch %s, origin %s)\n",
-		b.Spec.Scope(), b.Spec.OriginPatch, b.Spec.Origin)
-	if b.Trace != nil {
+		b.SpecScope, b.SpecOriginPatch, b.SpecOrigin)
+	if b.Trace != "" {
 		sb.WriteString("Buggy value-flow path:\n")
-		indent(&sb, b.Trace.String())
-		if b.Trace.Truncated {
+		indent(&sb, b.Trace)
+		if b.TraceTruncated {
 			sb.WriteString("Note     : path enumeration truncated by a budget — the path set may be incomplete\n")
 		}
 	}
-	if b.Trace2 != nil {
+	if b.Trace2 != "" {
 		sb.WriteString("Conflicting use (ordered before the path above):\n")
-		indent(&sb, b.Trace2.String())
-		if b.Trace2.Truncated {
+		indent(&sb, b.Trace2)
+		if b.Trace2Truncated {
 			sb.WriteString("Note     : conflicting-use enumeration truncated by a budget — the path set may be incomplete\n")
 		}
 	}
 	if patches != nil {
-		if p, ok := patches[b.Spec.OriginPatch]; ok {
+		if p, ok := patches[b.SpecOriginPatch]; ok {
 			fmt.Fprintf(&sb, "Original patch: %s — %s\n", p.ID, p.Description)
 		}
 	}
@@ -71,14 +76,19 @@ type Summary struct {
 
 // Summarize builds kind/scope histograms over the reports.
 func Summarize(bugs []*detect.Bug) Summary {
+	return SummarizeRecs(detect.Records(bugs))
+}
+
+// SummarizeRecs is Summarize over serializable records.
+func SummarizeRecs(recs []detect.BugRec) Summary {
 	s := Summary{
-		Total:   len(bugs),
+		Total:   len(recs),
 		ByKind:  make(map[string]int),
 		ByScope: make(map[string]int),
 	}
-	for _, b := range bugs {
+	for _, b := range recs {
 		s.ByKind[b.Kind]++
-		s.ByScope[b.Spec.Scope()]++
+		s.ByScope[b.SpecScope]++
 	}
 	return s
 }
@@ -132,12 +142,18 @@ func RenderRobustness(degs []budget.Degradation, failures []*budget.FailureRecor
 
 // RenderAll renders every report plus the summary table.
 func RenderAll(bugs []*detect.Bug, patches map[string]*patch.Patch) string {
+	return RenderAllRecs(detect.Records(bugs), patches)
+}
+
+// RenderAllRecs is RenderAll over serializable records — the entry point
+// the CLI uses for both live and cache-replayed results.
+func RenderAllRecs(recs []detect.BugRec, patches map[string]*patch.Patch) string {
 	var sb strings.Builder
-	for _, b := range bugs {
-		sb.WriteString(Render(b, patches))
+	for _, b := range recs {
+		sb.WriteString(RenderRec(b, patches))
 		sb.WriteByte('\n')
 	}
-	sum := Summarize(bugs)
+	sum := SummarizeRecs(recs)
 	fmt.Fprintf(&sb, "---\n%d reports by type:\n", sum.Total)
 	for _, k := range sum.KindsSorted() {
 		fmt.Fprintf(&sb, "  %-10s %4d (%5.1f%%)\n", k, sum.ByKind[k],

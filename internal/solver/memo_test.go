@@ -1,0 +1,111 @@
+package solver
+
+import (
+	"fmt"
+	"testing"
+)
+
+func x(n string) Term  { return Sym{Name: n} }
+func c(v int64) Term   { return Const{Val: v} }
+func lt(a, b Term) Formula { return Atom{Op: OpLt, A: a, B: b} }
+func gt(a, b Term) Formula { return Atom{Op: OpGt, A: a, B: b} }
+
+func TestSatMemoHitsOnRepeat(t *testing.T) {
+	f := MkAnd(lt(x("memo_a"), c(3)), gt(x("memo_a"), c(10)))
+	h0, m0 := SatMemoStats()
+	if Sat(f) {
+		t.Fatal("a<3 && a>10 should be unsat")
+	}
+	if Sat(f) {
+		t.Fatal("verdict changed on repeat")
+	}
+	h1, m1 := SatMemoStats()
+	if m1-m0 < 1 {
+		t.Fatalf("expected at least one miss, got %d", m1-m0)
+	}
+	if h1-h0 < 1 {
+		t.Fatalf("expected a memo hit on the repeated formula, got %d", h1-h0)
+	}
+}
+
+func TestSatMemoCanonicalKeyOrderInsensitive(t *testing.T) {
+	a := lt(x("memo_p"), c(0))
+	b := gt(x("memo_q"), c(5))
+	if canonKey(And{Fs: []Formula{a, b}}) != canonKey(And{Fs: []Formula{b, a}}) {
+		t.Fatal("conjunct order leaked into the canonical key")
+	}
+	if canonKey(Or{Fs: []Formula{a, b}}) != canonKey(Or{Fs: []Formula{b, a}}) {
+		t.Fatal("disjunct order leaked into the canonical key")
+	}
+	if canonKey(a) == canonKey(b) {
+		t.Fatal("distinct atoms collide")
+	}
+	// The verdict must be shared across the orderings: first check misses,
+	// reordered check hits.
+	f1 := And{Fs: []Formula{lt(x("memo_r"), c(1)), gt(x("memo_s"), c(2))}}
+	f2 := And{Fs: []Formula{gt(x("memo_s"), c(2)), lt(x("memo_r"), c(1))}}
+	Sat(f1)
+	h0, _ := SatMemoStats()
+	Sat(f2)
+	h1, _ := SatMemoStats()
+	if h1-h0 != 1 {
+		t.Fatalf("reordered conjunction should hit the memo (hits delta %d)", h1-h0)
+	}
+}
+
+func TestSatMemoAgreesWithRaw(t *testing.T) {
+	// A spread of formulas through the memoized and raw paths must agree,
+	// including after generational rotation.
+	var fs []Formula
+	for i := 0; i < 50; i++ {
+		fs = append(fs,
+			MkAnd(lt(x(fmt.Sprintf("v%d", i)), c(int64(i))), gt(x(fmt.Sprintf("v%d", i)), c(int64(i-5)))),
+			MkOr(lt(x("w"), c(int64(i))), gt(x("w"), c(int64(i)))),
+			MkNot(lt(x(fmt.Sprintf("u%d", i)), c(0))),
+		)
+	}
+	for _, f := range fs {
+		if got, want := Sat(f), satRaw(f); got != want {
+			t.Fatalf("memoized Sat(%s)=%v, raw=%v", String(f), got, want)
+		}
+		// Second pass through the (possibly warm) memo.
+		if got, want := Sat(f), satRaw(f); got != want {
+			t.Fatalf("warm Sat(%s)=%v, raw=%v", String(f), got, want)
+		}
+	}
+}
+
+func TestSatBudgetBypassesMemo(t *testing.T) {
+	f := MkAnd(lt(x("memo_budget"), c(0)), gt(x("memo_budget"), c(9)))
+	Sat(f) // warm the memo
+	h0, m0 := SatMemoStats()
+	steps := 0
+	got := SatBudget(f, func(int64) error { steps++; return nil })
+	if got {
+		t.Fatal("budgeted check verdict wrong")
+	}
+	h1, m1 := SatMemoStats()
+	if h1 != h0 || m1 != m0 {
+		t.Fatalf("budgeted check touched the memo (hits %d->%d, misses %d->%d)", h0, h1, m0, m1)
+	}
+	if steps == 0 {
+		t.Fatal("budgeted check did not charge steps — it must do the real work")
+	}
+}
+
+func TestSatMemoGenerationalRotation(t *testing.T) {
+	m := &satMemo{cur: make(map[string]bool), cap: 4}
+	for i := 0; i < 10; i++ {
+		m.put(fmt.Sprintf("k%d", i), i%2 == 0)
+	}
+	if len(m.cur) > m.cap {
+		t.Fatalf("current generation exceeded cap: %d > %d", len(m.cur), m.cap)
+	}
+	// A key from the previous generation is still served and promoted.
+	if v, ok := m.get("k5"); !ok || v != false {
+		t.Fatalf("previous-generation key lost: ok=%v v=%v", ok, v)
+	}
+	if _, ok := m.cur["k5"]; !ok {
+		t.Fatal("hit did not promote into the current generation")
+	}
+}

@@ -23,9 +23,24 @@ const maxDNFConjuncts = 512
 // Sat reports whether f is satisfiable over the integers. The procedure is
 // exact for boolean combinations of unit-coefficient difference constraints
 // (x op c, x op y, x - y op c) — the fragment path conditions live in —
-// and conservatively answers true otherwise.
+// and conservatively answers true otherwise. Verdicts are memoized under a
+// canonical formula signature (see memo.go); SatChecks counts every call,
+// memo hit or not, so the counter keeps meaning "checks asked for".
 func Sat(f Formula) bool {
 	satChecks.Add(1)
+	key := canonKey(f)
+	if v, ok := memo.get(key); ok {
+		satMemoHits.Add(1)
+		return v
+	}
+	satMemoMisses.Add(1)
+	v := satRaw(f)
+	memo.put(key, v)
+	return v
+}
+
+// satRaw is the actual decision procedure, bypassing the memo.
+func satRaw(f Formula) bool {
 	conjs, ok := toDNF(nnf(f))
 	if !ok {
 		return true // too large: conservative
@@ -43,6 +58,11 @@ func Sat(f Formula) bool {
 // Budget.Step). On exhaustion it answers conservatively — "satisfiable" —
 // exactly like the DNF size cap, so a budgeted run can only keep more
 // candidate reports than an unmetered one, never invent unsound pruning.
+//
+// A metered check deliberately bypasses the Sat memo: whether a unit
+// exhausts its budget must depend on its own work, not on which other
+// unit happened to warm a process-global cache first — otherwise
+// degradation outcomes would vary with scheduling.
 func SatBudget(f Formula, step func(int64) error) bool {
 	if step == nil {
 		return Sat(f)

@@ -164,6 +164,37 @@ func TestCondNodeRoundTripProperty(t *testing.T) {
 	}
 }
 
+// Property: DB encoding is idempotent — marshal(unmarshal(marshal(db)))
+// is byte-identical to marshal(db) under arbitrary conditions. The
+// persistent analysis cache depends on this: a warm run writes a spec
+// database decoded from a cache entry, and the file must match the cold
+// run's byte for byte.
+func TestDBEncodeIdempotentProperty(t *testing.T) {
+	check := func(seed int64, forbidden bool) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := sampleSpec()
+		s.Constraint.Forbidden = forbidden
+		s.Constraint.Rel.Cond = randFormula(r, 3)
+		db := &DB{Specs: []*Spec{s}}
+		first, err := json.Marshal(db)
+		if err != nil {
+			return false
+		}
+		var back DB
+		if err := json.Unmarshal(first, &back); err != nil {
+			return false
+		}
+		second, err := json.Marshal(&back)
+		if err != nil {
+			return false
+		}
+		return string(first) == string(second)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestFieldString(t *testing.T) {
 	if got := FieldString(nil); got != "" {
 		t.Errorf("FieldString(nil) = %q", got)

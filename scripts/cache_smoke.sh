@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# End-to-end smoke for the persistent analysis cache, driving the real CLI
+# the way a user would:
+#
+#   1. infer + detect against an empty cache (cold),
+#   2. the identical run again (warm — must be served from disk),
+#   3. byte-diff the bug reports and the deterministic metric series,
+#   4. corrupt every cached entry in place and run once more: the run must
+#      still exit 0, count the corruption as misses, and reproduce the
+#      cold report byte-for-byte.
+#
+# The finer-grained redacted-manifest byte-identity is enforced by
+# `go test ./cmd/seal -run TestCLICache`; this script is the coarse
+# binary-level gate CI runs alongside it.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+cache="$work/cache"
+
+go run ./cmd/seal gen -out "$work/corpus"
+
+run_pipeline() { # $1 = tag
+    go run ./cmd/seal infer -patches "$work/corpus/patches" -out "$work/specs.json" \
+        -cache-dir "$cache" \
+        -manifest-out "$work/$1-infer-manifest.json" \
+        -metrics-out "$work/$1-infer-metrics.prom" >/dev/null
+    go run ./cmd/seal detect -target "$work/corpus/tree" -specs "$work/specs.json" \
+        -cache-dir "$cache" \
+        -manifest-out "$work/$1-detect-manifest.json" \
+        -metrics-out "$work/$1-detect-metrics.prom" >"$work/$1-report.txt"
+}
+
+# The metric series that must not depend on cache temperature: analysis
+# results and deterministic work counters. Timing series and the cache's
+# own hit/miss bookkeeping are legitimately different between runs.
+stable_metrics() {
+    grep -E '^seal_(detect|infer)_[a-z_]+ |^seal_solver_sat_checks_total ' "$1"
+}
+
+metric() { # $1 = file, $2 = series name
+    awk -v m="$2" '$1 == m { print $2; found = 1 } END { if (!found) print 0 }' "$1"
+}
+
+echo "== cold run"
+run_pipeline cold
+echo "== warm run"
+run_pipeline warm
+
+echo "== diff: reports"
+diff "$work/cold-report.txt" "$work/warm-report.txt"
+echo "== diff: stable metric series"
+diff <(stable_metrics "$work/cold-detect-metrics.prom") \
+     <(stable_metrics "$work/warm-detect-metrics.prom")
+
+warm_hits=$(metric "$work/warm-detect-metrics.prom" seal_pcache_hits_total)
+warm_misses=$(metric "$work/warm-detect-metrics.prom" seal_pcache_misses_total)
+if [ "$warm_hits" -eq 0 ] || [ "$warm_misses" -ne 0 ]; then
+    echo "FAIL: warm detect was not fully served from cache (hits=$warm_hits misses=$warm_misses)" >&2
+    exit 1
+fi
+
+echo "== corrupting every cache entry"
+entries=0
+while IFS= read -r f; do
+    printf 'garbage' | dd of="$f" bs=1 seek=16 conv=notrunc status=none
+    entries=$((entries + 1))
+done < <(find "$cache" -type f)
+if [ "$entries" -eq 0 ]; then
+    echo "FAIL: cold run left no cache entries to corrupt" >&2
+    exit 1
+fi
+echo "   corrupted $entries entries"
+
+echo "== corrupted-cache run (must degrade to a recompute, exit 0)"
+run_pipeline damaged
+diff "$work/cold-report.txt" "$work/damaged-report.txt"
+diff <(stable_metrics "$work/cold-detect-metrics.prom") \
+     <(stable_metrics "$work/damaged-detect-metrics.prom")
+
+corrupt=$(metric "$work/damaged-detect-metrics.prom" seal_pcache_corrupt_total)
+hits=$(metric "$work/damaged-detect-metrics.prom" seal_pcache_hits_total)
+if [ "$corrupt" -eq 0 ] || [ "$hits" -ne 0 ]; then
+    echo "FAIL: corrupted entries were not detected as misses (corrupt=$corrupt hits=$hits)" >&2
+    exit 1
+fi
+
+echo "PASS: warm run byte-identical and fully cached; corruption degraded to a clean recompute"

@@ -24,14 +24,12 @@ package seal
 import (
 	"context"
 	"fmt"
-	"os"
-	"path/filepath"
 	"sort"
-	"strings"
 	"sync"
 	"sync/atomic"
 
 	"seal/internal/budget"
+	"seal/internal/cache"
 	"seal/internal/cir"
 	"seal/internal/detect"
 	"seal/internal/faultinject"
@@ -39,6 +37,7 @@ import (
 	"seal/internal/ir"
 	"seal/internal/obs"
 	"seal/internal/patch"
+	"seal/internal/solver"
 	"seal/internal/spec"
 )
 
@@ -106,30 +105,9 @@ func LoadFiles(files map[string]string) (*Target, error) {
 
 // LoadDir loads every .c file under root (recursively) as one target.
 func LoadDir(root string) (*Target, error) {
-	files := make(map[string]string)
-	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
-		if err != nil {
-			return err
-		}
-		if info.IsDir() || !strings.HasSuffix(path, ".c") {
-			return nil
-		}
-		data, err := os.ReadFile(path)
-		if err != nil {
-			return err
-		}
-		rel, err := filepath.Rel(root, path)
-		if err != nil {
-			rel = path
-		}
-		files[rel] = string(data)
-		return nil
-	})
+	files, err := ReadSourceDir(root)
 	if err != nil {
 		return nil, err
-	}
-	if len(files) == 0 {
-		return nil, fmt.Errorf("seal: no .c files under %s", root)
 	}
 	return LoadFiles(files)
 }
@@ -153,6 +131,16 @@ type Options struct {
 	// pdg / diff / infer / validate stage spans and budget-spend deltas)
 	// under InferSpecsContext. Nil disables observability.
 	Obs *Recorder
+	// CacheDir enables the persistent analysis cache rooted at this
+	// directory (InferSpecsContext only): per-patch results are keyed by
+	// source bytes, configuration, and seal version, so a warm run over
+	// an unchanged corpus replays them without analyzing anything.
+	// Degraded or quarantined results are never written. Empty disables
+	// the cache.
+	CacheDir string
+	// CacheReadOnly serves cache hits but never writes (shared or
+	// archived caches).
+	CacheReadOnly bool
 }
 
 // DefaultOptions enables validation with sequential processing.
@@ -187,6 +175,13 @@ type InferenceResult struct {
 	Failures []*FailureRecord
 	// Degraded lists the budget-degraded patches in input order.
 	Degraded []Degradation
+	// SatChecks is the solver satisfiability-check delta attributable to
+	// this run. On a fully warm cached run it is replayed from the cache's
+	// run summary so exported metrics match the cold run's.
+	SatChecks int64
+	// PCache is the persistent analysis cache's counter snapshot; zero
+	// unless Options.CacheDir was set.
+	PCache CacheStats
 }
 
 // Totals sums the per-origin relation counters across all patches.
@@ -291,6 +286,20 @@ func InferSpecsContext(ctx context.Context, patches []*Patch, opts Options) (*In
 	}
 	specLists := make([][]*Spec, len(patches))
 
+	pc, cerr := openCache(opts.CacheDir, opts.CacheReadOnly)
+	if cerr != nil {
+		return res, cerr
+	}
+	sat0 := solver.SatChecks()
+	var patchKeys []string
+	if pc.Enabled() {
+		patchKeys = make([]string, len(patches))
+		for i, p := range patches {
+			patchKeys[i] = inferPatchKey(p, opts)
+		}
+	}
+	var cacheHits atomic.Int64
+
 	var failures atomic.Int64
 	var aborted atomic.Bool
 	rec := opts.Obs
@@ -348,6 +357,31 @@ func InferSpecsContext(ctx context.Context, patches []*Patch, opts Options) (*In
 			return
 		}
 		span := rec.Unit("infer", p.ID)
+		if pc.Enabled() {
+			var ent inferCacheEntry
+			if pc.Get(cache.TierInfer, patchKeys[i], &ent) && ent.DB != nil {
+				// Warm hit: replay the result and re-record the unit span
+				// with the cold run's stage structure (zero durations —
+				// redaction zeroes them anyway) so manifests agree.
+				cacheHits.Add(1)
+				out.Stats = ent.Stats
+				out.Specs = len(ent.DB.Specs)
+				specLists[i] = ent.DB.Specs
+				if span != nil {
+					span.AddStage("parse", 0, 0)
+					span.AddStage("pdg", 0, 0)
+					span.AddStage("diff", 0, 0)
+					span.AddStage("infer", 0, 0)
+					if opts.Validate {
+						span.AddStage("validate", 0, 0)
+					}
+					span.SetCounts(out.Specs, 0)
+					span.End()
+				}
+				res.Outcomes[i] = out
+				return
+			}
+		}
 		attempts := 1
 		specs, st, fr, deg, spend := attempt(p, opts.Limits, 1, span)
 		if fr != nil && opts.Limits.Retry {
@@ -365,6 +399,19 @@ func InferSpecsContext(ctx context.Context, patches []*Patch, opts Options) (*In
 		} else {
 			out.Specs = len(specs)
 			specLists[i] = specs
+		}
+		if pc.Enabled() {
+			// Only full-fidelity results are persisted: a degraded
+			// (budget-truncated) or quarantined result must never poison a
+			// later full-budget run.
+			if fr == nil && deg == nil {
+				pc.Put(cache.TierInfer, patchKeys[i], &inferCacheEntry{
+					DB:    &SpecDB{Specs: specs},
+					Stats: st,
+				})
+			} else {
+				pc.NoteUncacheable()
+			}
 		}
 		if span != nil {
 			if attempts > 1 {
@@ -416,6 +463,27 @@ func InferSpecsContext(ctx context.Context, patches []*Patch, opts Options) (*In
 		res.DB.Specs = append(res.DB.Specs, specLists[i]...)
 	}
 	res.DB.Dedup()
+
+	res.SatChecks = solver.SatChecks() - sat0
+	if pc.Enabled() && len(patches) > 0 {
+		rkey := inferRunKey(patchKeys)
+		switch {
+		case cacheHits.Load() == int64(len(patches)):
+			// Fully warm: replay the cold run's solver-check figure so the
+			// exported seal_solver_sat_checks_total (preserved by manifest
+			// redaction) matches byte for byte.
+			var ent inferRunEntry
+			if pc.Get(cache.TierInferRun, rkey, &ent) {
+				res.SatChecks = ent.SatChecks
+			}
+		case cacheHits.Load() == 0 && len(res.Failures) == 0 && len(res.Degraded) == 0 &&
+			!aborted.Load() && ctx.Err() == nil:
+			// Fully cold and fully clean: this run's figure IS the
+			// canonical one for the corpus.
+			pc.Put(cache.TierInferRun, rkey, &inferRunEntry{SatChecks: res.SatChecks})
+		}
+		res.PCache = pc.Stats()
+	}
 
 	if err := ctx.Err(); err != nil {
 		return res, err
