@@ -97,14 +97,41 @@ func detectConfigPart(limits Limits) string {
 		limits.MaxPaths, limits.MaxDepth, detect.DefaultMaxCalleeDepth)
 }
 
-// specDBHash fingerprints a spec list in order, conditions included.
-func specDBHash(specs []*Spec) (string, error) {
+// SpecSetHash fingerprints a spec list in order, conditions included — the
+// spec-side identity in detection cache keys and serve request envelopes.
+func SpecSetHash(specs []*Spec) (string, error) {
 	data, err := json.Marshal(&SpecDB{Specs: specs})
 	if err != nil {
 		return "", err
 	}
 	sum := sha256.Sum256(data)
 	return hex.EncodeToString(sum[:]), nil
+}
+
+// TargetHash fingerprints an in-memory source set — the target-side
+// identity in detection cache keys and serve request envelopes.
+func TargetHash(files map[string]string) string { return cache.FileSetHash(files) }
+
+// detectKey is the TierDetect fingerprint chain: schema version (inside
+// cache.Key) → seal analysis version → config → target sources → spec set.
+func detectKey(targetHash, specHash string, limits Limits) string {
+	return cache.Key(
+		"tier:"+cache.TierDetect,
+		"seal:"+Version,
+		detectConfigPart(limits),
+		"target:"+targetHash,
+		"specs:"+specHash,
+	)
+}
+
+// detectKeyFor builds the detection key for a spec list, or "" when the
+// specs cannot be fingerprinted (such a run is simply not memoizable).
+func detectKeyFor(targetHash string, specs []*Spec, limits Limits) string {
+	specHash, err := SpecSetHash(specs)
+	if err != nil {
+		return ""
+	}
+	return detectKey(targetHash, specHash, limits)
 }
 
 // detectCacheEntry is the TierDetect payload: everything a warm run needs
@@ -193,7 +220,11 @@ func DetectDirCached(ctx context.Context, root string, specs []*Spec, opts Detec
 	return DetectFilesCached(ctx, files, specs, opts)
 }
 
-// DetectFilesCached is DetectDirCached over an in-memory source set.
+// DetectFilesCached is DetectDirCached over an in-memory source set. It is
+// the one-shot form of the resident flow: a warm hit replays from disk
+// before any parsing happens; a miss builds a throwaway Resident, primes
+// its region closures from the cache, and runs through the same compute
+// core a long-running service uses.
 func DetectFilesCached(ctx context.Context, files map[string]string, specs []*Spec, opts DetectRunOptions) (*DetectResult, error) {
 	pc, err := openCache(opts.CacheDir, opts.CacheReadOnly)
 	if err != nil {
@@ -202,14 +233,8 @@ func DetectFilesCached(ctx context.Context, files map[string]string, specs []*Sp
 	targetHash := cache.FileSetHash(files)
 	var key string
 	if pc.Enabled() {
-		if specHash, herr := specDBHash(specs); herr == nil {
-			key = cache.Key(
-				"tier:"+cache.TierDetect,
-				"seal:"+Version,
-				detectConfigPart(opts.Limits),
-				"target:"+targetHash,
-				"specs:"+specHash,
-			)
+		key = detectKeyFor(targetHash, specs, opts.Limits)
+		if key != "" {
 			var ent detectCacheEntry
 			if pc.Get(cache.TierDetect, key, &ent) {
 				return replayDetect(&ent, opts.Obs, pc), nil
@@ -220,31 +245,9 @@ func DetectFilesCached(ctx context.Context, files map[string]string, specs []*Sp
 	if err != nil {
 		return nil, err
 	}
-	sh := detect.NewShared(t.Prog)
-	sh.SetObs(opts.Obs)
-	if pc.Enabled() {
-		var snap map[string][]string
-		if pc.Get(cache.TierRegions, regionsKey(targetHash), &snap) {
-			sh.PrimeRegions(snap, detect.DefaultMaxCalleeDepth)
-		}
-	}
-	res, runErr := sh.DetectParallelCtx(ctx, specs, opts.Workers, opts.Limits)
-	if pc.Enabled() {
-		if runErr == nil && len(res.Failures) == 0 && len(res.Degraded) == 0 && key != "" {
-			pc.Put(cache.TierDetect, key, &detectCacheEntry{
-				Recs:      res.Recs,
-				Units:     res.Units,
-				Stats:     res.Stats,
-				SatChecks: res.SatChecks,
-			})
-			pc.Put(cache.TierRegions, regionsKey(targetHash),
-				sh.RegionsSnapshot(detect.DefaultMaxCalleeDepth))
-		} else {
-			pc.NoteUncacheable()
-		}
-		res.PCache = pc.Stats()
-	}
-	return res, runErr
+	r := NewResident(t)
+	r.primeRegions(pc)
+	return r.runDetect(ctx, specs, opts, pc, key)
 }
 
 // replayDetect reconstructs a DetectResult from a cache entry, re-recording

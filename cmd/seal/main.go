@@ -3,6 +3,7 @@
 //	seal gen    -out DIR [-eval] [-seed N]     generate a mini-Linux corpus
 //	seal infer  -patches DIR -out FILE [...]   infer specs from patches
 //	seal detect -target DIR -specs FILE [...]  detect bugs in a tree
+//	seal serve  -target DIR [-specs FILE]      resident analysis daemon
 //	seal eval   [-seed N] [-out FILE]          reproduce all experiments
 //
 // A full session against a generated corpus:
@@ -30,9 +31,7 @@ import (
 	"seal/internal/faultinject"
 	"seal/internal/kernelgen"
 	"seal/internal/obs"
-	"seal/internal/patch"
 	"seal/internal/report"
-	"seal/internal/solver"
 	"seal/internal/spec"
 )
 
@@ -84,6 +83,8 @@ func main() {
 		err = cmdDetect(os.Args[2:])
 	case "specs":
 		err = cmdSpecs(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "eval":
 		err = cmdEval(os.Args[2:])
 	case "-h", "--help", "help":
@@ -198,10 +199,10 @@ type obsFlags struct {
 	manifestOut string
 	metricsOut  string
 	progress    bool
-	// memoHits0/memoMisses0 snapshot the solver's in-process memo counters
-	// at recorder creation, so the exported figures are this run's deltas
-	// even when several commands run in one process (tests).
-	memoHits0, memoMisses0 int64
+	// base snapshots process-wide counters at recorder creation, so the
+	// exported figures are this run's deltas even when several commands
+	// run in one process (tests).
+	base seal.ObsBaseline
 }
 
 func addObsFlags(fs *flag.FlagSet) *obsFlags {
@@ -218,7 +219,7 @@ func (of *obsFlags) recorder(command string) *obs.Recorder {
 	if of.manifestOut == "" && of.metricsOut == "" && !of.progress {
 		return nil
 	}
-	of.memoHits0, of.memoMisses0 = solver.SatMemoStats()
+	of.base = seal.NewObsBaseline()
 	rec := obs.New()
 	rec.StartRun(command)
 	return rec
@@ -232,63 +233,20 @@ func (of *obsFlags) startProgress(rec *obs.Recorder, label string) *obs.Progress
 	return obs.StartProgress(os.Stderr, rec, label, 0)
 }
 
-// finish derives the outcome and duration metrics from the recorded run
-// and writes the requested artifacts. cache, when non-nil, attaches the
-// shared-substrate counters to the manifest. satDelta is the run's solver
-// check count — the library's own figure, replayed from the persistent
-// cache on warm runs so warm and cold metrics agree. pstats carries the
-// persistent-cache counters (zero when no -cache-dir).
-func (of *obsFlags) finish(rec *obs.Recorder, command string, workers int, inputs map[string]string, cache *obs.CacheStats, satDelta int64, pstats seal.CacheStats) error {
-	if rec == nil {
+// write puts a finished run's artifacts (built by seal.FinishInferRun /
+// seal.FinishDetectRun — the same builders the serve daemon uses) into the
+// requested files. A nil art (observability disabled) is a no-op.
+func (of *obsFlags) write(art *seal.RunArtifacts) error {
+	if art == nil {
 		return nil
 	}
-	m := rec.BuildManifest(command, workers, inputs, 10)
-	if cache == nil && pstats != (seal.CacheStats{}) {
-		// Inference has no substrate counters, but a cached run still
-		// surfaces its persistent-cache figures in the manifest.
-		cache = &obs.CacheStats{}
-	}
-	if cache != nil {
-		cache.PCacheHits = pstats.Hits
-		cache.PCacheMisses = pstats.Misses
-		cache.PCacheWrites = pstats.Writes
-		cache.PCacheCorrupt = pstats.Corrupt
-		cache.PCacheReadBytes = pstats.ReadBytes
-		cache.PCacheWriteBytes = pstats.WriteBytes
-		cache.PCacheUncacheable = pstats.Uncacheable
-		m.SetCache(*cache)
-	}
-	reg := rec.Registry()
-	reg.Counter("seal_solver_sat_checks_total", "satisfiability checks performed").Add(satDelta)
-	mh, mm := solver.SatMemoStats()
-	reg.Counter("seal_solver_sat_memo_hits_total", "solver memo hits").Add(mh - of.memoHits0)
-	reg.Counter("seal_solver_sat_memo_misses_total", "solver memo misses").Add(mm - of.memoMisses0)
-	reg.Counter("seal_pcache_hits_total", "persistent analysis cache hits").Add(pstats.Hits)
-	reg.Counter("seal_pcache_misses_total", "persistent analysis cache misses").Add(pstats.Misses)
-	reg.Counter("seal_pcache_writes_total", "persistent analysis cache writes").Add(pstats.Writes)
-	reg.Counter("seal_pcache_corrupt_total", "cache entries failing verification, degraded to misses").Add(pstats.Corrupt)
-	reg.Counter("seal_pcache_uncacheable_total", "results not cached because they were degraded or partial").Add(pstats.Uncacheable)
-	reg.Counter("seal_units_ok_total", "units of work completing normally").Add(int64(m.Outcomes.OK))
-	reg.Counter("seal_units_degraded_total", "units completing with budget-truncated results").Add(int64(m.Outcomes.Degraded))
-	reg.Counter("seal_units_quarantined_total", "units isolated after a panic, deadline, or error").Add(int64(m.Outcomes.Quarantined))
-	reg.Counter("seal_units_skipped_total", "units never attempted because the run aborted").Add(int64(m.Outcomes.Skipped))
-	h := reg.Histogram("seal_unit_duration_seconds", "wall time of one unit of work", obs.DefaultDurationBuckets)
-	for _, u := range m.Units {
-		h.Observe(u.DurMS / 1e3)
-	}
-	// Re-snapshot so the manifest sees the derived counters too.
-	m.Counters = reg.Snapshot()
 	if of.metricsOut != "" {
-		var sb strings.Builder
-		if err := reg.WritePrometheus(&sb); err != nil {
-			return err
-		}
-		if err := os.WriteFile(of.metricsOut, []byte(sb.String()), 0o644); err != nil {
+		if err := os.WriteFile(of.metricsOut, []byte(art.Metrics), 0o644); err != nil {
 			return err
 		}
 	}
 	if of.manifestOut != "" {
-		return m.WriteFile(of.manifestOut)
+		return art.Manifest.WriteFile(of.manifestOut)
 	}
 	return nil
 }
@@ -316,6 +274,7 @@ commands:
   infer   infer interface specifications from a patch directory
   detect  detect specification violations in a source tree
   specs   browse a specification database grouped by interface
+  serve   run the resident analysis daemon (HTTP/JSON; infer/detect/edit)
   eval    reproduce every table and figure of the paper's evaluation
 `)
 }
@@ -435,23 +394,15 @@ func cmdInfer(args []string) error {
 		return err
 	}
 	finishObs := func() error {
-		if rec == nil {
-			return nil
-		}
-		t := res.Totals()
-		reg := rec.Registry()
-		reg.Counter("seal_infer_patches_total", "security patches processed").Add(int64(len(patches)))
-		reg.Counter("seal_infer_specs_total", "specifications inferred this run").Add(int64(len(res.DB.Specs)))
-		reg.Counter("seal_infer_zero_relation_patches_total", "patches yielding no relation").Add(int64(res.ZeroRelationPatches))
-		reg.Counter("seal_infer_relations_pminus_total", "P- (removed-path) relations").Add(int64(t.PMinus))
-		reg.Counter("seal_infer_relations_pplus_total", "P+ (added-path) relations").Add(int64(t.PPlus))
-		reg.Counter("seal_infer_relations_ppsi_total", "PΨ (order) relations").Add(int64(t.PPsi))
-		reg.Counter("seal_infer_relations_pomega_total", "PΩ (condition) relations").Add(int64(t.POmega))
 		inputs := map[string]string{"patches": *patchesDir, "out": *out}
 		if *noValidate {
 			inputs["validate"] = "false"
 		}
-		return of.finish(rec, "infer", *workers, inputs, nil, res.SatChecks, res.PCache)
+		art, err := seal.FinishInferRun(rec, res, len(patches), *workers, inputs, of.base)
+		if err != nil {
+			return err
+		}
+		return of.write(art)
 	}
 	if runErr != nil {
 		if err := finishObs(); err != nil {
@@ -566,34 +517,12 @@ func cmdDetect(args []string) error {
 	}
 	var renderSecs float64
 	finishObs := func() error {
-		if rec == nil {
-			return nil
-		}
-		reg := rec.Registry()
-		reg.Counter("seal_detect_specs_total", "specifications checked").Add(int64(len(db.Specs)))
-		reg.Counter("seal_detect_bugs_total", "bug reports emitted").Add(int64(len(recs)))
-		reg.Counter("seal_pdg_ensure_calls_total", "PDG ensure calls against the shared substrate").Add(st.EnsureCalls)
-		reg.Counter("seal_pdg_builds_total", "PDGs actually built (single-flight misses)").Add(st.EnsureBuilds)
-		reg.Gauge("seal_pdg_build_seconds_total", "wall time spent building PDGs").Set(float64(st.PDGBuildNanos) / 1e9)
-		reg.Counter("seal_path_cache_hits_total", "shared path-cache hits").Add(st.PathCacheHits)
-		reg.Counter("seal_path_cache_misses_total", "shared path-cache misses").Add(st.PathCacheMisses)
-		reg.Gauge("seal_path_cache_hit_ratio", "path-cache hit rate in [0,1]").Set(st.PathHitRate())
-		reg.Counter("seal_index_lookups_total", "program-index lookups").Add(st.IndexLookups)
-		reg.Counter("seal_path_enumerations_total", "slicer path enumerations").Add(st.PathEnumerations)
-		reg.Counter("seal_truncations_total", "budget-truncated path enumerations").Add(st.Truncations)
-		reg.Gauge("seal_report_render_seconds", "wall time spent rendering reports").Set(renderSecs)
-		cache := &obs.CacheStats{
-			PDGEnsureCalls:   st.EnsureCalls,
-			PDGBuilds:        st.EnsureBuilds,
-			PathCacheHits:    st.PathCacheHits,
-			PathCacheMisses:  st.PathCacheMisses,
-			PathHitRatePct:   100 * st.PathHitRate(),
-			IndexLookups:     st.IndexLookups,
-			PathEnumerations: st.PathEnumerations,
-			Truncations:      st.Truncations,
-		}
 		inputs := map[string]string{"target": *target, "specs": *specFile}
-		return of.finish(rec, "detect", *workers, inputs, cache, res.SatChecks, res.PCache)
+		art, err := seal.FinishDetectRun(rec, res, len(db.Specs), *workers, inputs, renderSecs, of.base)
+		if err != nil {
+			return err
+		}
+		return of.write(art)
 	}
 	if runErr != nil {
 		if err := finishObs(); err != nil {
@@ -602,16 +531,7 @@ func cmdDetect(args []string) error {
 		return runErr
 	}
 	renderStart := time.Now()
-	if *full {
-		fmt.Print(report.RenderAllRecs(recs, map[string]*patch.Patch{}))
-		fmt.Print(report.RenderRobustness(res.Degraded, res.Failures))
-	} else {
-		for _, b := range recs {
-			fmt.Println(b.String())
-		}
-		sum := report.SummarizeRecs(recs)
-		fmt.Printf("---\n%d reports over %d specs\n", sum.Total, len(db.Specs))
-	}
+	fmt.Print(report.RenderDetectStdout(recs, res.Degraded, res.Failures, len(db.Specs), *full))
 	renderSecs = time.Since(renderStart).Seconds()
 	if err := finishObs(); err != nil {
 		return err

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"seal"
+	"seal/internal/serve"
+	"seal/internal/spec"
+)
+
+// cmdServe starts the resident analysis daemon: load once, stay hot,
+// answer /infer /detect /edit /stats /metrics until interrupted.
+func cmdServe(args []string) error {
+	srv, ln, err := setupServe(args)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	fmt.Printf("serving on http://%s (endpoints: /infer /detect /edit /stats /metrics)\n", ln.Addr())
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case sig := <-sigCh:
+		fmt.Fprintf(os.Stderr, "seal: %v: shutting down\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		return hs.Shutdown(ctx)
+	}
+}
+
+// setupServe builds the server and its listener from flags — separated
+// from cmdServe so tests drive a real listener without signal handling.
+func setupServe(args []string) (*serve.Server, net.Listener, error) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:0", "listen address (port 0 picks a free port, printed on startup)")
+	target := fs.String("target", "", "source tree to keep resident (required)")
+	specFile := fs.String("specs", "", "spec database to serve detections from (optional; /infer can publish one)")
+	workers := fs.Int("workers", 1, "default worker count per request (requests may override)")
+	reqTimeout := fs.Duration("request-timeout", 0, "per-request wall-clock deadline (structured 503 when exceeded); 0 = none")
+	maxBody := fs.Int64("max-body", 0, "request body cap in bytes; 0 = default (16 MiB)")
+	lf := addLimitFlags(fs)
+	cf := addCacheFlags(fs)
+	fs.Parse(args)
+	if *target == "" {
+		return nil, nil, fmt.Errorf("serve: -target is required")
+	}
+	if err := cf.prepare(); err != nil {
+		return nil, nil, err
+	}
+	files, err := seal.ReadSourceDir(*target)
+	if err != nil {
+		return nil, nil, err
+	}
+	var specs []*seal.Spec
+	if *specFile != "" {
+		data, err := os.ReadFile(*specFile)
+		if err != nil {
+			return nil, nil, err
+		}
+		var db spec.DB
+		if err := json.Unmarshal(data, &db); err != nil {
+			return nil, nil, err
+		}
+		specs = db.Specs
+	}
+	srv, err := serve.New(serve.Config{
+		Workers:        *workers,
+		Limits:         lf.limits(),
+		CacheDir:       cf.dir,
+		CacheReadOnly:  cf.readOnly,
+		RequestTimeout: *reqTimeout,
+		MaxBodyBytes:   *maxBody,
+	}, files, specs)
+	if err != nil {
+		return nil, nil, err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	return srv, ln, nil
+}

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"seal"
+	"seal/internal/serve"
+)
+
+// TestCLIServe drives the documented daemon session through setupServe:
+// gen a corpus, infer its specs, start the server from flags, and issue
+// the infer → detect → edit → detect lifecycle over real HTTP.
+func TestCLIServe(t *testing.T) {
+	dir := t.TempDir()
+	corpusDir := filepath.Join(dir, "corpus")
+	specFile := filepath.Join(dir, "specs.json")
+	if err := cmdGen([]string{"-out", corpusDir}); err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+	if err := cmdInfer([]string{"-patches", filepath.Join(corpusDir, "patches"), "-out", specFile}); err != nil {
+		t.Fatalf("infer: %v", err)
+	}
+
+	srv, ln, err := setupServe([]string{
+		"-target", filepath.Join(corpusDir, "tree"),
+		"-specs", specFile,
+		"-workers", "2",
+		"-cache-dir", filepath.Join(dir, "cache"),
+	})
+	if err != nil {
+		t.Fatalf("setupServe: %v", err)
+	}
+	hs := httptest.NewUnstartedServer(srv.Handler())
+	hs.Listener.Close()
+	hs.Listener = ln
+	hs.Start()
+	defer hs.Close()
+
+	post := func(path, body string, out any) int {
+		t.Helper()
+		resp, err := http.Post(hs.URL+path, "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if out != nil {
+			if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+				t.Fatalf("POST %s: decode: %v", path, err)
+			}
+		}
+		return resp.StatusCode
+	}
+
+	var st serve.StatsResponse
+	resp, err := http.Get(hs.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Epoch != 1 || st.Specs == 0 || st.Files == 0 {
+		t.Fatalf("initial stats: epoch %d specs %d files %d", st.Epoch, st.Specs, st.Files)
+	}
+
+	var det serve.DetectResponse
+	if got := post("/detect", `{"report":true}`, &det); got != http.StatusOK {
+		t.Fatalf("detect: status %d", got)
+	}
+	if det.Epoch != 1 || det.Report == "" || det.Manifest == nil {
+		t.Fatalf("detect response incomplete: epoch %d report %d bytes manifest %v",
+			det.Epoch, len(det.Report), det.Manifest != nil)
+	}
+
+	// Touch one file through /edit; detection must follow the new epoch.
+	files, err := seal.ReadSourceDir(filepath.Join(corpusDir, "tree"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, 0, len(files))
+	for n := range files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var er serve.EditResponse
+	body, _ := json.Marshal(serve.EditRequest{Files: map[string]string{names[0]: files[names[0]] + "\n"}})
+	if got := post("/edit", string(body), &er); got != http.StatusOK {
+		t.Fatalf("edit: status %d", got)
+	}
+	if er.Epoch != 2 || er.ParsedFiles != 1 {
+		t.Fatalf("edit response: epoch %d parsed %d, want 2 / 1", er.Epoch, er.ParsedFiles)
+	}
+	var det2 serve.DetectResponse
+	if got := post("/detect", `{"report":true}`, &det2); got != http.StatusOK {
+		t.Fatalf("detect after edit: status %d", got)
+	}
+	if det2.Epoch != 2 {
+		t.Fatalf("detect after edit pinned epoch %d, want 2", det2.Epoch)
+	}
+	// A whitespace-only edit must not change the findings.
+	if det2.Report != det.Report {
+		t.Fatalf("whitespace edit changed the report:\n%s\nvs\n%s", det2.Report, det.Report)
+	}
+}
+
+// TestCLIServeArgErrors checks flag validation.
+func TestCLIServeArgErrors(t *testing.T) {
+	if _, _, err := setupServe([]string{}); err == nil {
+		t.Error("serve without -target should fail")
+	}
+	if _, _, err := setupServe([]string{"-target", "/nonexistent-seal-dir"}); err == nil {
+		t.Error("serve with a missing target should fail")
+	}
+}

@@ -84,6 +84,16 @@ type groupOutcome struct {
 // context canceled, or more than limits.MaxFailures units quarantined); the
 // partial Result is valid either way.
 func (sh *Shared) DetectParallelCtx(ctx context.Context, specs []*spec.Spec, workers int, limits budget.Limits) (*Result, error) {
+	return sh.DetectParallelCtxObs(ctx, specs, workers, limits, sh.rec)
+}
+
+// DetectParallelCtxObs is DetectParallelCtx with an explicit per-run
+// recorder. Unlike SetObs — which binds one recorder to the substrate —
+// the recorder here is scoped to this call, so any number of concurrent
+// runs over one resident substrate can each carry their own observability
+// (the serving case: one snapshot, many requests, one manifest per
+// request) without racing on shared state.
+func (sh *Shared) DetectParallelCtxObs(ctx context.Context, specs []*spec.Spec, workers int, limits budget.Limits, rec *obs.Recorder) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -95,7 +105,7 @@ func (sh *Shared) DetectParallelCtx(ctx context.Context, specs []*spec.Spec, wor
 	if workers > len(groups) {
 		workers = len(groups)
 	}
-	sh.rec.SetUnitsTotal(len(groups))
+	rec.SetUnitsTotal(len(groups))
 	perSpec := make([][]*Bug, len(specs))
 	outcomes := make([]groupOutcome, len(groups))
 	var quarantined atomic.Int64
@@ -117,7 +127,7 @@ func (sh *Shared) DetectParallelCtx(ctx context.Context, specs []*spec.Spec, wor
 				if aborted.Load() || ctx.Err() != nil {
 					continue
 				}
-				oc := sh.runGroup(ctx, specs, j.idxs, perSpec, limits)
+				oc := sh.runGroup(ctx, specs, j.idxs, perSpec, limits, rec)
 				outcomes[j.gi] = oc
 				if oc.failure != nil {
 					if n := quarantined.Add(1); limits.MaxFailures > 0 && n > int64(limits.MaxFailures) {
@@ -172,14 +182,14 @@ func (sh *Shared) DetectParallelCtx(ctx context.Context, specs []*spec.Spec, wor
 // when configured. The unit id is the group's detection scope. When the
 // substrate has a recorder, the whole group — both attempts — is one unit
 // span carrying the verdict, stage clocks, and budget spend.
-func (sh *Shared) runGroup(ctx context.Context, specs []*spec.Spec, idxs []int, perSpec [][]*Bug, limits budget.Limits) groupOutcome {
+func (sh *Shared) runGroup(ctx context.Context, specs []*spec.Spec, idxs []int, perSpec [][]*Bug, limits budget.Limits, rec *obs.Recorder) groupOutcome {
 	unit := specs[idxs[0]].Scope()
-	span := sh.rec.Unit("detect", unit)
+	span := rec.Unit("detect", unit)
 	attempts := 1
-	oc := sh.runUnit(ctx, specs, idxs, perSpec, limits, unit, 1)
+	oc := sh.runUnit(ctx, specs, idxs, perSpec, limits, unit, 1, rec)
 	if oc.failure != nil && limits.Retry {
 		attempts = 2
-		oc = sh.runUnit(ctx, specs, idxs, perSpec, limits.Halved(), unit, 2)
+		oc = sh.runUnit(ctx, specs, idxs, perSpec, limits.Halved(), unit, 2, rec)
 		oc.retried = true
 	}
 	if span != nil {
@@ -208,13 +218,13 @@ func (sh *Shared) runGroup(ctx context.Context, specs []*spec.Spec, idxs []int, 
 // panic containment around the whole group. Results reach the shared
 // perSpec slots only after the attempt succeeds, so a quarantined attempt
 // leaves no partial output behind.
-func (sh *Shared) runUnit(ctx context.Context, specs []*spec.Spec, idxs []int, perSpec [][]*Bug, limits budget.Limits, unit string, attempt int) groupOutcome {
+func (sh *Shared) runUnit(ctx context.Context, specs []*spec.Spec, idxs []int, perSpec [][]*Bug, limits budget.Limits, unit string, attempt int, rec *obs.Recorder) groupOutcome {
 	var oc groupOutcome
 	b := budget.New(ctx, limits)
 	defer b.Close()
 	d := sh.Detector()
 	d.SetBudget(b)
-	if sh.rec.Enabled() {
+	if rec.Enabled() {
 		d.clk = &stageClock{}
 	}
 	scratch := make([][]*Bug, len(idxs))

@@ -186,6 +186,27 @@ func (s Stats) Merge(o Stats) Stats {
 	}
 }
 
+// Sub returns the substrate-counter difference s−o, attributing to one run
+// the work done on a resident substrate between two Stats snapshots. Only
+// the monotonically accumulating substrate counters are subtracted; the
+// per-run robustness verdicts (QuarantinedUnits, DegradedUnits,
+// RetriedUnits) are already run-scoped and pass through from s unchanged.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		EnsureCalls:      s.EnsureCalls - o.EnsureCalls,
+		EnsureBuilds:     s.EnsureBuilds - o.EnsureBuilds,
+		PathCacheHits:    s.PathCacheHits - o.PathCacheHits,
+		PathCacheMisses:  s.PathCacheMisses - o.PathCacheMisses,
+		IndexLookups:     s.IndexLookups - o.IndexLookups,
+		PathEnumerations: s.PathEnumerations - o.PathEnumerations,
+		PDGBuildNanos:    s.PDGBuildNanos - o.PDGBuildNanos,
+		Truncations:      s.Truncations - o.Truncations,
+		QuarantinedUnits: s.QuarantinedUnits,
+		DegradedUnits:    s.DegradedUnits,
+		RetriedUnits:     s.RetriedUnits,
+	}
+}
+
 // NewShared builds the substrate for a target program.
 func NewShared(prog *ir.Program) *Shared {
 	return NewSharedOnGraph(pdg.New(prog))
@@ -228,6 +249,50 @@ func (sh *Shared) Stats() Stats {
 		PDGBuildNanos:    gs.BuildNanos,
 		Truncations:      sh.truncations.Load(),
 	}
+}
+
+// ResidentStats describes what a substrate currently holds in memory — the
+// figures a long-running service ("seal serve") reports so operators can
+// see how warm the resident snapshot is.
+type ResidentStats struct {
+	// Funcs is the number of functions in the underlying program.
+	Funcs int `json:"funcs"`
+	// PDGFuncs is the number of function PDG subgraphs materialized.
+	PDGFuncs int `json:"pdg_funcs"`
+	// Regions is the number of region closures cached.
+	Regions int `json:"regions"`
+	// Shapes is the number of interned canonical region shapes.
+	Shapes int `json:"shapes"`
+	// PathEntries is the number of completed value-flow path sets held by
+	// the sharded single-flight cache.
+	PathEntries int `json:"path_entries"`
+}
+
+// Resident snapshots the substrate's in-memory residency.
+func (sh *Shared) Resident() ResidentStats {
+	rs := ResidentStats{
+		Funcs:    len(sh.G.Prog.FuncList),
+		PDGFuncs: sh.G.ResidentFuncs(),
+	}
+	sh.regionMu.Lock()
+	rs.Regions = len(sh.regions)
+	sh.regionMu.Unlock()
+	sh.shapeMu.Lock()
+	rs.Shapes = len(sh.shapes)
+	sh.shapeMu.Unlock()
+	for i := range sh.pathShards {
+		shard := &sh.pathShards[i]
+		shard.mu.Lock()
+		for _, e := range shard.m {
+			select {
+			case <-e.done:
+				rs.PathEntries++
+			default:
+			}
+		}
+		shard.mu.Unlock()
+	}
+	return rs
 }
 
 // Detector returns a new detector bound to the substrate. Each concurrent

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -112,6 +113,45 @@ func main() {
 				fail(err)
 			}
 			break
+		}
+	}
+
+	// Serve seeds: (method, path, body) triples covering every daemon
+	// endpoint, the file-upload path of /edit, budget overrides, and each
+	// class of malformed request the error envelope machinery handles.
+	serveDir := filepath.Join("internal", "serve", "testdata", "fuzz", "FuzzServeRequest")
+	serveCase := randprog.GenPatchCase(0)
+	var serveSrc string
+	for _, file := range sorted(serveCase.Target) {
+		serveSrc = serveCase.Target[file]
+		break
+	}
+	editBody, err := json.Marshal(map[string]any{"files": map[string]string{"seed.c": serveSrc}})
+	if err != nil {
+		fail(err)
+	}
+	patchBody, err := json.Marshal(map[string]any{"patches": []any{serveCase.Patch}, "publish": true})
+	if err != nil {
+		fail(err)
+	}
+	serveSeeds := []struct{ name, method, path, body string }{
+		{"detect", "POST", "/detect", "{}"},
+		{"detect_limits", "POST", "/detect", `{"workers":4,"report":true,"limits":{"max_steps":10,"max_paths":1,"max_failures":1}}`},
+		{"infer_publish", "POST", "/infer", string(patchBody)},
+		{"infer_empty", "POST", "/infer", `{"patches":[]}`},
+		{"edit_upload", "POST", "/edit", string(editBody)},
+		{"edit_broken", "POST", "/edit", `{"files":{"c.c":"int broken( {{{"}}`},
+		{"edit_delete", "POST", "/edit", `{"delete":["a.c"]}`},
+		{"stats", "GET", "/stats", ""},
+		{"metrics", "GET", "/metrics", ""},
+		{"bad_method", "PUT", "/detect", ""},
+		{"bad_path", "POST", "/unknown", "x"},
+		{"bad_json", "POST", "/detect", "{not json"},
+		{"unknown_field", "POST", "/detect", `{"bogus":1}`},
+	}
+	for _, s := range serveSeeds {
+		if err := writeEntry(serveDir, s.name, s.method, s.path, s.body); err != nil {
+			fail(err)
 		}
 	}
 

@@ -188,11 +188,12 @@ func (m *Manifest) SetCache(c CacheStats) {
 // whichever worker computed a shared artifact first — scheduling, not
 // semantics; likewise the in-run path-cache and persistent-cache counters,
 // which depend on scheduling (cross-region footprint reuse) and cache
-// temperature (cold vs warm) respectively. Everything else — unit
-// identities, outcomes, reasons, spec/bug counts, stage structure, PDG
-// build and index counters — is preserved, which is exactly the set that
-// must be deterministic across worker counts AND across cold/warm runs of
-// the same inputs.
+// temperature (cold vs warm) respectively, and the index-lookup counter,
+// which cache-primed or snapshot-carried region closures skip. Everything
+// else — unit identities, outcomes, reasons, spec/bug counts, stage
+// structure, PDG build counters — is preserved, which is exactly the set
+// that must be deterministic across worker counts AND across cold/warm
+// runs of the same inputs.
 func (m *Manifest) Redact() *Manifest {
 	if m == nil {
 		return nil
@@ -216,6 +217,7 @@ func (m *Manifest) Redact() *Manifest {
 		c.PathCacheHits = 0
 		c.PathCacheMisses = 0
 		c.PathHitRatePct = 0
+		c.IndexLookups = 0
 		c.PathEnumerations = 0
 		c.Truncations = 0
 		c.PCacheHits = 0
@@ -274,8 +276,10 @@ func (m *Manifest) RedactSubstrate() *Manifest {
 // cache-temperature-dependent and therefore zeroed by the determinism
 // normalizers (Redact, RedactTimings): wall-clock series ("_seconds"),
 // persistent-cache counters (cold vs warm), solver-memo counters
-// (cross-worker racing), and the in-run path-cache family (cross-region
-// footprint reuse follows entry completion order).
+// (cross-worker racing), the in-run path-cache family (cross-region
+// footprint reuse follows entry completion order), and index lookups
+// (skipped entirely when region closures arrive pre-primed from the
+// persistent cache or a carried snapshot).
 func VolatileMetric(name string) bool {
 	if containsSeconds(name) {
 		return true
@@ -286,7 +290,7 @@ func VolatileMetric(name string) bool {
 	switch name {
 	case "seal_path_cache_hits_total", "seal_path_cache_misses_total",
 		"seal_path_cache_hit_ratio", "seal_path_enumerations_total",
-		"seal_truncations_total":
+		"seal_index_lookups_total", "seal_truncations_total":
 		return true
 	}
 	return false

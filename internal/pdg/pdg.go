@@ -170,6 +170,25 @@ func (g *Graph) Built(fn *ir.Func) bool {
 	}
 }
 
+// ResidentFuncs returns the number of function subgraphs currently
+// materialized (completed builds only, in-flight ones excluded) — the
+// residency figure a long-running service reports for its hot graph.
+func (g *Graph) ResidentFuncs() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	n := 0
+	for _, st := range g.building {
+		select {
+		case <-st.done:
+			if st.panicVal == nil {
+				n++
+			}
+		default:
+		}
+	}
+	return n
+}
+
 // Ensure materializes the PDG subgraph of fn (idempotent, safe for
 // concurrent callers: exactly one goroutine builds, the rest wait).
 func (g *Graph) Ensure(fn *ir.Func) {

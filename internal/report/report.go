@@ -162,6 +162,24 @@ func RenderAllRecs(recs []detect.BugRec, patches map[string]*patch.Patch) string
 	return sb.String()
 }
 
+// RenderDetectStdout is the detect command's complete stdout payload —
+// full reports plus the robustness appendix with -report, one summary line
+// per bug otherwise. The serve daemon embeds the same string in its
+// /detect responses, so batch stdout and daemon report fields diff clean.
+func RenderDetectStdout(recs []detect.BugRec, degs []budget.Degradation, failures []*budget.FailureRecord, nSpecs int, full bool) string {
+	if full {
+		return RenderAllRecs(recs, map[string]*patch.Patch{}) + RenderRobustness(degs, failures)
+	}
+	var sb strings.Builder
+	for _, b := range recs {
+		sb.WriteString(b.String())
+		sb.WriteByte('\n')
+	}
+	sum := SummarizeRecs(recs)
+	fmt.Fprintf(&sb, "---\n%d reports over %d specs\n", sum.Total, nSpecs)
+	return sb.String()
+}
+
 func max(a, b int) int {
 	if a > b {
 		return a

@@ -263,13 +263,19 @@ func (db *DB) Dedup() {
 	db.Specs = out
 }
 
-// MarshalJSON serializes the DB with conditions in tree form.
+// MarshalJSON serializes the DB with conditions in tree form. It works on
+// shallow spec copies (Relation is a value field) so marshaling never
+// writes to the shared spec objects — a DB is serialized for content
+// hashing while concurrent detections read the very same specs.
 func (db *DB) MarshalJSON() ([]byte, error) {
-	for _, s := range db.Specs {
-		s.Constraint.Rel.CondJSON = CondToNode(s.Constraint.Rel.Cond)
-	}
 	type alias DB
-	return json.Marshal((*alias)(db))
+	out := alias{Specs: make([]*Spec, len(db.Specs))}
+	for i, s := range db.Specs {
+		cp := *s
+		cp.Constraint.Rel.CondJSON = CondToNode(s.Constraint.Rel.Cond)
+		out.Specs[i] = &cp
+	}
+	return json.Marshal(out)
 }
 
 // UnmarshalJSON restores conditions from tree form.

@@ -1,0 +1,202 @@
+package seal
+
+import (
+	"context"
+	"sync"
+
+	"seal/internal/cache"
+	"seal/internal/detect"
+)
+
+// Resident is a snapshot-scoped analysis handle: one loaded target pinned
+// to one shared substrate whose PDG subgraphs, region closures, and
+// value-flow path caches stay hot across any number of detection runs.
+// It is the in-memory tier of the caching design — above the persistent
+// disk cache, below the raw pipeline — and the unit a long-running service
+// ("seal serve") keeps per published snapshot.
+//
+// A Resident is immutable after construction and safe for any number of
+// concurrent Detect calls; per-run observability is carried by the options,
+// never stored on the substrate.
+type Resident struct {
+	// Target is the parsed, linked program this handle is pinned to.
+	Target *Target
+	// TargetHash is the content fingerprint of the target's sources — the
+	// identity every cache key and request envelope is scoped by.
+	TargetHash string
+
+	sh *detect.Shared
+
+	// memo is the resident result tier: completed, full-fidelity detection
+	// results keyed exactly like the disk cache's TierDetect entries, so a
+	// repeated request replays without touching disk or the substrate.
+	// Degraded or quarantined results are never stored.
+	memo sync.Map // string -> *detectCacheEntry
+}
+
+// NewResident pins a loaded target to a fresh shared substrate.
+func NewResident(t *Target) *Resident {
+	return &Resident{
+		Target:     t,
+		TargetHash: cache.FileSetHash(t.Files),
+		sh:         detect.NewShared(t.Prog),
+	}
+}
+
+// NewResidentFiles parses, links, and pins an in-memory source set.
+func NewResidentFiles(files map[string]string) (*Resident, error) {
+	t, err := LoadFiles(files)
+	if err != nil {
+		return nil, err
+	}
+	return NewResident(t), nil
+}
+
+// ResidentStats describes what the substrate currently holds in memory.
+type ResidentStats = detect.ResidentStats
+
+// Resident reports the substrate's in-memory residency (materialized PDG
+// subgraphs, cached regions and shapes, completed path sets).
+func (r *Resident) Resident() ResidentStats { return r.sh.Resident() }
+
+// Stats returns the substrate's cumulative instrumentation counters.
+func (r *Resident) Stats() DetectStats { return r.sh.Stats() }
+
+// MemoEntries reports how many detection results the resident memo holds.
+func (r *Resident) MemoEntries() int {
+	n := 0
+	r.memo.Range(func(any, any) bool { n++; return true })
+	return n
+}
+
+// PrimeFromCache warm-starts the substrate's region closures from a
+// persistent cache populated by an earlier run over the same target — the
+// restart path of a resident service. A missing or foreign cache is a
+// no-op (closures are recomputed on demand).
+func (r *Resident) PrimeFromCache(dir string, readOnly bool) error {
+	pc, err := openCache(dir, readOnly)
+	if err != nil {
+		return err
+	}
+	r.primeRegions(pc)
+	return nil
+}
+
+// primeRegions seeds the substrate's region closures from an open cache.
+func (r *Resident) primeRegions(pc *cache.Cache) {
+	if !pc.Enabled() {
+		return
+	}
+	var snap map[string][]string
+	if pc.Get(cache.TierRegions, regionsKey(r.TargetHash), &snap) {
+		r.sh.PrimeRegions(snap, detect.DefaultMaxCalleeDepth)
+	}
+}
+
+// CarryRegionsFrom transfers still-valid region closures from a
+// predecessor Resident over an edited version of the same tree — the
+// incremental-recompute path. A closure survives only when it provably
+// could not have changed: the global set of defined function names is
+// unchanged (a definition appearing or vanishing can re-route
+// DefinedCallees anywhere), and no function in the closure is in
+// changedFuncs (the functions defined in any edited file). Everything else
+// is dropped and recomputed on demand, so a conservative changed set costs
+// time, never correctness. Returns (carried, dropped).
+func (r *Resident) CarryRegionsFrom(prev *Resident, changedFuncs map[string]bool) (carried, dropped int) {
+	if prev == nil {
+		return 0, 0
+	}
+	snap := prev.sh.RegionsSnapshot(detect.DefaultMaxCalleeDepth)
+	if !sameFuncNames(prev.Target, r.Target) {
+		return 0, len(snap)
+	}
+	for root, names := range snap {
+		for _, n := range names {
+			if changedFuncs[n] {
+				delete(snap, root)
+				dropped++
+				break
+			}
+		}
+	}
+	r.sh.PrimeRegions(snap, detect.DefaultMaxCalleeDepth)
+	return len(snap), dropped
+}
+
+// sameFuncNames reports whether two targets define exactly the same set of
+// function names.
+func sameFuncNames(a, b *Target) bool {
+	if len(a.Prog.Funcs) != len(b.Prog.Funcs) {
+		return false
+	}
+	for name := range a.Prog.Funcs {
+		if _, ok := b.Prog.Funcs[name]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Detect runs a budgeted, cached detection pinned to this resident
+// substrate. The lookup order is memo → disk cache → compute; a clean
+// (undegraded, unquarantined) computation is written back to both tiers,
+// so a restarted process warms from disk and a live one replays from
+// memory. Replayed results re-record unit spans on opts.Obs exactly as the
+// computing run did, keeping redacted manifests byte-identical across
+// memo, disk, and cold paths. Substrate counters in the result are the
+// per-run delta, not the resident substrate's lifetime totals.
+func (r *Resident) Detect(ctx context.Context, specs []*Spec, opts DetectRunOptions) (*DetectResult, error) {
+	pc, err := openCache(opts.CacheDir, opts.CacheReadOnly)
+	if err != nil {
+		return nil, err
+	}
+	key := detectKeyFor(r.TargetHash, specs, opts.Limits)
+	if key != "" {
+		if v, ok := r.memo.Load(key); ok {
+			return replayDetect(v.(*detectCacheEntry), opts.Obs, pc), nil
+		}
+		if pc.Enabled() {
+			var ent detectCacheEntry
+			if pc.Get(cache.TierDetect, key, &ent) {
+				r.memo.Store(key, &ent)
+				return replayDetect(&ent, opts.Obs, pc), nil
+			}
+		}
+	}
+	return r.runDetect(ctx, specs, opts, pc, key)
+}
+
+// runDetect is the compute path shared with DetectFilesCached: run on the
+// pinned substrate, reduce counters to this run's delta, and publish a
+// clean result to the memo and (when configured) the persistent cache.
+func (r *Resident) runDetect(ctx context.Context, specs []*Spec, opts DetectRunOptions, pc *cache.Cache, key string) (*DetectResult, error) {
+	stats0 := r.sh.Stats()
+	res, runErr := r.sh.DetectParallelCtxObs(ctx, specs, opts.Workers, opts.Limits, opts.Obs)
+	res.Stats = res.Stats.Sub(stats0)
+	clean := runErr == nil && len(res.Failures) == 0 && len(res.Degraded) == 0
+	if clean && key != "" {
+		ent := &detectCacheEntry{
+			Recs:      res.Recs,
+			Units:     res.Units,
+			Stats:     res.Stats,
+			SatChecks: res.SatChecks,
+		}
+		r.memo.Store(key, ent)
+	}
+	if pc.Enabled() {
+		if clean && key != "" {
+			pc.Put(cache.TierDetect, key, &detectCacheEntry{
+				Recs:      res.Recs,
+				Units:     res.Units,
+				Stats:     res.Stats,
+				SatChecks: res.SatChecks,
+			})
+			pc.Put(cache.TierRegions, regionsKey(r.TargetHash),
+				r.sh.RegionsSnapshot(detect.DefaultMaxCalleeDepth))
+		} else {
+			pc.NoteUncacheable()
+		}
+		res.PCache = pc.Stats()
+	}
+	return res, runErr
+}
