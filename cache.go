@@ -34,12 +34,13 @@ type CacheStats = cache.Stats
 func ClearCache(dir string) error { return cache.Clear(dir) }
 
 // openCache opens the configured cache; an empty dir is the disabled cache
-// (nil, on which every operation is a no-op).
-func openCache(dir string, readOnly bool) (*cache.Cache, error) {
+// (nil, on which every operation is a no-op). maxBytes > 0 bounds the
+// cache's on-disk size by LRU eviction.
+func openCache(dir string, readOnly bool, maxBytes int64) (*cache.Cache, error) {
 	if dir == "" {
 		return nil, nil
 	}
-	return cache.Open(dir, readOnly)
+	return cache.OpenLimited(dir, readOnly, maxBytes)
 }
 
 // inferConfigPart renders the inference knobs that change results for
@@ -143,6 +144,20 @@ type detectCacheEntry struct {
 	Units     []detect.UnitRec `json:"units"`
 	Stats     detect.Stats     `json:"stats"`
 	SatChecks int64            `json:"sat_checks"`
+	// Shard is the wire form of Recs (dedup key, producing-spec identity,
+	// spec ordinal per record) that a shard executor returns to its
+	// coordinator. Written by every clean run since the scale-out tier
+	// landed; entries predating it have Shard == nil and simply cannot be
+	// replayed for shard requests when Recs is non-empty (plain Detect
+	// replay is unaffected).
+	Shard []detect.ShardBug `json:"shard,omitempty"`
+}
+
+// shardReplayable reports whether a cached entry carries enough to answer
+// a shard request: either the wire records are present, or there were no
+// bugs at all (nothing to carry).
+func shardReplayable(ent *detectCacheEntry) bool {
+	return ent != nil && (ent.Shard != nil || len(ent.Recs) == 0)
 }
 
 // regionsKey is the TierRegions fingerprint: target content and closure
@@ -204,6 +219,9 @@ type DetectRunOptions struct {
 	// CacheReadOnly serves hits but never writes (shared or archived
 	// caches).
 	CacheReadOnly bool
+	// CacheMaxBytes bounds the persistent cache's total on-disk size;
+	// exceeding it evicts least-recently-used entries. 0 = unbounded.
+	CacheMaxBytes int64
 }
 
 // DetectDirCached runs detection over the tree at root with an optional
@@ -226,7 +244,7 @@ func DetectDirCached(ctx context.Context, root string, specs []*Spec, opts Detec
 // its region closures from the cache, and runs through the same compute
 // core a long-running service uses.
 func DetectFilesCached(ctx context.Context, files map[string]string, specs []*Spec, opts DetectRunOptions) (*DetectResult, error) {
-	pc, err := openCache(opts.CacheDir, opts.CacheReadOnly)
+	pc, err := openCache(opts.CacheDir, opts.CacheReadOnly, opts.CacheMaxBytes)
 	if err != nil {
 		return nil, err
 	}
@@ -247,7 +265,8 @@ func DetectFilesCached(ctx context.Context, files map[string]string, specs []*Sp
 	}
 	r := NewResident(t)
 	r.primeRegions(pc)
-	return r.runDetect(ctx, specs, opts, pc, key)
+	res, _, runErr := r.runDetect(ctx, specs, opts, pc, key)
+	return res, runErr
 }
 
 // replayDetect reconstructs a DetectResult from a cache entry, re-recording

@@ -159,3 +159,56 @@ func TestDetectDegradedNeverCached(t *testing.T) {
 		}
 	}
 }
+
+// TestDetectEvictionNeverBreaksCorrectness runs the cached detection
+// pipeline under a one-byte cache bound — every entry is evicted the
+// moment it lands — and checks the eviction contract end to end: results
+// stay byte-identical to an unbounded cached run, every round trip
+// degrades to a clean miss-and-recompute, and nothing is ever served
+// from a half-evicted state.
+func TestDetectEvictionNeverBreaksCorrectness(t *testing.T) {
+	corpus := kernelgen.Generate(kernelgen.DefaultConfig())
+	inferred, err := seal.InferSpecsContext(context.Background(), corpus.Patches, seal.Options{Validate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := inferred.DB.Specs
+
+	ref, err := seal.DetectFilesCached(context.Background(), corpus.Files, specs, seal.DetectRunOptions{
+		CacheDir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatalf("reference detect: %v", err)
+	}
+
+	cacheDir := t.TempDir()
+	for round := 0; round < 2; round++ {
+		res, err := seal.DetectFilesCached(context.Background(), corpus.Files, specs, seal.DetectRunOptions{
+			CacheDir:      cacheDir,
+			CacheMaxBytes: 1,
+		})
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if len(res.Recs) != len(ref.Recs) {
+			t.Fatalf("round %d: %d bugs, reference found %d", round, len(res.Recs), len(ref.Recs))
+		}
+		for i := range res.Recs {
+			if res.Recs[i].String() != ref.Recs[i].String() {
+				t.Errorf("round %d bug %d differs:\nevicting: %s\nreference: %s",
+					round, i, res.Recs[i].String(), ref.Recs[i].String())
+			}
+		}
+		if res.PCache.Evictions == 0 {
+			t.Fatalf("round %d: 1-byte bound evicted nothing: %+v", round, res.PCache)
+		}
+		if res.PCache.Corrupt != 0 {
+			t.Fatalf("round %d: eviction produced corrupt reads: %+v", round, res.PCache)
+		}
+		// Round 1 must re-miss (round 0's entries were evicted), never
+		// replay a partial entry.
+		if round == 1 && res.PCache.Hits != 0 {
+			t.Fatalf("round 1 hit an entry that should have been evicted: %+v", res.PCache)
+		}
+	}
+}

@@ -4,7 +4,13 @@
 //	seal infer  -patches DIR -out FILE [...]   infer specs from patches
 //	seal detect -target DIR -specs FILE [...]  detect bugs in a tree
 //	seal serve  -target DIR [-specs FILE]      resident analysis daemon
+//	seal work   -target DIR                    shard worker for `detect -shards`
 //	seal eval   [-seed N] [-out FILE]          reproduce all experiments
+//
+// `seal detect -shards N` scales detection horizontally: the corpus is
+// partitioned by region group with a deterministic hash, each shard runs
+// in its own `seal work` process, and the merged output is byte-identical
+// to the single-process run.
 //
 // A full session against a generated corpus:
 //
@@ -23,6 +29,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -60,6 +67,35 @@ func (e quarantineErr) Error() string {
 
 func (e quarantineErr) ExitCode() int { return exitQuarantine }
 
+// usageErr is a post-parse flag validation failure: a flag parsed fine
+// syntactically but carries a value the command rejects. Exits 2, like
+// the flag package's own parse errors.
+type usageErr struct{ msg string }
+
+func (e usageErr) Error() string { return e.msg }
+func (e usageErr) ExitCode() int { return exitUsage }
+
+// validatePositiveFlags rejects explicitly-set non-positive values of the
+// named integer flags. Only flags the user actually set are checked
+// (fs.Visit), so a zero default — like -max-failures 0 meaning "keep
+// going" — stays valid when the flag is omitted but is rejected when
+// someone writes it out expecting a threshold.
+func validatePositiveFlags(fs *flag.FlagSet, cmd string, names ...string) error {
+	set := make(map[string]bool)
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	for _, name := range names {
+		if !set[name] {
+			continue
+		}
+		f := fs.Lookup(name)
+		v, err := strconv.ParseInt(f.Value.String(), 10, 64)
+		if err != nil || v <= 0 {
+			return usageErr{msg: fmt.Sprintf("%s: -%s must be > 0 (got %s)", cmd, name, f.Value.String())}
+		}
+	}
+	return nil
+}
+
 func main() {
 	if len(os.Args) < 2 {
 		usage()
@@ -85,6 +121,8 @@ func main() {
 		err = cmdSpecs(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "work":
+		err = cmdWork(os.Args[2:])
 	case "eval":
 		err = cmdEval(os.Args[2:])
 	case "-h", "--help", "help":
@@ -153,7 +191,7 @@ func addLimitFlags(fs *flag.FlagSet) *limitFlags {
 	lf := &limitFlags{}
 	fs.DurationVar(&lf.timeout, "timeout", 0, "per-unit wall-clock deadline (one patch, or one detection region group); 0 = none")
 	fs.Int64Var(&lf.budgetSteps, "budget", 0, "per-unit analysis-step budget (slicer expansions, PDG builds, solver checks); 0 = unlimited")
-	fs.IntVar(&lf.maxFailures, "max-failures", 0, "abort the run once more than this many units are quarantined; 0 = keep going")
+	fs.IntVar(&lf.maxFailures, "max-failures", 0, "abort the run once more than this many units are quarantined (must be > 0 when set; omit to keep going)")
 	fs.StringVar(&lf.failuresOut, "failures-out", "", "write quarantine FailureRecords to this JSON file")
 	fs.BoolVar(&lf.retry, "retry", false, "retry a quarantined unit once with a halved budget")
 	return lf
@@ -173,6 +211,7 @@ type cacheFlags struct {
 	dir      string
 	readOnly bool
 	clear    bool
+	maxBytes int64
 }
 
 func addCacheFlags(fs *flag.FlagSet) *cacheFlags {
@@ -180,6 +219,7 @@ func addCacheFlags(fs *flag.FlagSet) *cacheFlags {
 	fs.StringVar(&cf.dir, "cache-dir", "", "persistent analysis cache directory (content-addressed; warm runs replay unchanged results); empty = disabled")
 	fs.BoolVar(&cf.readOnly, "cache-readonly", false, "serve cache hits but never write (shared or archived caches)")
 	fs.BoolVar(&cf.clear, "cache-clear", false, "remove the cache's own objects under -cache-dir before running")
+	fs.Int64Var(&cf.maxBytes, "cache-max-bytes", 0, "bound the cache's total on-disk size; least-recently-used entries are evicted past it (an evicted entry just recomputes); 0 = unbounded")
 	return cf
 }
 
@@ -275,6 +315,7 @@ commands:
   detect  detect specification violations in a source tree
   specs   browse a specification database grouped by interface
   serve   run the resident analysis daemon (HTTP/JSON; infer/detect/edit)
+  work    run a shard worker for coordinated detection (detect -shards / -shard-addrs)
   eval    reproduce every table and figure of the paper's evaluation
 `)
 }
@@ -362,6 +403,9 @@ func cmdInfer(args []string) error {
 	of := addObsFlags(fs)
 	cf := addCacheFlags(fs)
 	fs.Parse(args)
+	if err := validatePositiveFlags(fs, "infer", "workers", "max-failures"); err != nil {
+		return err
+	}
 	if *patchesDir == "" || *out == "" {
 		return fmt.Errorf("infer: -patches and -out are required")
 	}
@@ -382,6 +426,7 @@ func cmdInfer(args []string) error {
 		Obs:           rec,
 		CacheDir:      cf.dir,
 		CacheReadOnly: cf.readOnly,
+		CacheMaxBytes: cf.maxBytes,
 	})
 	pg.Stop()
 	for _, d := range res.Degraded {
@@ -460,10 +505,20 @@ func cmdDetect(args []string) error {
 	stats := fs.Bool("stats", false, "print shared-substrate counters (PDG builds, path-cache hit rate) to stderr")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
+	shards := fs.Int("shards", 0, "coordinate detection across this many spawned `seal work` processes, merged deterministically (0 = in-process)")
+	shardAddrs := fs.String("shard-addrs", "", "comma-separated worker base URLs (http://host:port) to shard across instead of spawning; overrides -shards")
+	shardTimeout := fs.Duration("shard-timeout", 0, "per-shard dispatch deadline; a shard exceeding it is quarantined; 0 = none")
 	lf := addLimitFlags(fs)
 	of := addObsFlags(fs)
 	cf := addCacheFlags(fs)
 	fs.Parse(args)
+	if err := validatePositiveFlags(fs, "detect", "workers", "shards", "max-failures"); err != nil {
+		return err
+	}
+	addrs, aerr := parseShardAddrs(*shardAddrs)
+	if aerr != nil {
+		return usageErr{msg: fmt.Sprintf("detect: -shard-addrs: %v", aerr)}
+	}
 	if *target == "" || *specFile == "" {
 		return fmt.Errorf("detect: -target and -specs are required")
 	}
@@ -484,15 +539,31 @@ func cmdDetect(args []string) error {
 		return err
 	}
 	rec := of.recorder("detect")
-	pg := of.startProgress(rec, "detect")
-	res, runErr := seal.DetectDirCached(context.Background(), *target, db.Specs, seal.DetectRunOptions{
-		Workers:       *workers,
-		Limits:        lf.limits(),
-		Obs:           rec,
-		CacheDir:      cf.dir,
-		CacheReadOnly: cf.readOnly,
-	})
-	pg.Stop()
+	var res *seal.DetectResult
+	var runErr error
+	var shardsMan []obs.ShardManifest
+	if *shards > 0 || len(addrs) > 0 {
+		res, shardsMan, runErr = runShardedDetect(context.Background(), *target, db.Specs, shardedOptions{
+			shards:  *shards,
+			addrs:   addrs,
+			timeout: *shardTimeout,
+			workers: *workers,
+			limits:  lf.limits(),
+			rec:     rec,
+			cf:      cf,
+		})
+	} else {
+		pg := of.startProgress(rec, "detect")
+		res, runErr = seal.DetectDirCached(context.Background(), *target, db.Specs, seal.DetectRunOptions{
+			Workers:       *workers,
+			Limits:        lf.limits(),
+			Obs:           rec,
+			CacheDir:      cf.dir,
+			CacheReadOnly: cf.readOnly,
+			CacheMaxBytes: cf.maxBytes,
+		})
+		pg.Stop()
+	}
 	if res == nil {
 		return runErr
 	}
@@ -521,6 +592,9 @@ func cmdDetect(args []string) error {
 		art, err := seal.FinishDetectRun(rec, res, len(db.Specs), *workers, inputs, renderSecs, of.base)
 		if err != nil {
 			return err
+		}
+		if art != nil && art.Manifest != nil {
+			art.Manifest.Shards = shardsMan
 		}
 		return of.write(art)
 	}

@@ -20,7 +20,7 @@ import (
 // cmdServe starts the resident analysis daemon: load once, stay hot,
 // answer /infer /detect /edit /stats /metrics until interrupted.
 func cmdServe(args []string) error {
-	srv, ln, err := setupServe(args)
+	srv, ln, err := setupServe("serve", args)
 	if err != nil {
 		return err
 	}
@@ -42,9 +42,11 @@ func cmdServe(args []string) error {
 }
 
 // setupServe builds the server and its listener from flags — separated
-// from cmdServe so tests drive a real listener without signal handling.
-func setupServe(args []string) (*serve.Server, net.Listener, error) {
-	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+// from cmdServe so tests drive a real listener without signal handling,
+// and shared with cmdWork (a worker IS a serve daemon; name only changes
+// the error prefix).
+func setupServe(name string, args []string) (*serve.Server, net.Listener, error) {
+	fs := flag.NewFlagSet(name, flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:0", "listen address (port 0 picks a free port, printed on startup)")
 	target := fs.String("target", "", "source tree to keep resident (required)")
 	specFile := fs.String("specs", "", "spec database to serve detections from (optional; /infer can publish one)")
@@ -54,8 +56,11 @@ func setupServe(args []string) (*serve.Server, net.Listener, error) {
 	lf := addLimitFlags(fs)
 	cf := addCacheFlags(fs)
 	fs.Parse(args)
+	if err := validatePositiveFlags(fs, fs.Name(), "workers", "max-failures"); err != nil {
+		return nil, nil, err
+	}
 	if *target == "" {
-		return nil, nil, fmt.Errorf("serve: -target is required")
+		return nil, nil, fmt.Errorf("%s: -target is required", fs.Name())
 	}
 	if err := cf.prepare(); err != nil {
 		return nil, nil, err
@@ -81,6 +86,7 @@ func setupServe(args []string) (*serve.Server, net.Listener, error) {
 		Limits:         lf.limits(),
 		CacheDir:       cf.dir,
 		CacheReadOnly:  cf.readOnly,
+		CacheMaxBytes:  cf.maxBytes,
 		RequestTimeout: *reqTimeout,
 		MaxBodyBytes:   *maxBody,
 	}, files, specs)

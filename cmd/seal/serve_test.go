@@ -27,7 +27,7 @@ func TestCLIServe(t *testing.T) {
 		t.Fatalf("infer: %v", err)
 	}
 
-	srv, ln, err := setupServe([]string{
+	srv, ln, err := setupServe("serve", []string{
 		"-target", filepath.Join(corpusDir, "tree"),
 		"-specs", specFile,
 		"-workers", "2",
@@ -112,10 +112,10 @@ func TestCLIServe(t *testing.T) {
 
 // TestCLIServeArgErrors checks flag validation.
 func TestCLIServeArgErrors(t *testing.T) {
-	if _, _, err := setupServe([]string{}); err == nil {
+	if _, _, err := setupServe("serve", []string{}); err == nil {
 		t.Error("serve without -target should fail")
 	}
-	if _, _, err := setupServe([]string{"-target", "/nonexistent-seal-dir"}); err == nil {
+	if _, _, err := setupServe("serve", []string{"-target", "/nonexistent-seal-dir"}); err == nil {
 		t.Error("serve with a missing target should fail")
 	}
 }

@@ -106,6 +106,10 @@ const (
 	// ReasonError: the unit failed with an ordinary error (e.g. a
 	// malformed patch).
 	ReasonError Reason = "error"
+	// ReasonShardLost: the unit's shard worker crashed, hung past its
+	// dispatch deadline, or became unreachable; the coordinator
+	// quarantined every region group assigned to that shard.
+	ReasonShardLost Reason = "shard-lost"
 )
 
 // ErrExhausted reports a tripped budget dimension.

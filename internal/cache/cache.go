@@ -22,7 +22,9 @@ import (
 	"path/filepath"
 	"sort"
 	"strconv"
+	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // SchemaVersion is baked into every fingerprint and entry envelope. Bump
@@ -62,6 +64,11 @@ type Stats struct {
 	ReadBytes   int64
 	WriteBytes  int64
 	Uncacheable int64 // results not written because they were degraded/partial
+	// Evictions / EvictedBytes count entries removed by the size bound
+	// (OpenLimited). An evicted entry degrades to a miss and a recompute —
+	// a cost, never a correctness event.
+	Evictions    int64
+	EvictedBytes int64
 }
 
 // Cache is an open handle on one on-disk cache. Safe for concurrent use.
@@ -70,14 +77,30 @@ type Stats struct {
 type Cache struct {
 	root     string // <user dir>/<subdir>/v<SchemaVersion>
 	readOnly bool
+	// maxBytes bounds the total size of stored entries; 0 = unbounded.
+	// Exceeding it after a write evicts least-recently-used entries (see
+	// evict) until the cache fits again.
+	maxBytes int64
+	evictMu  sync.Mutex
 
 	hits, misses, writes, corrupt   atomic.Int64
 	readBytes, writeBytes, uncached atomic.Int64
+	evictions, evictedBytes         atomic.Int64
 }
 
 // Open opens (creating if needed) the cache under dir. readOnly serves
 // hits but never writes — for shared or archived caches.
 func Open(dir string, readOnly bool) (*Cache, error) {
+	return OpenLimited(dir, readOnly, 0)
+}
+
+// OpenLimited is Open with a total-size bound: whenever a write pushes the
+// stored entries past maxBytes, least-recently-used entries are evicted
+// until the cache fits. Recency is approximated by file modification time
+// — every verified hit refreshes its entry's mtime — because access times
+// are unreliable across platforms and noatime mounts. maxBytes <= 0 means
+// unbounded (plain Open).
+func OpenLimited(dir string, readOnly bool, maxBytes int64) (*Cache, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("cache: empty directory")
 	}
@@ -87,7 +110,10 @@ func Open(dir string, readOnly bool) (*Cache, error) {
 			return nil, fmt.Errorf("cache: %w", err)
 		}
 	}
-	return &Cache{root: root, readOnly: readOnly}, nil
+	if maxBytes < 0 {
+		maxBytes = 0
+	}
+	return &Cache{root: root, readOnly: readOnly, maxBytes: maxBytes}, nil
 }
 
 // Clear removes every object the cache owns under dir (the cache's own
@@ -153,6 +179,12 @@ func (c *Cache) Get(tier, key string, out any) bool {
 		return false
 	}
 	c.hits.Add(1)
+	if c.maxBytes > 0 && !c.readOnly {
+		// Refresh the entry's mtime so the eviction pass sees it as
+		// recently used. Best-effort: a failed touch only skews LRU order.
+		now := time.Now()
+		_ = os.Chtimes(c.path(tier, key), now, now)
+	}
 	return true
 }
 
@@ -207,6 +239,60 @@ func (c *Cache) Put(tier, key string, val any) {
 	}
 	c.writes.Add(1)
 	c.writeBytes.Add(int64(len(data)))
+	c.evict()
+}
+
+// evict enforces the size bound after a write: walk every stored entry,
+// and while the total exceeds maxBytes remove the least-recently-touched
+// entries first (mtime ascending, path as a deterministic tie-break). The
+// just-written entry carries the newest mtime, so it is evicted last —
+// a fresh write is never sacrificed for stale neighbors. Races with
+// concurrent readers are benign: a reader either verified the entry
+// before the unlink (hit) or finds it gone (miss → recompute).
+func (c *Cache) evict() {
+	if c == nil || c.maxBytes <= 0 || c.readOnly {
+		return
+	}
+	c.evictMu.Lock()
+	defer c.evictMu.Unlock()
+	type entry struct {
+		path  string
+		size  int64
+		mtime time.Time
+	}
+	var entries []entry
+	var total int64
+	filepath.Walk(c.root, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info == nil || info.IsDir() {
+			return nil
+		}
+		if filepath.Ext(path) != ".json" {
+			return nil // skip in-flight temp files
+		}
+		entries = append(entries, entry{path: path, size: info.Size(), mtime: info.ModTime()})
+		total += info.Size()
+		return nil
+	})
+	if total <= c.maxBytes {
+		return
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if !entries[i].mtime.Equal(entries[j].mtime) {
+			return entries[i].mtime.Before(entries[j].mtime)
+		}
+		return entries[i].path < entries[j].path
+	})
+	for _, e := range entries {
+		if total <= c.maxBytes {
+			break
+		}
+		if err := os.Remove(e.path); err != nil {
+			continue
+		}
+		total -= e.size
+		c.evictions.Add(1)
+		c.evictedBytes.Add(e.size)
+	}
 }
 
 // NoteUncacheable records a result that was deliberately not written —
@@ -224,13 +310,15 @@ func (c *Cache) Stats() Stats {
 		return Stats{}
 	}
 	return Stats{
-		Hits:        c.hits.Load(),
-		Misses:      c.misses.Load(),
-		Writes:      c.writes.Load(),
-		Corrupt:     c.corrupt.Load(),
-		ReadBytes:   c.readBytes.Load(),
-		WriteBytes:  c.writeBytes.Load(),
-		Uncacheable: c.uncached.Load(),
+		Hits:         c.hits.Load(),
+		Misses:       c.misses.Load(),
+		Writes:       c.writes.Load(),
+		Corrupt:      c.corrupt.Load(),
+		ReadBytes:    c.readBytes.Load(),
+		WriteBytes:   c.writeBytes.Load(),
+		Uncacheable:  c.uncached.Load(),
+		Evictions:    c.evictions.Load(),
+		EvictedBytes: c.evictedBytes.Load(),
 	}
 }
 

@@ -1,0 +1,163 @@
+package cache
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// entrySize measures the on-disk size of one cache entry with the given
+// payload — all Key()-derived keys have equal length, so every entry
+// written from the same payload shape is the same size.
+func entrySize(t *testing.T, val any) int64 {
+	t.Helper()
+	c, err := Open(t.TempDir(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("probe")
+	c.Put(TierInfer, key, val)
+	info, err := os.Stat(c.path(TierInfer, key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return info.Size()
+}
+
+// backdate pushes an entry's mtime into the past so LRU order is
+// deterministic in tests.
+func backdate(t *testing.T, c *Cache, tier, key string, age time.Duration) {
+	t.Helper()
+	old := time.Now().Add(-age)
+	if err := os.Chtimes(c.path(tier, key), old, old); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvictionRemovesOldestFirst(t *testing.T) {
+	val := payload{Name: "same-size", Count: 1}
+	size := entrySize(t, val)
+
+	// Bound fits two entries but not three: the third Put must evict
+	// exactly the least-recently-touched one.
+	c, err := OpenLimited(t.TempDir(), false, 2*size+size/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ka, kb, kc := Key("a"), Key("b"), Key("c")
+	c.Put(TierInfer, ka, val)
+	c.Put(TierInfer, kb, val)
+	backdate(t, c, TierInfer, ka, 2*time.Hour)
+	backdate(t, c, TierInfer, kb, time.Hour)
+	c.Put(TierInfer, kc, val)
+
+	var out payload
+	if c.Get(TierInfer, ka, &out) {
+		t.Fatal("oldest entry survived eviction")
+	}
+	if !c.Get(TierInfer, kb, &out) || !c.Get(TierInfer, kc, &out) {
+		t.Fatal("newer entries were evicted")
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.EvictedBytes != size {
+		t.Fatalf("stats = %+v, want 1 eviction of %d bytes", st, size)
+	}
+}
+
+func TestEvictionGetRefreshesRecency(t *testing.T) {
+	val := payload{Name: "same-size", Count: 1}
+	size := entrySize(t, val)
+
+	c, err := OpenLimited(t.TempDir(), false, 2*size+size/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ka, kb, kc := Key("a"), Key("b"), Key("c")
+	c.Put(TierInfer, ka, val)
+	c.Put(TierInfer, kb, val)
+	backdate(t, c, TierInfer, ka, 2*time.Hour)
+	backdate(t, c, TierInfer, kb, time.Hour)
+
+	// Reading a promotes it over b: the next eviction must take b.
+	var out payload
+	if !c.Get(TierInfer, ka, &out) {
+		t.Fatal("warm read missed")
+	}
+	c.Put(TierInfer, kc, val)
+
+	if !c.Get(TierInfer, ka, &out) {
+		t.Fatal("recently-read entry was evicted")
+	}
+	if c.Get(TierInfer, kb, &out) {
+		t.Fatal("stale entry survived eviction")
+	}
+}
+
+func TestEvictedEntryIsARecomputableMiss(t *testing.T) {
+	// The correctness contract: eviction only ever costs a recompute. A
+	// bound of one byte evicts everything, yet every read-after-write
+	// cycle still round-trips by recomputing and re-storing.
+	val := payload{Name: "v", Count: 42}
+	c, err := OpenLimited(t.TempDir(), false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("only")
+	c.Put(TierInfer, key, val)
+	var out payload
+	if c.Get(TierInfer, key, &out) {
+		t.Fatal("entry survived a 1-byte bound")
+	}
+	// The "recompute": a fresh Put of the same product, then a read of
+	// whatever state the cache is in — identical answer either way.
+	c.Put(TierInfer, key, val)
+	st := c.Stats()
+	if st.Evictions < 1 {
+		t.Fatalf("stats = %+v, want evictions", st)
+	}
+	if st.Corrupt != 0 {
+		t.Fatalf("eviction must degrade to a clean miss, got corrupt=%d", st.Corrupt)
+	}
+}
+
+func TestUnboundedAndReadOnlyNeverEvict(t *testing.T) {
+	val := payload{Name: "v", Count: 1}
+	dir := t.TempDir()
+	c, err := OpenLimited(dir, false, 0) // 0 = unbounded
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"a", "b", "c", "d"} {
+		c.Put(TierInfer, Key(k), val)
+	}
+	if st := c.Stats(); st.Evictions != 0 {
+		t.Fatalf("unbounded cache evicted: %+v", st)
+	}
+
+	// A read-only handle with a tiny bound must not delete anything.
+	ro, err := OpenLimited(dir, true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	for _, k := range []string{"a", "b", "c", "d"} {
+		if !ro.Get(TierInfer, Key(k), &out) {
+			t.Fatalf("read-only bounded cache lost entry %q", k)
+		}
+	}
+	if st := ro.Stats(); st.Evictions != 0 {
+		t.Fatalf("read-only cache evicted: %+v", st)
+	}
+	// And the files are genuinely still on disk.
+	var files int
+	filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err == nil && info != nil && !info.IsDir() && filepath.Ext(path) == ".json" {
+			files++
+		}
+		return nil
+	})
+	if files != 4 {
+		t.Fatalf("entries on disk = %d, want 4", files)
+	}
+}

@@ -1,0 +1,299 @@
+package coord
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"time"
+
+	"seal/internal/budget"
+	"seal/internal/detect"
+	"seal/internal/obs"
+	"seal/internal/spec"
+)
+
+// Options configures one coordinated detection.
+type Options struct {
+	// Addrs are the worker base URLs ("http://host:port"), one per shard;
+	// the shard count is len(Addrs).
+	Addrs []string
+	// Client is the HTTP client for dispatch (nil = http.DefaultClient).
+	Client *http.Client
+	// Timeout bounds one shard dispatch, attempt-inclusive of the worker's
+	// whole run (0 = only the run context bounds it). A shard that hangs
+	// past it is quarantined, not waited on forever.
+	Timeout time.Duration
+	// Workers is each worker's in-process detection parallelism.
+	Workers int
+	// Limits is the per-unit budget. MaxFailures is enforced globally by
+	// the coordinator over the merged failure list (shards receive it
+	// zeroed); Retry additionally grants each lost shard one re-dispatch.
+	Limits budget.Limits
+	// Obs, when non-nil, receives one replayed unit span per region group
+	// — executed or lost — so the merged manifest matches a
+	// single-process run's after redaction.
+	Obs *obs.Recorder
+}
+
+// shardOutcome is one dispatch's verdict.
+type shardOutcome struct {
+	res      *ShardResult
+	err      error // non-nil ⇒ shard lost (res nil)
+	attempts int
+	wall     time.Duration
+}
+
+// Detect partitions specs over opts.Addrs, dispatches every non-empty
+// shard concurrently, and merges the results into the *detect.Result a
+// single-process run would produce (Bugs stays nil — rendering goes
+// through Recs, exactly like a cache replay). The returned ShardManifest
+// slice describes each shard's span for the run manifest.
+//
+// A lost shard (crash, hang, unreachable, target mismatch) quarantines
+// exactly its region groups: one FailureRecord per group with
+// budget.ReasonShardLost, zero bugs contributed, everything else
+// untouched. The returned error is non-nil only for run-level aborts
+// (context canceled, or the merged failure count exceeding
+// Limits.MaxFailures) — the partial Result is valid either way.
+func Detect(ctx context.Context, targetHash string, specs []*spec.Spec, opts Options) (*detect.Result, []obs.ShardManifest, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	plan := PlanShards(specs, len(opts.Addrs))
+	client := opts.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+
+	shardLimits := opts.Limits
+	shardLimits.MaxFailures = 0 // global threshold, enforced below
+
+	outcomes := make([]shardOutcome, plan.Shards)
+	done := make(chan int)
+	for si := range plan.Jobs {
+		if len(plan.Jobs[si].Groups) == 0 {
+			outcomes[si] = shardOutcome{res: &ShardResult{Shard: si}, attempts: 0}
+			continue
+		}
+		go func(si int) {
+			outcomes[si] = dispatch(ctx, client, opts.Addrs[si], buildJob(plan, si, targetHash, specs, opts.Workers, shardLimits), opts.Limits.Retry, opts.Timeout)
+			done <- si
+		}(si)
+	}
+	for si := range plan.Jobs {
+		if len(plan.Jobs[si].Groups) > 0 {
+			<-done
+		}
+	}
+
+	res, shards := merge(plan, specs, opts, outcomes)
+	if opts.Limits.MaxFailures > 0 && len(res.Failures) > opts.Limits.MaxFailures {
+		return res, shards, fmt.Errorf("detect: aborted after %d quarantined units (max %d)",
+			len(res.Failures), opts.Limits.MaxFailures)
+	}
+	if err := ctx.Err(); err != nil {
+		return res, shards, err
+	}
+	return res, shards, nil
+}
+
+// buildJob assembles shard si's wire job from the plan.
+func buildJob(plan *Plan, si int, targetHash string, specs []*spec.Spec, workers int, limits budget.Limits) *ShardJob {
+	job := plan.Jobs[si]
+	subset := make([]*spec.Spec, len(job.SpecIdx))
+	for k, gi := range job.SpecIdx {
+		subset[k] = specs[gi]
+	}
+	return &ShardJob{
+		Shard:      si,
+		Shards:     plan.Shards,
+		TargetHash: targetHash,
+		Specs:      &spec.DB{Specs: subset},
+		Workers:    workers,
+		Limits:     limits,
+	}
+}
+
+// dispatch POSTs one shard job, retrying once when the budget policy
+// grants retries. Any failure mode — connect error, timeout, non-200,
+// undecodable or mismatched response — loses the shard.
+func dispatch(ctx context.Context, client *http.Client, addr string, job *ShardJob, retry bool, timeout time.Duration) shardOutcome {
+	start := time.Now()
+	attempts := 1
+	res, err := post(ctx, client, addr, job, timeout)
+	if err != nil && retry && ctx.Err() == nil {
+		attempts = 2
+		res, err = post(ctx, client, addr, job, timeout)
+	}
+	return shardOutcome{res: res, err: err, attempts: attempts, wall: time.Since(start)}
+}
+
+// post performs one dispatch attempt.
+func post(ctx context.Context, client *http.Client, addr string, job *ShardJob, timeout time.Duration) (*ShardResult, error) {
+	body, err := json.Marshal(job)
+	if err != nil {
+		return nil, fmt.Errorf("encode job: %w", err)
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, addr+"/shard", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("HTTP %d: %s", resp.StatusCode, errSnippet(data))
+	}
+	var sr ShardResult
+	if err := json.Unmarshal(data, &sr); err != nil {
+		return nil, fmt.Errorf("decode result: %w", err)
+	}
+	if sr.Shard != job.Shard {
+		return nil, fmt.Errorf("shard mismatch: sent %d, got %d", job.Shard, sr.Shard)
+	}
+	return &sr, nil
+}
+
+// errSnippet extracts the structured error message from a worker's JSON
+// error envelope, falling back to a truncated raw body.
+func errSnippet(data []byte) string {
+	var env struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if json.Unmarshal(data, &env) == nil && env.Error.Code != "" {
+		return env.Error.Code + ": " + env.Error.Message
+	}
+	s := string(data)
+	if len(s) > 200 {
+		s = s[:200]
+	}
+	return s
+}
+
+// merge folds every shard outcome into one Result, deterministically:
+// identical inputs and identical per-shard outcomes produce byte-identical
+// output regardless of dispatch completion order.
+func merge(plan *Plan, specs []*spec.Spec, opts Options, outcomes []shardOutcome) (*detect.Result, []obs.ShardManifest) {
+	opts.Obs.SetUnitsTotal(len(plan.Groups))
+
+	// Group-ordinal index: global determinism anchor for failure/degraded
+	// ordering (scopes are unique per group).
+	groupOrd := make(map[string]int, len(plan.Groups))
+	for gi, scope := range plan.Scopes {
+		groupOrd[scope] = gi
+	}
+
+	res := &detect.Result{}
+	var all []detect.ShardBug
+	type ordered struct {
+		ord     int
+		failure *budget.FailureRecord
+		degr    *budget.Degradation
+	}
+	var robust []ordered
+	shards := make([]obs.ShardManifest, plan.Shards)
+
+	for si := range outcomes {
+		oc := outcomes[si]
+		job := plan.Jobs[si]
+		sm := obs.ShardManifest{
+			Shard:    si,
+			Groups:   len(job.Groups),
+			Specs:    len(job.SpecIdx),
+			Outcome:  "ok",
+			Attempts: oc.attempts,
+			WallMS:   float64(oc.wall.Nanoseconds()) / 1e6,
+		}
+		if si < len(opts.Addrs) {
+			sm.Addr = opts.Addrs[si]
+		}
+		if oc.err != nil {
+			// Lost shard: quarantine exactly its region groups.
+			sm.Outcome = "lost"
+			sm.Reason = oc.err.Error()
+			for _, gi := range job.Groups {
+				scope := plan.Scopes[gi]
+				fr := &budget.FailureRecord{
+					Unit:     scope,
+					Stage:    "detect",
+					Reason:   budget.ReasonShardLost,
+					Detail:   fmt.Sprintf("shard %d (%s): %v", si, sm.Addr, oc.err),
+					Attempts: oc.attempts,
+				}
+				robust = append(robust, ordered{ord: groupOrd[scope], failure: fr})
+				res.Units = append(res.Units, detect.UnitRec{
+					ID:    scope,
+					Specs: len(plan.Groups[gi]),
+				})
+				opts.Obs.ReplayUnit(obs.UnitManifest{
+					ID:       scope,
+					Stage:    "detect",
+					Outcome:  obs.OutcomeQuarantined,
+					Reason:   string(budget.ReasonShardLost),
+					Attempts: oc.attempts,
+					Specs:    len(plan.Groups[gi]),
+				})
+			}
+			shards[si] = sm
+			continue
+		}
+
+		sr := oc.res
+		sm.Bugs = len(sr.Bugs)
+		shards[si] = sm
+		for _, sb := range sr.Bugs {
+			if sb.Ord < 0 || sb.Ord >= len(job.SpecIdx) {
+				continue // malformed wire record; never panic on it
+			}
+			sb.Ord = job.SpecIdx[sb.Ord] // job-local → global spec ordinal
+			all = append(all, sb)
+		}
+		res.Units = append(res.Units, sr.Units...)
+		for _, fr := range sr.Failures {
+			robust = append(robust, ordered{ord: groupOrd[fr.Unit], failure: fr})
+		}
+		for i := range sr.Degraded {
+			d := sr.Degraded[i]
+			robust = append(robust, ordered{ord: groupOrd[d.Unit], degr: &d})
+		}
+		res.Stats = res.Stats.Merge(sr.Stats)
+		res.SatChecks += sr.SatChecks
+		for _, u := range sr.ManifestUnits {
+			opts.Obs.ReplayUnit(u)
+		}
+	}
+
+	res.Recs = detect.MergeShardRecs(all)
+	sort.Slice(res.Units, func(i, j int) bool { return res.Units[i].ID < res.Units[j].ID })
+	sort.SliceStable(robust, func(i, j int) bool { return robust[i].ord < robust[j].ord })
+	for _, r := range robust {
+		if r.failure != nil {
+			res.Failures = append(res.Failures, r.failure)
+		}
+		if r.degr != nil {
+			res.Degraded = append(res.Degraded, *r.degr)
+		}
+	}
+	res.Stats.QuarantinedUnits = int64(len(res.Failures))
+	res.Stats.DegradedUnits = int64(len(res.Degraded))
+	return res, shards
+}

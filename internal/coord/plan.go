@@ -1,0 +1,84 @@
+package coord
+
+import (
+	"hash/fnv"
+	"sort"
+
+	"seal/internal/detect"
+	"seal/internal/spec"
+)
+
+// ShardOf is the deterministic shard function: FNV-1a over the region
+// group's detection scope, reduced modulo the shard count. Every process
+// that agrees on (scope, shards) agrees on the owner, so a plan can be
+// recomputed anywhere — there is no assignment state to ship.
+func ShardOf(scope string, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	h.Write([]byte(scope))
+	return int(h.Sum32() % uint32(shards))
+}
+
+// Plan is a deterministic partition of a spec corpus over N shards, at
+// region-group granularity (all specs sharing one detection scope move as
+// one unit — splitting a group would break both the dedup argument and
+// the per-region caching workers rely on).
+type Plan struct {
+	// Shards is the shard count the plan was built for.
+	Shards int
+	// Groups is the global region grouping: group index → spec indices in
+	// global order (first-appearance scope order, as every in-process run
+	// schedules it).
+	Groups [][]int
+	// Scopes is each group's detection scope (its unit ID).
+	Scopes []string
+	// Assign is each group's owning shard: ShardOf(Scopes[g], Shards).
+	Assign []int
+	// Jobs has one entry per shard (possibly empty), in shard order.
+	Jobs []Job
+}
+
+// Job is one shard's slice of the plan.
+type Job struct {
+	Shard int
+	// Groups are the global group indices assigned here, ascending.
+	Groups []int
+	// SpecIdx are the global spec indices assigned here, ascending — the
+	// subset preserves global relative order, so the worker's shard-local
+	// first-wins dedup agrees with the global one restricted to this
+	// shard, and the coordinator can translate a job-local spec ordinal
+	// back to the global one by indexing this slice.
+	SpecIdx []int
+}
+
+// PlanShards partitions specs over shards. The plan depends only on
+// (specs, shards): same inputs, same plan, on any machine.
+func PlanShards(specs []*spec.Spec, shards int) *Plan {
+	if shards < 1 {
+		shards = 1
+	}
+	p := &Plan{
+		Shards: shards,
+		Groups: detect.ScopeGroups(specs),
+		Jobs:   make([]Job, shards),
+	}
+	for i := range p.Jobs {
+		p.Jobs[i].Shard = i
+	}
+	p.Scopes = make([]string, len(p.Groups))
+	p.Assign = make([]int, len(p.Groups))
+	for gi, g := range p.Groups {
+		scope := specs[g[0]].Scope()
+		sh := ShardOf(scope, shards)
+		p.Scopes[gi] = scope
+		p.Assign[gi] = sh
+		p.Jobs[sh].Groups = append(p.Jobs[sh].Groups, gi)
+		p.Jobs[sh].SpecIdx = append(p.Jobs[sh].SpecIdx, g...)
+	}
+	for i := range p.Jobs {
+		sort.Ints(p.Jobs[i].SpecIdx)
+	}
+	return p
+}

@@ -1,0 +1,98 @@
+package coord
+
+import (
+	"testing"
+
+	"seal/internal/spec"
+)
+
+// planSpecs builds a spec list spanning several scopes, with scopes
+// interleaved so grouping order and assignment are both exercised.
+func planSpecs() []*spec.Spec {
+	var out []*spec.Spec
+	apis := []string{"alloc_a", "alloc_b", "alloc_c", "alloc_d", "alloc_e"}
+	for round := 0; round < 3; round++ {
+		for _, api := range apis {
+			out = append(out, &spec.Spec{ID: api + "-spec", API: api})
+		}
+	}
+	return out
+}
+
+func TestShardOfDeterministicAndInRange(t *testing.T) {
+	scopes := []string{"api:alloc_a", "api:alloc_b", "iface:ops.prep", ""}
+	for _, scope := range scopes {
+		for _, shards := range []int{1, 2, 3, 4, 7, 16} {
+			got := ShardOf(scope, shards)
+			if got < 0 || got >= shards {
+				t.Fatalf("ShardOf(%q, %d) = %d out of range", scope, shards, got)
+			}
+			if again := ShardOf(scope, shards); again != got {
+				t.Fatalf("ShardOf(%q, %d) not deterministic: %d then %d", scope, shards, got, again)
+			}
+		}
+		if got := ShardOf(scope, 0); got != 0 {
+			t.Fatalf("ShardOf(%q, 0) = %d, want 0", scope, got)
+		}
+		if got := ShardOf(scope, 1); got != 0 {
+			t.Fatalf("ShardOf(%q, 1) = %d, want 0", scope, got)
+		}
+	}
+}
+
+func TestPlanShardsPartitionsEverySpecExactlyOnce(t *testing.T) {
+	specs := planSpecs()
+	for _, shards := range []int{1, 2, 3, 4, 8} {
+		plan := PlanShards(specs, shards)
+		if plan.Shards != shards || len(plan.Jobs) != shards {
+			t.Fatalf("shards=%d: plan has %d shards, %d jobs", shards, plan.Shards, len(plan.Jobs))
+		}
+		seen := make(map[int]int)
+		for si, job := range plan.Jobs {
+			if job.Shard != si {
+				t.Fatalf("job %d claims shard %d", si, job.Shard)
+			}
+			for k := 1; k < len(job.SpecIdx); k++ {
+				if job.SpecIdx[k-1] >= job.SpecIdx[k] {
+					t.Fatalf("shard %d spec indices not strictly ascending: %v", si, job.SpecIdx)
+				}
+			}
+			for _, idx := range job.SpecIdx {
+				seen[idx]++
+			}
+		}
+		for i := range specs {
+			if seen[i] != 1 {
+				t.Fatalf("shards=%d: spec %d assigned %d times", shards, i, seen[i])
+			}
+		}
+		// Groups are whole: every spec of one scope lands on one shard.
+		for gi, group := range plan.Groups {
+			want := plan.Assign[gi]
+			if want != ShardOf(plan.Scopes[gi], shards) {
+				t.Fatalf("group %d assigned to %d, ShardOf says %d", gi, want, ShardOf(plan.Scopes[gi], shards))
+			}
+			for _, idx := range group {
+				if specs[idx].Scope() != plan.Scopes[gi] {
+					t.Fatalf("group %d holds spec %d of scope %q, want %q",
+						gi, idx, specs[idx].Scope(), plan.Scopes[gi])
+				}
+			}
+		}
+	}
+}
+
+func TestPlanShardsStableAcrossCalls(t *testing.T) {
+	specs := planSpecs()
+	a, b := PlanShards(specs, 4), PlanShards(specs, 4)
+	for si := range a.Jobs {
+		if len(a.Jobs[si].SpecIdx) != len(b.Jobs[si].SpecIdx) {
+			t.Fatalf("shard %d sizes differ across calls", si)
+		}
+		for k := range a.Jobs[si].SpecIdx {
+			if a.Jobs[si].SpecIdx[k] != b.Jobs[si].SpecIdx[k] {
+				t.Fatalf("shard %d assignment differs across calls", si)
+			}
+		}
+	}
+}

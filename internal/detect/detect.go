@@ -85,6 +85,12 @@ type Detector struct {
 	// this detector's unit span. Nil — the default — means no clock reads
 	// on the hot path.
 	clk *stageClock
+	// satChecks counts this detector's solver satisfiability checks. Kept
+	// per-detector (one detector per unit attempt) rather than read off the
+	// process-global solver counter so concurrent runs in one process —
+	// resident serving, in-process shard workers — never absorb each
+	// other's checks into their per-run figures.
+	satChecks int64
 }
 
 // stageClock accumulates the wall time of a unit's detection stages. Plain
@@ -505,6 +511,7 @@ func (d *Detector) condConsistent(p *vfp.Path, cond solver.Formula) bool {
 		defer func() { d.clk.solveNs += time.Since(t0).Nanoseconds() }()
 	}
 	psi := d.ab.AbstractPsi(p)
+	d.satChecks++
 	if d.bud != nil {
 		return solver.SatBudget(solver.MkAnd(psi, cond), d.bud.Step)
 	}

@@ -12,7 +12,6 @@ import (
 	"seal/internal/cache"
 	"seal/internal/faultinject"
 	"seal/internal/obs"
-	"seal/internal/solver"
 	"seal/internal/spec"
 )
 
@@ -38,9 +37,9 @@ type Result struct {
 	// re-records one OK unit span per entry so the redacted manifest is
 	// byte-identical to the cold run's. Sorted by ID.
 	Units []UnitRec
-	// SatChecks is the solver satisfiability-check delta attributable to
-	// this run (replayed from the cache on a warm hit, so exported
-	// metrics match the cold run's).
+	// SatChecks is the number of solver satisfiability checks this run's
+	// units asked for, summed from per-unit counts (replayed from the
+	// cache on a warm hit, so exported metrics match the cold run's).
 	SatChecks int64
 	// PCache is the persistent analysis cache's counter snapshot; zero
 	// unless the run was configured with a cache directory.
@@ -63,12 +62,13 @@ type groupOutcome struct {
 	degraded *budget.Degradation
 	retried  bool
 	// Observability payload of the attempt: bug count, budget spend, the
-	// slice/solve stage clocks, and slicer truncations.
-	bugs    int
-	spend   budget.Spend
-	sliceNs int64
-	solveNs int64
-	truncs  int64
+	// slice/solve stage clocks, slicer truncations, and solver checks.
+	bugs      int
+	spend     budget.Spend
+	sliceNs   int64
+	solveNs   int64
+	truncs    int64
+	satChecks int64
 }
 
 // DetectParallelCtx is DetectParallel with fault isolation: every region
@@ -97,7 +97,6 @@ func (sh *Shared) DetectParallelCtxObs(ctx context.Context, specs []*spec.Spec, 
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	sat0 := solver.SatChecks()
 	groups := groupByScope(specs)
 	if workers < 1 {
 		workers = 1
@@ -145,8 +144,12 @@ func (sh *Shared) DetectParallelCtxObs(ctx context.Context, specs []*spec.Spec, 
 
 	res := &Result{Bugs: mergeBugs(perSpec)}
 	res.Recs = Records(res.Bugs)
-	res.SatChecks = solver.SatChecks() - sat0
 	for gi, oc := range outcomes {
+		// Per-unit solver-check counts sum to the run figure. Intrinsic to
+		// each unit's work, so the sum is identical however the units are
+		// partitioned across workers, shards, or concurrent runs — a delta
+		// of the process-global counter is not.
+		res.SatChecks += oc.satChecks
 		if oc.failure != nil {
 			res.Failures = append(res.Failures, oc.failure)
 		}
@@ -189,7 +192,9 @@ func (sh *Shared) runGroup(ctx context.Context, specs []*spec.Spec, idxs []int, 
 	oc := sh.runUnit(ctx, specs, idxs, perSpec, limits, unit, 1, rec)
 	if oc.failure != nil && limits.Retry {
 		attempts = 2
+		firstChecks := oc.satChecks
 		oc = sh.runUnit(ctx, specs, idxs, perSpec, limits.Halved(), unit, 2, rec)
+		oc.satChecks += firstChecks // "checks asked for" spans both attempts
 		oc.retried = true
 	}
 	if span != nil {
@@ -249,6 +254,7 @@ func (sh *Shared) runUnit(ctx context.Context, specs []*spec.Spec, idxs []int, p
 	})
 	oc.spend = b.Spend()
 	oc.truncs = d.sl.Truncations
+	oc.satChecks = d.satChecks
 	if d.clk != nil {
 		oc.sliceNs, oc.solveNs = d.clk.sliceNs, d.clk.solveNs
 	}

@@ -2,6 +2,8 @@ package detect
 
 import (
 	"math"
+	"math/rand"
+	"reflect"
 	"testing"
 )
 
@@ -119,5 +121,42 @@ func TestStatsMergeMatchesTwoRuns(t *testing.T) {
 	}
 	if first.PathHitRate() < 0 || first.PathHitRate() > 1 {
 		t.Fatalf("hit rate out of range: %v", first.PathHitRate())
+	}
+}
+
+// TestStatsMergeProperty checks the algebra the coordinator's shard merge
+// relies on: Merge is associative with the zero Stats as identity, so
+// folding per-shard stats in any grouping gives one well-defined total.
+// Fields are filled by reflection so the property keeps covering fields
+// added later.
+func TestStatsMergeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	randStats := func() Stats {
+		var s Stats
+		v := reflect.ValueOf(&s).Elem()
+		for i := 0; i < v.NumField(); i++ {
+			f := v.Field(i)
+			if f.Kind() == reflect.Int64 || f.Kind() == reflect.Int {
+				f.SetInt(rng.Int63n(1_000_000))
+			}
+		}
+		return s
+	}
+	var zero Stats
+	if got := zero.Merge(zero); got != zero {
+		t.Fatalf("zero.Merge(zero) = %+v, want zero", got)
+	}
+	for i := 0; i < 500; i++ {
+		a, b, c := randStats(), randStats(), randStats()
+		left, right := a.Merge(b).Merge(c), a.Merge(b.Merge(c))
+		if left != right {
+			t.Fatalf("Merge not associative: (a+b)+c=%+v a+(b+c)=%+v", left, right)
+		}
+		if got := a.Merge(zero); got != a {
+			t.Fatalf("zero not right identity: %+v != %+v", got, a)
+		}
+		if got := zero.Merge(a); got != a {
+			t.Fatalf("zero not left identity: %+v != %+v", got, a)
+		}
 	}
 }

@@ -155,6 +155,28 @@ func main() {
 		}
 	}
 
+	// Coordinator wire seeds: (job, result) JSON pairs covering a clean
+	// round trip, out-of-range bug ordinals, unknown unit names, and raw
+	// garbage — the decode-then-merge path FuzzShardWire exercises.
+	coordDir := filepath.Join("internal", "coord", "testdata", "fuzz", "FuzzShardWire")
+	coordSeeds := []struct{ name, job, result string }{
+		{"clean", `{"shard":0,"shards":2,"target_hash":"t","workers":1}`,
+			`{"shard":0,"bugs":[{"key":"f|api:a | nonnull","spec_id":"s1","ord":0,"rec":{"kind":"missing-check","fn":"f","spec_scope":"api:a"}}],"stats":{"EnsureCalls":2,"EnsureBuilds":1}}`},
+		{"ord_out_of_range", `{"shard":1,"shards":2}`,
+			`{"shard":0,"bugs":[{"key":"k","ord":-1},{"key":"k2","ord":9999}]}`},
+		{"unknown_units", `{"shard":0}`,
+			`{"shard":0,"failures":[{"Unit":"api:nope","Stage":"detect","Reason":"panic"}],"degraded":[{"Unit":"ghost"}]}`},
+		{"manifest_units", `{"specs":{"specs":[{"id":"x","api":"a"}]}}`,
+			`{"shard":0,"units":[{"id":"api:a","specs":1}],"manifest_units":[{"id":"api:a","stage":"detect","outcome":"ok"}]}`},
+		{"garbage", `not json`, `still not json`},
+		{"empty", `{}`, `{"shard":0}`},
+	}
+	for _, s := range coordSeeds {
+		if err := writeEntry(coordDir, s.name, s.job, s.result); err != nil {
+			fail(err)
+		}
+	}
+
 	fmt.Println("fuzz seed corpora regenerated")
 }
 

@@ -16,19 +16,41 @@ import (
 // drops the duration-ordered sections), the manifest is byte-identical
 // across worker counts and substrate arrangements for the same inputs.
 type Manifest struct {
-	Tool      string            `json:"tool"`
-	Command   string            `json:"command"`
-	StartedAt string            `json:"started_at,omitempty"` // RFC3339; redacted in goldens
-	WallMS    float64           `json:"wall_ms"`              // redacted in goldens
-	Workers   int               `json:"workers,omitempty"`
-	Inputs    map[string]string `json:"inputs,omitempty"` // flags and input paths
-	Outcomes  OutcomeCounts     `json:"outcomes"`
-	Cache     *CacheStats       `json:"cache,omitempty"`
+	Tool      string             `json:"tool"`
+	Command   string             `json:"command"`
+	StartedAt string             `json:"started_at,omitempty"` // RFC3339; redacted in goldens
+	WallMS    float64            `json:"wall_ms"`              // redacted in goldens
+	Workers   int                `json:"workers,omitempty"`
+	Inputs    map[string]string  `json:"inputs,omitempty"` // flags and input paths
+	Outcomes  OutcomeCounts      `json:"outcomes"`
+	Cache     *CacheStats        `json:"cache,omitempty"`
 	Counters  map[string]float64 `json:"counters,omitempty"` // registry snapshot
-	Units     []UnitManifest    `json:"units"`               // sorted by (stage, id)
+	Units     []UnitManifest     `json:"units"`              // sorted by (stage, id)
 	// Slowest lists the top-K slowest units by duration — the "where did
 	// the wall clock go" view. Duration-ordered, so dropped by Redact.
 	Slowest []SlowUnit `json:"slowest_units,omitempty"`
+	// Shards lists the per-shard spans of a coordinated multi-process run:
+	// which worker executed which region groups and how the dispatch
+	// ended. Deployment-shaped (addresses, wall clock, shard count), so
+	// dropped by Redact — a sharded run's redacted manifest is comparable
+	// against a single-process run's.
+	Shards []ShardManifest `json:"shards,omitempty"`
+}
+
+// ShardManifest is one shard worker's span in a coordinated run.
+type ShardManifest struct {
+	Shard int    `json:"shard"`
+	Addr  string `json:"addr,omitempty"`
+	// Groups / Specs are the region groups and specs assigned to the shard.
+	Groups int `json:"groups"`
+	Specs  int `json:"specs"`
+	// Outcome is "ok" or "lost" (crashed/hung/unreachable after retries).
+	Outcome string `json:"outcome"`
+	Reason  string `json:"reason,omitempty"`
+	// Attempts counts dispatch tries (2 after a retry).
+	Attempts int     `json:"attempts,omitempty"`
+	WallMS   float64 `json:"wall_ms"`
+	Bugs     int     `json:"bugs"`
 }
 
 // OutcomeCounts summarizes unit verdicts.
@@ -172,6 +194,34 @@ func (r *Recorder) BuildManifest(command string, workers int, inputs map[string]
 	return m
 }
 
+// ReplayUnit re-records one unit span from its manifest form — the
+// coordinator's path for folding a shard worker's unit outcomes into the
+// merged run manifest. Durations and budget spend are not replayed (they
+// are another process's wall clock; redaction zeroes them anyway), while
+// identity, verdict, counts, attempts, stage structure, and annotations
+// are — exactly the redaction-stable surface, so a merged manifest's units
+// are indistinguishable from a single-process run's after Redact.
+func (r *Recorder) ReplayUnit(u UnitManifest) {
+	span := r.Unit(u.Stage, u.ID)
+	if span == nil {
+		return
+	}
+	if u.Attempts > 1 {
+		span.SetAttempts(u.Attempts)
+	}
+	span.SetCounts(u.Specs, u.Bugs)
+	for _, st := range u.Stages {
+		span.AddStage(st.Name, 0, 0)
+	}
+	for _, a := range u.Annots {
+		span.Annotate(a.Key, a.Value)
+	}
+	if u.Outcome != "" && u.Outcome != OutcomeOK {
+		span.SetOutcome(u.Outcome, u.Reason)
+	}
+	span.End()
+}
+
 // SetCache attaches the shared-substrate counters.
 func (m *Manifest) SetCache(c CacheStats) {
 	if m != nil {
@@ -203,6 +253,7 @@ func (m *Manifest) Redact() *Manifest {
 	out.WallMS = 0
 	out.Workers = 0
 	out.Slowest = nil
+	out.Shards = nil
 	if m.Counters != nil {
 		out.Counters = make(map[string]float64, len(m.Counters))
 		for k, v := range m.Counters {

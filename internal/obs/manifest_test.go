@@ -154,19 +154,19 @@ func TestRedactNormalizesTimingAndSpend(t *testing.T) {
 
 func TestVolatileMetric(t *testing.T) {
 	for name, want := range map[string]bool{
-		"seal_unit_duration_seconds_sum": true,
-		"seal_pdg_build_seconds_total":   true,
-		"seal_pcache_hits_total":         true,
-		"seal_pcache_corrupt_total":      true,
+		"seal_unit_duration_seconds_sum":  true,
+		"seal_pdg_build_seconds_total":    true,
+		"seal_pcache_hits_total":          true,
+		"seal_pcache_corrupt_total":       true,
 		"seal_solver_sat_memo_hits_total": true,
-		"seal_path_cache_hits_total":     true,
-		"seal_path_cache_hit_ratio":      true,
-		"seal_path_enumerations_total":   true,
-		"seal_truncations_total":         true,
-		"seal_index_lookups_total":       true,
-		"seal_solver_sat_checks_total":   false,
-		"seal_pdg_builds_total":          false,
-		"seal_detect_bugs_total":         false,
+		"seal_path_cache_hits_total":      true,
+		"seal_path_cache_hit_ratio":       true,
+		"seal_path_enumerations_total":    true,
+		"seal_truncations_total":          true,
+		"seal_index_lookups_total":        true,
+		"seal_solver_sat_checks_total":    false,
+		"seal_pdg_builds_total":           false,
+		"seal_detect_bugs_total":          false,
 	} {
 		if got := VolatileMetric(name); got != want {
 			t.Errorf("VolatileMetric(%q) = %v, want %v", name, got, want)

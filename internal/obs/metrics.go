@@ -280,6 +280,34 @@ func writeHeader(w io.Writer, name, help, typ string) error {
 // names, and bucket labels are preserved, so a redacted export still pins
 // the full metric structure.
 func RedactTimings(prom string) string {
+	return redactMetrics(prom, VolatileMetric)
+}
+
+// RedactSubstrateTimings is RedactTimings plus the substrate-dependent
+// counters: PDG ensure/build figures depend on how region groups were
+// arranged over substrates (one shared graph, or one private graph per
+// shard worker — a function reachable from groups on two shards is built
+// twice), so comparisons across those arrangements zero them too. It is
+// the metrics-text counterpart of Manifest.RedactSubstrate.
+func RedactSubstrateTimings(prom string) string {
+	return redactMetrics(prom, func(name string) bool {
+		return VolatileMetric(name) || SubstrateMetric(name)
+	})
+}
+
+// SubstrateMetric reports whether a metric counts work whose volume
+// depends on how region groups were arranged over analysis substrates.
+func SubstrateMetric(name string) bool {
+	switch name {
+	case "seal_pdg_ensure_calls_total", "seal_pdg_builds_total":
+		return true
+	}
+	return false
+}
+
+// redactMetrics zeroes the value of every sample line whose metric name
+// matches, preserving line structure so redacted outputs stay diffable.
+func redactMetrics(prom string, match func(string) bool) string {
 	lines := strings.Split(prom, "\n")
 	for i, line := range lines {
 		if line == "" || strings.HasPrefix(line, "#") {
@@ -293,7 +321,7 @@ func RedactTimings(prom string) string {
 		if j := strings.IndexByte(name, '{'); j >= 0 {
 			name = name[:j]
 		}
-		if VolatileMetric(name) {
+		if match(name) {
 			lines[i] = line[:sp+1] + "0"
 		}
 	}

@@ -29,6 +29,9 @@ type Config struct {
 	// clean results are written back for the next process.
 	CacheDir      string
 	CacheReadOnly bool
+	// CacheMaxBytes bounds the persistent cache's total on-disk size;
+	// exceeding it evicts least-recently-used entries. 0 = unbounded.
+	CacheMaxBytes int64
 	// RequestTimeout bounds one request's whole run (0 = none). Exceeding
 	// it yields a structured 503, never a dropped connection.
 	RequestTimeout time.Duration
@@ -57,7 +60,7 @@ func New(cfg Config, files map[string]string, specs []*seal.Spec) (*Server, erro
 		return nil, err
 	}
 	if cfg.CacheDir != "" {
-		if err := snap.Resident.PrimeFromCache(cfg.CacheDir, cfg.CacheReadOnly); err != nil {
+		if err := snap.Resident.PrimeFromCache(cfg.CacheDir, cfg.CacheReadOnly, cfg.CacheMaxBytes); err != nil {
 			return nil, err
 		}
 	}
@@ -70,6 +73,7 @@ func New(cfg Config, files map[string]string, specs []*seal.Spec) (*Server, erro
 	s := &Server{cfg: cfg, store: NewStore(snap), reg: obs.NewRegistry()}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/detect", s.handleDetect)
+	s.mux.HandleFunc("/shard", s.handleShard)
 	s.mux.HandleFunc("/infer", s.handleInfer)
 	s.mux.HandleFunc("/edit", s.handleEdit)
 	s.mux.HandleFunc("/stats", s.handleStats)
@@ -299,6 +303,7 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 		Obs:           rec,
 		CacheDir:      s.cfg.CacheDir,
 		CacheReadOnly: s.cfg.CacheReadOnly,
+		CacheMaxBytes: s.cfg.CacheMaxBytes,
 	})
 	if runErr != nil {
 		var failures []*seal.FailureRecord
@@ -394,6 +399,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		Obs:           rec,
 		CacheDir:      s.cfg.CacheDir,
 		CacheReadOnly: s.cfg.CacheReadOnly,
+		CacheMaxBytes: s.cfg.CacheMaxBytes,
 	})
 	if runErr != nil {
 		var failures []*seal.FailureRecord

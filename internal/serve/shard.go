@@ -1,0 +1,73 @@
+package serve
+
+import (
+	"net/http"
+
+	"seal"
+	"seal/internal/coord"
+	"seal/internal/obs"
+)
+
+// handleShard is the worker half of the scale-out tier: it executes one
+// coordinator-assigned shard of a detection corpus over the resident
+// snapshot and answers with the wire-form result (bug records with dedup
+// keys, unit summaries, manifest spans, robustness records, substrate
+// counters). The same budgeted, cached pipeline as /detect runs
+// underneath — a shard request warms and reads the persistent cache
+// exactly like a whole-corpus run, which is what lets a restarted worker
+// replay instead of recompute.
+func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	s.reg.Counter("seal_serve_shards_total", "shard requests").Add(1)
+	var job coord.ShardJob
+	if st, code, msg := decodeJSON(r, &job); st != 0 {
+		s.writeError(w, st, code, msg, nil)
+		return
+	}
+	if job.Specs == nil || len(job.Specs.Specs) == 0 {
+		s.writeError(w, http.StatusBadRequest, "bad-request", "shard: specs is required", nil)
+		return
+	}
+	snap := s.store.Current() // pin: everything below reads this epoch only
+	if job.TargetHash != "" && job.TargetHash != snap.TargetHash() {
+		s.writeError(w, http.StatusConflict, "target-mismatch",
+			"worker target "+snap.TargetHash()+" does not match job target "+job.TargetHash, nil)
+		return
+	}
+	workers := job.Workers
+	if workers < 1 {
+		workers = s.cfg.Workers
+	}
+	rec := obs.New()
+	rec.StartRun("shard")
+	res, bugs, runErr := snap.Resident.DetectShard(r.Context(), job.Specs.Specs, seal.DetectRunOptions{
+		Workers:       workers,
+		Limits:        job.Limits,
+		Obs:           rec,
+		CacheDir:      s.cfg.CacheDir,
+		CacheReadOnly: s.cfg.CacheReadOnly,
+		CacheMaxBytes: s.cfg.CacheMaxBytes,
+	})
+	if runErr != nil {
+		var failures []*seal.FailureRecord
+		if res != nil {
+			failures = res.Failures
+		}
+		s.runError(w, runErr, failures)
+		return
+	}
+	m := rec.BuildManifest("shard", workers, nil, 0)
+	writeJSON(w, http.StatusOK, coord.ShardResult{
+		Shard:         job.Shard,
+		TargetHash:    snap.TargetHash(),
+		Bugs:          bugs,
+		Units:         res.Units,
+		ManifestUnits: m.Units,
+		Failures:      res.Failures,
+		Degraded:      res.Degraded,
+		Stats:         res.Stats,
+		SatChecks:     res.SatChecks,
+	})
+}

@@ -72,9 +72,10 @@ func (r *Resident) MemoEntries() int {
 // PrimeFromCache warm-starts the substrate's region closures from a
 // persistent cache populated by an earlier run over the same target — the
 // restart path of a resident service. A missing or foreign cache is a
-// no-op (closures are recomputed on demand).
-func (r *Resident) PrimeFromCache(dir string, readOnly bool) error {
-	pc, err := openCache(dir, readOnly)
+// no-op (closures are recomputed on demand). maxBytes > 0 bounds the
+// cache's on-disk size by LRU eviction.
+func (r *Resident) PrimeFromCache(dir string, readOnly bool, maxBytes int64) error {
+	pc, err := openCache(dir, readOnly, maxBytes)
 	if err != nil {
 		return err
 	}
@@ -146,7 +147,7 @@ func sameFuncNames(a, b *Target) bool {
 // memo, disk, and cold paths. Substrate counters in the result are the
 // per-run delta, not the resident substrate's lifetime totals.
 func (r *Resident) Detect(ctx context.Context, specs []*Spec, opts DetectRunOptions) (*DetectResult, error) {
-	pc, err := openCache(opts.CacheDir, opts.CacheReadOnly)
+	pc, err := openCache(opts.CacheDir, opts.CacheReadOnly, opts.CacheMaxBytes)
 	if err != nil {
 		return nil, err
 	}
@@ -163,16 +164,51 @@ func (r *Resident) Detect(ctx context.Context, specs []*Spec, opts DetectRunOpti
 			}
 		}
 	}
+	res, _, runErr := r.runDetect(ctx, specs, opts, pc, key)
+	return res, runErr
+}
+
+// DetectShard is Detect for a shard executor: the same memo → disk →
+// compute flow, additionally returning the wire-form bug records
+// (detect.ShardBug, with dedup keys and job-local spec ordinals) a
+// coordinator needs for the cross-process merge. A cached entry written
+// before the scale-out tier existed lacks the wire records; such entries
+// are skipped (recomputed) rather than answered incompletely.
+func (r *Resident) DetectShard(ctx context.Context, specs []*Spec, opts DetectRunOptions) (*DetectResult, []detect.ShardBug, error) {
+	pc, err := openCache(opts.CacheDir, opts.CacheReadOnly, opts.CacheMaxBytes)
+	if err != nil {
+		return nil, nil, err
+	}
+	key := detectKeyFor(r.TargetHash, specs, opts.Limits)
+	if key != "" {
+		if v, ok := r.memo.Load(key); ok {
+			if ent := v.(*detectCacheEntry); shardReplayable(ent) {
+				return replayDetect(ent, opts.Obs, pc), ent.Shard, nil
+			}
+		}
+		if pc.Enabled() {
+			var ent detectCacheEntry
+			if pc.Get(cache.TierDetect, key, &ent) && shardReplayable(&ent) {
+				r.memo.Store(key, &ent)
+				return replayDetect(&ent, opts.Obs, pc), ent.Shard, nil
+			}
+		}
+	}
 	return r.runDetect(ctx, specs, opts, pc, key)
 }
 
 // runDetect is the compute path shared with DetectFilesCached: run on the
 // pinned substrate, reduce counters to this run's delta, and publish a
 // clean result to the memo and (when configured) the persistent cache.
-func (r *Resident) runDetect(ctx context.Context, specs []*Spec, opts DetectRunOptions, pc *cache.Cache, key string) (*DetectResult, error) {
+// The wire-form bug records are computed off the live IR here — the only
+// place both the *Bug values and their producing specs are in hand — and
+// returned alongside the result (shard executors need them even on
+// degraded runs), with clean runs persisting them in the cache entry.
+func (r *Resident) runDetect(ctx context.Context, specs []*Spec, opts DetectRunOptions, pc *cache.Cache, key string) (*DetectResult, []detect.ShardBug, error) {
 	stats0 := r.sh.Stats()
 	res, runErr := r.sh.DetectParallelCtxObs(ctx, specs, opts.Workers, opts.Limits, opts.Obs)
 	res.Stats = res.Stats.Sub(stats0)
+	sbs := detect.ShardBugsOf(res.Bugs, res.Recs, specs)
 	clean := runErr == nil && len(res.Failures) == 0 && len(res.Degraded) == 0
 	if clean && key != "" {
 		ent := &detectCacheEntry{
@@ -180,6 +216,7 @@ func (r *Resident) runDetect(ctx context.Context, specs []*Spec, opts DetectRunO
 			Units:     res.Units,
 			Stats:     res.Stats,
 			SatChecks: res.SatChecks,
+			Shard:     sbs,
 		}
 		r.memo.Store(key, ent)
 	}
@@ -190,6 +227,7 @@ func (r *Resident) runDetect(ctx context.Context, specs []*Spec, opts DetectRunO
 				Units:     res.Units,
 				Stats:     res.Stats,
 				SatChecks: res.SatChecks,
+				Shard:     sbs,
 			})
 			pc.Put(cache.TierRegions, regionsKey(r.TargetHash),
 				r.sh.RegionsSnapshot(detect.DefaultMaxCalleeDepth))
@@ -198,5 +236,5 @@ func (r *Resident) runDetect(ctx context.Context, specs []*Spec, opts DetectRunO
 		}
 		res.PCache = pc.Stats()
 	}
-	return res, runErr
+	return res, sbs, runErr
 }

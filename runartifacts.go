@@ -114,6 +114,8 @@ func finishRun(rec *Recorder, command string, workers int, inputs map[string]str
 	reg.Counter("seal_pcache_writes_total", "persistent analysis cache writes").Add(pstats.Writes)
 	reg.Counter("seal_pcache_corrupt_total", "cache entries failing verification, degraded to misses").Add(pstats.Corrupt)
 	reg.Counter("seal_pcache_uncacheable_total", "results not cached because they were degraded or partial").Add(pstats.Uncacheable)
+	reg.Counter("seal_pcache_evictions_total", "cache entries evicted by the size bound (recompute on next miss)").Add(pstats.Evictions)
+	reg.Counter("seal_pcache_evicted_bytes_total", "on-disk bytes reclaimed by eviction").Add(pstats.EvictedBytes)
 	reg.Counter("seal_units_ok_total", "units of work completing normally").Add(int64(m.Outcomes.OK))
 	reg.Counter("seal_units_degraded_total", "units completing with budget-truncated results").Add(int64(m.Outcomes.Degraded))
 	reg.Counter("seal_units_quarantined_total", "units isolated after a panic, deadline, or error").Add(int64(m.Outcomes.Quarantined))

@@ -141,6 +141,9 @@ type Options struct {
 	// CacheReadOnly serves cache hits but never writes (shared or
 	// archived caches).
 	CacheReadOnly bool
+	// CacheMaxBytes bounds the persistent cache's total on-disk size;
+	// exceeding it evicts least-recently-used entries. 0 = unbounded.
+	CacheMaxBytes int64
 }
 
 // DefaultOptions enables validation with sequential processing.
@@ -286,7 +289,7 @@ func InferSpecsContext(ctx context.Context, patches []*Patch, opts Options) (*In
 	}
 	specLists := make([][]*Spec, len(patches))
 
-	pc, cerr := openCache(opts.CacheDir, opts.CacheReadOnly)
+	pc, cerr := openCache(opts.CacheDir, opts.CacheReadOnly, opts.CacheMaxBytes)
 	if cerr != nil {
 		return res, cerr
 	}
