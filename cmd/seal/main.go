@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"seal"
+	"seal/internal/coord"
 	"seal/internal/eval"
 	"seal/internal/faultinject"
 	"seal/internal/kernelgen"
@@ -90,6 +91,27 @@ func validatePositiveFlags(fs *flag.FlagSet, cmd string, names ...string) error 
 		f := fs.Lookup(name)
 		v, err := strconv.ParseInt(f.Value.String(), 10, 64)
 		if err != nil || v <= 0 {
+			return usageErr{msg: fmt.Sprintf("%s: -%s must be > 0 (got %s)", cmd, name, f.Value.String())}
+		}
+	}
+	return nil
+}
+
+// validatePositiveDurationFlags is validatePositiveFlags for duration
+// flags: explicitly-set zero or negative durations (like -probe-interval
+// 0, which would mean "probe constantly" to a naive reading) are rejected
+// as usage errors, while the omitted zero default keeps its documented
+// "disabled" meaning.
+func validatePositiveDurationFlags(fs *flag.FlagSet, cmd string, names ...string) error {
+	set := make(map[string]bool)
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	for _, name := range names {
+		if !set[name] {
+			continue
+		}
+		f := fs.Lookup(name)
+		d, err := time.ParseDuration(f.Value.String())
+		if err != nil || d <= 0 {
 			return usageErr{msg: fmt.Sprintf("%s: -%s must be > 0 (got %s)", cmd, name, f.Value.String())}
 		}
 	}
@@ -508,16 +530,26 @@ func cmdDetect(args []string) error {
 	shards := fs.Int("shards", 0, "coordinate detection across this many spawned `seal work` processes, merged deterministically (0 = in-process)")
 	shardAddrs := fs.String("shard-addrs", "", "comma-separated worker base URLs (http://host:port) to shard across instead of spawning; overrides -shards")
 	shardTimeout := fs.Duration("shard-timeout", 0, "per-shard dispatch deadline; a shard exceeding it is quarantined; 0 = none")
+	retryMax := fs.Int("retry-max", 0, "re-dispatch a failing shard up to this many extra times with capped exponential backoff (0 = inherit -retry's single re-dispatch)")
+	retryBackoff := fs.Duration("retry-backoff", 0, "base backoff before a shard re-dispatch, doubling per attempt with deterministic jitter (0 = immediate)")
+	probeInterval := fs.Duration("probe-interval", 0, "probe worker health at this interval: /readyz gates every dispatch, /healthz watches in-flight shards (0 = disabled)")
+	reshardOnLoss := fs.Bool("reshard-on-loss", false, "re-partition a lost shard's region groups across surviving workers instead of quarantining them")
 	lf := addLimitFlags(fs)
 	of := addObsFlags(fs)
 	cf := addCacheFlags(fs)
 	fs.Parse(args)
-	if err := validatePositiveFlags(fs, "detect", "workers", "shards", "max-failures"); err != nil {
+	if err := validatePositiveFlags(fs, "detect", "workers", "shards", "max-failures", "retry-max"); err != nil {
+		return err
+	}
+	if err := validatePositiveDurationFlags(fs, "detect", "probe-interval", "retry-backoff"); err != nil {
 		return err
 	}
 	addrs, aerr := parseShardAddrs(*shardAddrs)
 	if aerr != nil {
 		return usageErr{msg: fmt.Sprintf("detect: -shard-addrs: %v", aerr)}
+	}
+	if *reshardOnLoss && *shards == 0 && len(addrs) == 0 {
+		return usageErr{msg: "detect: -reshard-on-loss requires -shards or -shard-addrs"}
 	}
 	if *target == "" || *specFile == "" {
 		return fmt.Errorf("detect: -target and -specs are required")
@@ -543,12 +575,19 @@ func cmdDetect(args []string) error {
 	var runErr error
 	var shardsMan []obs.ShardManifest
 	if *shards > 0 || len(addrs) > 0 {
+		retryAttempts := 0
+		if *retryMax > 0 {
+			retryAttempts = *retryMax + 1 // N extra re-dispatches after the first try
+		}
 		res, shardsMan, runErr = runShardedDetect(context.Background(), *target, db.Specs, shardedOptions{
 			shards:  *shards,
 			addrs:   addrs,
 			timeout: *shardTimeout,
 			workers: *workers,
 			limits:  lf.limits(),
+			retry:   coord.RetryPolicy{MaxAttempts: retryAttempts, Backoff: *retryBackoff},
+			probe:   coord.ProbeOptions{Interval: *probeInterval},
+			reshard: *reshardOnLoss,
 			rec:     rec,
 			cf:      cf,
 		})

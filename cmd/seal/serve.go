@@ -25,7 +25,7 @@ func cmdServe(args []string) error {
 		return err
 	}
 	hs := &http.Server{Handler: srv.Handler()}
-	fmt.Printf("serving on http://%s (endpoints: /infer /detect /edit /stats /metrics)\n", ln.Addr())
+	fmt.Printf("serving on http://%s (endpoints: /infer /detect /edit /stats /metrics /healthz /readyz)\n", ln.Addr())
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.Serve(ln) }()
 	sigCh := make(chan os.Signal, 1)

@@ -129,6 +129,11 @@ func TestCLIFlagValidation(t *testing.T) {
 		{"detect -shard-addrs empty entry", func() error { return cmdDetect([]string{"-shard-addrs", "127.0.0.1:1,"}) }},
 		{"detect -shard-addrs no port", func() error { return cmdDetect([]string{"-shard-addrs", "localhost"}) }},
 		{"detect -shard-addrs bad scheme", func() error { return cmdDetect([]string{"-shard-addrs", "ftp://x:1"}) }},
+		{"detect -retry-max 0", func() error { return cmdDetect([]string{"-retry-max", "0"}) }},
+		{"detect -retry-max -2", func() error { return cmdDetect([]string{"-retry-max", "-2"}) }},
+		{"detect -probe-interval 0", func() error { return cmdDetect([]string{"-probe-interval", "0s"}) }},
+		{"detect -retry-backoff negative", func() error { return cmdDetect([]string{"-retry-backoff", "-1s"}) }},
+		{"detect -reshard-on-loss without shards", func() error { return cmdDetect([]string{"-reshard-on-loss"}) }},
 		{"infer -workers 0", func() error { return cmdInfer([]string{"-workers", "0"}) }},
 		{"infer -max-failures -1", func() error { return cmdInfer([]string{"-max-failures", "-1"}) }},
 		{"work -workers 0", func() error { _, _, err := setupServe("work", []string{"-workers", "0"}); return err }},

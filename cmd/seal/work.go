@@ -39,7 +39,7 @@ func cmdWork(args []string) error {
 		return err
 	}
 	hs := &http.Server{Handler: srv.Handler()}
-	fmt.Printf("%s%s (endpoints: /shard /detect /infer /edit /stats /metrics)\n", workBanner, ln.Addr())
+	fmt.Printf("%s%s (endpoints: /shard /detect /infer /edit /stats /metrics /healthz /readyz)\n", workBanner, ln.Addr())
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.Serve(ln) }()
 	sigCh := make(chan os.Signal, 1)
@@ -90,6 +90,9 @@ type shardedOptions struct {
 	timeout time.Duration // per-shard dispatch deadline
 	workers int           // per-worker in-process parallelism
 	limits  seal.Limits
+	retry   coord.RetryPolicy  // -retry-max / -retry-backoff
+	probe   coord.ProbeOptions // -probe-interval
+	reshard bool               // -reshard-on-loss
 	rec     *obs.Recorder
 	cf      *cacheFlags
 }
@@ -113,11 +116,14 @@ func runShardedDetect(ctx context.Context, target string, specs []*spec.Spec, so
 		addrs = spawned
 	}
 	return coord.Detect(ctx, seal.TargetHash(files), specs, coord.Options{
-		Addrs:   addrs,
-		Timeout: so.timeout,
-		Workers: so.workers,
-		Limits:  so.limits,
-		Obs:     so.rec,
+		Addrs:         addrs,
+		Timeout:       so.timeout,
+		Workers:       so.workers,
+		Limits:        so.limits,
+		Retry:         so.retry,
+		Probe:         so.probe,
+		ReshardOnLoss: so.reshard,
+		Obs:           so.rec,
 	})
 }
 

@@ -1,0 +1,100 @@
+package coord
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestDetectCancellation pins the Ctrl-C contract: canceling the run
+// context mid-dispatch makes Detect return promptly with the context
+// error — in-flight shard requests and liveness probers are all cut and
+// joined, leaving no goroutines behind.
+func TestDetectCancellation(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	// Workers whose /shard never answers: the only way out is cancellation.
+	var servers []*httptest.Server
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			switch r.URL.Path {
+			case "/healthz", "/readyz":
+				w.Write([]byte(`{"ok":true}`))
+			default:
+				// Drain the body first: disconnect detection (and so
+				// r.Context() cancellation) only starts once the request
+				// body is consumed.
+				io.Copy(io.Discard, r.Body)
+				<-r.Context().Done() // hang until the client gives up
+			}
+		}))
+		servers = append(servers, srv)
+		addrs = append(addrs, srv.URL)
+	}
+
+	specs := planSpecs()
+	ctx, cancel := context.WithCancel(context.Background())
+	type verdict struct {
+		err  error
+		wall time.Duration
+	}
+	done := make(chan verdict, 1)
+	go func() {
+		start := time.Now()
+		_, _, err := Detect(ctx, "t", specs, Options{
+			Addrs:   addrs,
+			Timeout: 30 * time.Second, // the deadline must NOT be what ends this
+			Workers: 1,
+			Retry:   RetryPolicy{MaxAttempts: 3, Backoff: 10 * time.Millisecond},
+			Probe:   ProbeOptions{Interval: 20 * time.Millisecond},
+		})
+		done <- verdict{err: err, wall: time.Since(start)}
+	}()
+
+	time.Sleep(50 * time.Millisecond) // let dispatches get in flight
+	cancel()
+
+	select {
+	case v := <-done:
+		if !errors.Is(v.err, context.Canceled) {
+			t.Fatalf("Detect returned %v, want context.Canceled", v.err)
+		}
+		if v.wall > 5*time.Second {
+			t.Fatalf("Detect took %v after cancel; in-flight requests were not cut", v.wall)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Detect did not return after cancellation")
+	}
+
+	for _, srv := range servers {
+		srv.Close()
+	}
+	if err := waitGoroutines(baseline + 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// waitGoroutines polls until the goroutine count drops to the limit —
+// the leak check. HTTP keep-alive reapers take a moment to drain, so
+// poll rather than snapshot.
+func waitGoroutines(limit int) error {
+	deadline := time.Now().Add(5 * time.Second)
+	var n int
+	for time.Now().Before(deadline) {
+		n = runtime.NumGoroutine()
+		if n <= limit {
+			return nil
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<16)
+	buf = buf[:runtime.Stack(buf, true)]
+	return fmt.Errorf("goroutine leak: %d alive, want ≤ %d\n%s", n, limit, buf)
+}

@@ -50,7 +50,7 @@ func FuzzShardWire(f *testing.F) {
 		res, shards := merge(plan, specs, Options{
 			Addrs: []string{"http://a", "http://b"},
 			Obs:   rec,
-		}, outcomes)
+		}, outcomes, nil)
 		if res == nil || len(shards) != 2 {
 			t.Fatalf("merge returned res=%v shards=%d", res, len(shards))
 		}

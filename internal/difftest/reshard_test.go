@@ -1,0 +1,44 @@
+package difftest
+
+import (
+	"testing"
+)
+
+// TestReshardByteIdentity is the recovery oracle: kill one of N workers,
+// run with re-shard-on-loss, and the merged output must be byte-identical
+// to the single-process reference at N ∈ {2, 4} — nothing quarantined,
+// full recovery provenance in the manifest.
+func TestReshardByteIdentity(t *testing.T) {
+	counts := []int{2, 4}
+	if testing.Short() {
+		counts = counts[:1]
+	}
+	for _, n := range counts {
+		divs, err := RunReshardCase(0, n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for _, d := range divs {
+			t.Errorf("n=%d: %s", n, d.String())
+		}
+	}
+}
+
+// TestReshardNetFaults drives every injected wire-fault kind (refuse,
+// mid-response hang, truncation, corruption, slow-loris) through the
+// coordinator with and without re-shard-on-loss, asserting byte-identical
+// recovery, PR 7 isolation, seed-reproducible backoff schedules, the
+// liveness-probe verdict on the hang mode, and a clean rerun after every
+// fault (no substrate poisoning).
+func TestReshardNetFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wire-fault suite exercises deadlines; skipped in -short")
+	}
+	divs, err := RunNetFaultSuite(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range divs {
+		t.Error(d.String())
+	}
+}

@@ -1,0 +1,339 @@
+package faultinject
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// NetKind is an injected wire-level fault behavior — what a flaky
+// network or a dying worker does to a coordinator's HTTP request.
+type NetKind int
+
+// Network fault kinds.
+const (
+	// NetRefuse fails the request immediately, as a refused connection
+	// does: the worker process is gone or the port is closed.
+	NetRefuse NetKind = iota + 1
+	// NetHang lets the request reach the worker and the response headers
+	// come back, then blocks the body forever — the mid-response hang
+	// that only a liveness probe or deadline can cut.
+	NetHang
+	// NetTruncate delivers only the first half of the response body, as a
+	// connection reset mid-transfer does.
+	NetTruncate
+	// NetCorrupt flips bits across the whole response body (XOR 0x5A), so
+	// the coordinator's decode must reject it.
+	NetCorrupt
+	// NetSlow trickles the response one byte per SlowDelay (slow-loris):
+	// progress is real but so slow only a deadline ends it.
+	NetSlow
+)
+
+// String implements fmt.Stringer.
+func (k NetKind) String() string {
+	switch k {
+	case NetRefuse:
+		return "refuse"
+	case NetHang:
+		return "hang"
+	case NetTruncate:
+		return "truncate"
+	case NetCorrupt:
+		return "corrupt"
+	case NetSlow:
+		return "slow"
+	}
+	return "?"
+}
+
+// NetKinds lists every wire fault kind, in declaration order.
+func NetKinds() []NetKind {
+	return []NetKind{NetRefuse, NetHang, NetTruncate, NetCorrupt, NetSlow}
+}
+
+// defaultSlowDelay is the per-byte trickle of NetSlow — slow enough that
+// any realistic response outlives a short test deadline, fast enough that
+// a generous one still observes forward progress.
+const defaultSlowDelay = 25 * time.Millisecond
+
+// NetRecord is one wire fault that actually fired.
+type NetRecord struct {
+	Host string
+	Path string
+	Kind NetKind
+}
+
+// NetPlan maps (host, path) pairs to the wire fault each request must
+// suffer. Path "" matches any path on the host. Faults installed with Add
+// are sticky (every matching request fails — a dead worker stays dead);
+// AddN fires a bounded count and then heals (a transient blip retries can
+// ride out).
+type NetPlan struct {
+	mu        sync.Mutex
+	rules     map[string]NetKind
+	remaining map[string]int // missing key = sticky
+	fired     []NetRecord
+	// SlowDelay is NetSlow's per-byte trickle (0 = defaultSlowDelay).
+	SlowDelay time.Duration
+}
+
+// NewNetPlan returns an empty wire-fault plan.
+func NewNetPlan() *NetPlan {
+	return &NetPlan{
+		rules:     make(map[string]NetKind),
+		remaining: make(map[string]int),
+	}
+}
+
+func netKey(host, path string) string { return host + "\x00" + path }
+
+// Add schedules a sticky fault: every request to host (and path, when
+// non-empty) suffers k until the plan is replaced.
+func (p *NetPlan) Add(host, path string, k NetKind) *NetPlan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	key := netKey(host, path)
+	p.rules[key] = k
+	delete(p.remaining, key)
+	return p
+}
+
+// AddN schedules a transient fault firing on the first n matching
+// requests only; the route heals afterwards.
+func (p *NetPlan) AddN(host, path string, k NetKind, n int) *NetPlan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	key := netKey(host, path)
+	p.rules[key] = k
+	p.remaining[key] = n
+	return p
+}
+
+// Fired returns the wire faults that actually fired, sorted by
+// (host, path, kind) with duplicates collapsed — the assertion surface
+// for "exactly these routes misbehaved".
+func (p *NetPlan) Fired() []NetRecord {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	seen := make(map[string]bool, len(p.fired))
+	var out []NetRecord
+	for _, r := range p.fired {
+		k := r.Host + "\x00" + r.Path + "\x00" + r.Kind.String()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Host != out[j].Host {
+			return out[i].Host < out[j].Host
+		}
+		if out[i].Path != out[j].Path {
+			return out[i].Path < out[j].Path
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	return out
+}
+
+// FiredCount returns how many requests suffered an injected fault.
+func (p *NetPlan) FiredCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.fired)
+}
+
+// match resolves the fault for one request (0 = none), preferring the
+// exact (host, path) rule over the host-wide one, and consumes one
+// firing from a transient rule.
+func (p *NetPlan) match(host, path string) NetKind {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, key := range []string{netKey(host, path), netKey(host, "")} {
+		k, ok := p.rules[key]
+		if !ok {
+			continue
+		}
+		if n, transient := p.remaining[key]; transient {
+			if n <= 0 {
+				continue
+			}
+			p.remaining[key] = n - 1
+		}
+		p.fired = append(p.fired, NetRecord{Host: host, Path: path, Kind: k})
+		return k
+	}
+	return 0
+}
+
+func (p *NetPlan) slowDelay() time.Duration {
+	if p.SlowDelay > 0 {
+		return p.SlowDelay
+	}
+	return defaultSlowDelay
+}
+
+// NetPlanFromSeed builds a plan deterministically from a seed: the host
+// universe is shuffled with the seeded generator and the first n hosts
+// each get a sticky fault, kinds cycling through the full fault alphabet
+// in shuffled-host order. The same seed reproduces the same plan.
+func NetPlanFromSeed(seed int64, hosts []string, n int) *NetPlan {
+	shuffled := append([]string(nil), hosts...)
+	sort.Strings(shuffled)
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	kinds := NetKinds()
+	p := NewNetPlan()
+	for i, h := range shuffled {
+		if i >= n {
+			break
+		}
+		p.Add(h, "", kinds[i%len(kinds)])
+	}
+	return p
+}
+
+// Transport wraps an http.RoundTripper with the plan's wire faults. A
+// request to an unplanned route passes through untouched; a planned one
+// suffers its fault deterministically. Wrap the coordinator's
+// http.Client.Transport with it — the worker processes stay healthy, only
+// this client's view of the wire degrades, which is exactly the failure
+// mode re-shard-on-loss must survive.
+func (p *NetPlan) Transport(base http.RoundTripper) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &netFaultTransport{plan: p, base: base}
+}
+
+type netFaultTransport struct {
+	plan *NetPlan
+	base http.RoundTripper
+}
+
+func (t *netFaultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	kind := t.plan.match(req.URL.Host, req.URL.Path)
+	if kind == 0 {
+		return t.base.RoundTrip(req)
+	}
+	switch kind {
+	case NetRefuse:
+		return nil, fmt.Errorf("dial tcp %s: connection refused (injected)", req.URL.Host)
+	case NetHang:
+		// The worker answers — headers and status arrive — but the body
+		// never does: replace it with one that blocks until the request
+		// context is cut.
+		resp, err := t.base.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		resp.Body.Close()
+		resp.Body = &hangBody{ctx: req.Context()}
+		resp.ContentLength = -1
+		return resp, nil
+	case NetTruncate:
+		resp, err := t.base.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		resp.Body = &truncBody{data: data[:len(data)/2]}
+		resp.ContentLength = -1
+		return resp, nil
+	case NetCorrupt:
+		resp, err := t.base.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		for i := range data {
+			data[i] ^= 0x5A // guaranteed not valid JSON for any JSON input
+		}
+		resp.Body = io.NopCloser(bytes.NewReader(data))
+		resp.ContentLength = int64(len(data))
+		return resp, nil
+	case NetSlow:
+		resp, err := t.base.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		resp.Body = &slowBody{ctx: req.Context(), data: data, delay: t.plan.slowDelay()}
+		resp.ContentLength = -1
+		return resp, nil
+	}
+	return t.base.RoundTrip(req)
+}
+
+// hangBody blocks every Read until the request context is done — the
+// caller's deadline (or a liveness prober canceling the attempt) is the
+// only way out.
+type hangBody struct{ ctx context.Context }
+
+func (b *hangBody) Read([]byte) (int, error) {
+	<-b.ctx.Done()
+	return 0, b.ctx.Err()
+}
+
+func (b *hangBody) Close() error { return nil }
+
+// truncBody yields a prefix of the real body and then fails like a reset
+// connection (io.ErrUnexpectedEOF), not like a clean end of stream.
+type truncBody struct {
+	data []byte
+	off  int
+}
+
+func (b *truncBody) Read(p []byte) (int, error) {
+	if b.off >= len(b.data) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	n := copy(p, b.data[b.off:])
+	b.off += n
+	return n, nil
+}
+
+func (b *truncBody) Close() error { return nil }
+
+// slowBody trickles the body one byte per delay, respecting the request
+// context between bytes.
+type slowBody struct {
+	ctx   context.Context
+	data  []byte
+	off   int
+	delay time.Duration
+}
+
+func (b *slowBody) Read(p []byte) (int, error) {
+	if b.off >= len(b.data) {
+		return 0, io.EOF
+	}
+	t := time.NewTimer(b.delay)
+	defer t.Stop()
+	select {
+	case <-b.ctx.Done():
+		return 0, b.ctx.Err()
+	case <-t.C:
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	p[0] = b.data[b.off]
+	b.off++
+	return 1, nil
+}
+
+func (b *slowBody) Close() error { return nil }

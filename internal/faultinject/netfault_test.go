@@ -1,0 +1,199 @@
+package faultinject
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// echoServer answers every request with a fixed JSON body.
+func echoServer(t testing.TB, body string) *httptest.Server {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, body)
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func faultClient(p *NetPlan) *http.Client {
+	return &http.Client{Transport: p.Transport(nil)}
+}
+
+func hostOf(t testing.TB, rawURL string) string {
+	u, err := url.Parse(rawURL)
+	if err != nil {
+		t.Fatalf("parse %q: %v", rawURL, err)
+	}
+	return u.Host
+}
+
+func TestNetRefuse(t *testing.T) {
+	srv := echoServer(t, `{"ok":true}`)
+	p := NewNetPlan().Add(hostOf(t, srv.URL), "", NetRefuse)
+	_, err := faultClient(p).Get(srv.URL + "/shard")
+	if err == nil || !strings.Contains(err.Error(), "connection refused (injected)") {
+		t.Fatalf("want injected refusal, got %v", err)
+	}
+	fired := p.Fired()
+	if len(fired) != 1 || fired[0].Kind != NetRefuse || fired[0].Path != "/shard" {
+		t.Fatalf("fired = %+v", fired)
+	}
+}
+
+func TestNetHangHeadersArriveBodyNever(t *testing.T) {
+	srv := echoServer(t, `{"ok":true}`)
+	p := NewNetPlan().Add(hostOf(t, srv.URL), "/shard", NetHang)
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL+"/shard", nil)
+	resp, err := faultClient(p).Do(req)
+	if err != nil {
+		t.Fatalf("headers must arrive: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	start := time.Now()
+	_, err = io.ReadAll(resp.Body)
+	if err == nil {
+		t.Fatal("hung body delivered data")
+	}
+	if time.Since(start) < 100*time.Millisecond {
+		t.Fatalf("body failed before the deadline cut it (%v after %v)", err, time.Since(start))
+	}
+}
+
+func TestNetHangOtherPathsStayClean(t *testing.T) {
+	srv := echoServer(t, `{"ok":true}`)
+	p := NewNetPlan().Add(hostOf(t, srv.URL), "/shard", NetHang)
+	resp, err := faultClient(p).Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("unplanned path failed: %v", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil || string(data) != `{"ok":true}` {
+		t.Fatalf("unplanned path body = %q, %v", data, err)
+	}
+}
+
+func TestNetTruncate(t *testing.T) {
+	body := `{"shard":0,"bugs":[{"key":"abcdefghijklmnopqrstuvwxyz"}]}`
+	srv := echoServer(t, body)
+	p := NewNetPlan().Add(hostOf(t, srv.URL), "", NetTruncate)
+	resp, err := faultClient(p).Get(srv.URL + "/shard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("want ErrUnexpectedEOF, got %v (%d bytes)", err, len(data))
+	}
+	if len(data) != len(body)/2 {
+		t.Fatalf("got %d bytes, want %d", len(data), len(body)/2)
+	}
+}
+
+func TestNetCorrupt(t *testing.T) {
+	srv := echoServer(t, `{"shard":0}`)
+	p := NewNetPlan().Add(hostOf(t, srv.URL), "", NetCorrupt)
+	resp, err := faultClient(p).Get(srv.URL + "/shard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v map[string]any
+	if json.Unmarshal(data, &v) == nil {
+		t.Fatalf("corrupted body still decodes: %q", data)
+	}
+}
+
+func TestNetSlow(t *testing.T) {
+	srv := echoServer(t, `{"shard":0,"units":[]}`)
+	p := NewNetPlan().Add(hostOf(t, srv.URL), "", NetSlow)
+	p.SlowDelay = 20 * time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL+"/shard", nil)
+	resp, err := faultClient(p).Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err == nil {
+		t.Fatalf("slow-loris body completed under a 100ms deadline: %d bytes", len(data))
+	}
+	// Forward progress was real — some bytes arrived before the cut.
+	if len(data) == 0 {
+		t.Fatal("no bytes trickled before the deadline")
+	}
+	if len(data) >= 10 {
+		t.Fatalf("trickle too fast: %d bytes in 100ms at 20ms/byte", len(data))
+	}
+}
+
+func TestNetPlanTransientHeals(t *testing.T) {
+	srv := echoServer(t, `{"ok":true}`)
+	p := NewNetPlan().AddN(hostOf(t, srv.URL), "", NetRefuse, 2)
+	client := faultClient(p)
+	for i := 0; i < 2; i++ {
+		if _, err := client.Get(srv.URL + "/shard"); err == nil {
+			t.Fatalf("request %d should have been refused", i+1)
+		}
+	}
+	resp, err := client.Get(srv.URL + "/shard")
+	if err != nil {
+		t.Fatalf("route should have healed: %v", err)
+	}
+	resp.Body.Close()
+	if got := p.FiredCount(); got != 2 {
+		t.Fatalf("fired %d, want 2", got)
+	}
+}
+
+func TestNetPlanExactPathBeatsHostWide(t *testing.T) {
+	srv := echoServer(t, `{"ok":true}`)
+	host := hostOf(t, srv.URL)
+	p := NewNetPlan().Add(host, "", NetRefuse).Add(host, "/healthz", NetTruncate)
+	resp, err := faultClient(p).Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("exact-path truncate should win over host-wide refuse: %v", err)
+	}
+	resp.Body.Close()
+	fired := p.Fired()
+	if len(fired) != 1 || fired[0].Kind != NetTruncate {
+		t.Fatalf("fired = %+v", fired)
+	}
+}
+
+func TestNetPlanFromSeedDeterministic(t *testing.T) {
+	hosts := []string{"h0:1", "h1:1", "h2:1", "h3:1", "h4:1", "h5:1"}
+	a := NetPlanFromSeed(42, hosts, 4)
+	b := NetPlanFromSeed(42, hosts, 4)
+	if !reflect.DeepEqual(a.rules, b.rules) {
+		t.Fatalf("same seed, different plans:\n%v\n%v", a.rules, b.rules)
+	}
+	c := NetPlanFromSeed(43, hosts, 4)
+	if reflect.DeepEqual(a.rules, c.rules) {
+		t.Fatal("different seeds produced identical plans (suspicious shuffle)")
+	}
+	if len(a.rules) != 4 {
+		t.Fatalf("want 4 faulted hosts, got %d", len(a.rules))
+	}
+}

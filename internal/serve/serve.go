@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync/atomic"
 	"time"
 
 	"seal"
@@ -50,6 +51,9 @@ type Server struct {
 	store *Store
 	reg   *obs.Registry
 	mux   *http.ServeMux
+	// ready gates /readyz: true once the server is willing to accept work.
+	// New sets it; SetReady lets the process drain before shutdown.
+	ready atomic.Bool
 }
 
 // New builds a server over an initial source tree and spec database
@@ -78,7 +82,10 @@ func New(cfg Config, files map[string]string, specs []*seal.Spec) (*Server, erro
 	s.mux.HandleFunc("/edit", s.handleEdit)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/", s.handleUnknown)
+	s.ready.Store(true)
 	return s, nil
 }
 

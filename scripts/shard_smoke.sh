@@ -15,7 +15,13 @@
 #      nothing is invented to paper over the loss),
 #   5. restart the dead worker on the same port and rerun — byte-identical
 #      to the reference again, exit 0 (recovery warms from the shared
-#      cache plane, no coordinator state to repair).
+#      cache plane, no coordinator state to repair),
+#   6. kill a worker again and rerun with -reshard-on-loss (plus probes,
+#      retry and backoff armed): the coordinator re-partitions the lost
+#      shard's region groups across the survivor, exits 0, the report is
+#      byte-identical to the reference, and the manifest records the
+#      victim as "recovered" with its dispatch attempts and recovery
+#      provenance.
 #
 # The finer-grained mid-flight variant (worker socket closed while
 # requests are in flight, surviving records diffed individually) is
@@ -132,4 +138,34 @@ fi
 diff "$work/ref-report.txt" "$work/recovered-report.txt"
 echo "   byte-identical after worker restart"
 
-echo "PASS: sharded detection byte-identical to single-process, worker loss quarantines exactly its shard, restart recovers"
+echo "== kill worker 1, rerun with -reshard-on-loss: byte-identical recovery"
+pid1=$(cat "$work/worker1.log.pid")
+kill "$pid1"
+wait "$pid1" 2>/dev/null || true
+rm -f "$work/worker1.log.pid"
+"$work/seal" detect -target "$work/corpus/tree" -specs "$work/specs.json" -report \
+    -shard-addrs "$addr0,$addr1" -reshard-on-loss \
+    -retry-max 2 -retry-backoff 20ms -probe-interval 50ms \
+    -manifest-out "$work/reshard-manifest.json" >"$work/reshard-report.txt"
+diff "$work/ref-report.txt" "$work/reshard-report.txt"
+python3 - "$work/reshard-manifest.json" <<'EOF'
+import json, sys
+m = json.load(open(sys.argv[1]))
+shards = m.get("shards") or []
+outcomes = sorted(s["outcome"] for s in shards)
+if outcomes != ["ok", "recovered"]:
+    raise SystemExit("FAIL: shard outcomes %s, want one ok + one recovered" % outcomes)
+victim = next(s for s in shards if s["outcome"] == "recovered")
+if not victim.get("attempt_log"):
+    raise SystemExit("FAIL: recovered shard has no attempt log")
+if not all(a["outcome"] == "failed" and a.get("error") for a in victim["attempt_log"]):
+    raise SystemExit("FAIL: victim attempt log must be all failed with errors")
+recov = victim.get("recovery") or []
+if not recov or not all(r["outcome"] == "ok" for r in recov):
+    raise SystemExit("FAIL: recovery provenance missing or not ok: %s" % recov)
+print("   shard %d recovered via %d re-shard dispatch(es) after %d failed attempt(s)"
+      % (victim["shard"], len(recov), len(victim["attempt_log"])))
+EOF
+echo "   byte-identical with one worker dead, recovery recorded in manifest"
+
+echo "PASS: sharded detection byte-identical to single-process, worker loss quarantines exactly its shard, restart recovers, -reshard-on-loss recovers byte-identically"
