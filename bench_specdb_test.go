@@ -1,0 +1,110 @@
+package seal
+
+// Benchmark and standing speed assertion for the paged spec store's
+// incremental-recompute path. The store's value proposition is that a
+// one-spec edit re-detects only the region group owning the edited spec
+// while every sibling group replays from the persistent cache — so the
+// bar is quantitative: the median edit-recompute run must be at least 3×
+// faster than a full cold detection. Record results in BENCH_detect.json.
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"seal/internal/spec"
+	"seal/internal/specdb"
+)
+
+// TestSpecEditRecomputeSpeedup enforces the spec store's acceptance bar:
+// editing one spec in place and re-detecting on a resident substrate (the
+// serve daemon's /specs flow — live IR, group memo warm) must be at least
+// 3× faster than a full cold detection over the eval corpus, because only
+// the region group owning the edited spec computes. Byte-identity of the
+// recomputed output is pinned elsewhere (difftest RunSpecEditCase and the
+// serve/CLI tests); this test is purely about the speed claim.
+func TestSpecEditRecomputeSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("speedup measurement skipped in -short mode")
+	}
+	files, specs := benchDetectCorpus(t)
+	ctx := context.Background()
+
+	storePath := filepath.Join(t.TempDir(), "specs.specdb")
+	if _, _, err := ImportSpecStore(storePath, &SpecDB{Specs: specs}); err != nil {
+		t.Fatal(err)
+	}
+	stored, _, err := LoadSpecStoreSpecs(storePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const runs = 5
+	cold := medianRunNs(t, runs, func() {
+		res, gs, err := DetectFilesGrouped(ctx, files, stored, DetectRunOptions{CacheDir: t.TempDir()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.PCache.Hits != 0 || gs.Warm != 0 {
+			t.Fatal("cold run hit the cache")
+		}
+	})
+
+	// Build the resident substrate once and warm its group memo — the
+	// daemon's steady state — then measure successive one-spec edits.
+	// Each edit rewrites the same key with fresh content, so exactly one
+	// group fingerprint changes per run.
+	target, err := LoadFiles(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewResident(target)
+	if _, _, err := r.DetectGrouped(ctx, stored, DetectRunOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := specdb.Open(storePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	base := *stored[0]
+	edition := 0
+	var cur []*spec.Spec
+	edit := func() {
+		edition++
+		edited := base
+		edited.OriginPatch = fmt.Sprintf("%s-edit%d", base.OriginPatch, edition)
+		created, err := st.UpsertSpec(&edited)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if created {
+			t.Fatal("edit created a new key instead of replacing")
+		}
+		cur, err = st.Current().Specs()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	warm := medianRunNs(t, runs, func() {
+		edit()
+		res, gs, err := r.DetectGrouped(ctx, cur, DetectRunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gs.Computed != 1 || gs.Warm != gs.Groups-1 {
+			t.Fatalf("edit run not incremental: %+v", gs)
+		}
+		if len(res.Recs) == 0 {
+			t.Fatal("edit run produced no reports")
+		}
+	})
+
+	speedup := cold / warm
+	t.Logf("full cold median %.2fms, one-spec-edit median %.2fms, speedup %.1fx",
+		cold/1e6, warm/1e6, speedup)
+	if speedup < 3 {
+		t.Errorf("edit recompute is only %.2fx faster than full cold detect, want >= 3x", speedup)
+	}
+}

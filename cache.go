@@ -2,9 +2,6 @@ package seal
 
 import (
 	"context"
-	"crypto/sha256"
-	"encoding/hex"
-	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -101,12 +98,7 @@ func detectConfigPart(limits Limits) string {
 // SpecSetHash fingerprints a spec list in order, conditions included — the
 // spec-side identity in detection cache keys and serve request envelopes.
 func SpecSetHash(specs []*Spec) (string, error) {
-	data, err := json.Marshal(&SpecDB{Specs: specs})
-	if err != nil {
-		return "", err
-	}
-	sum := sha256.Sum256(data)
-	return hex.EncodeToString(sum[:]), nil
+	return (&SpecDB{Specs: specs}).Hash()
 }
 
 // TargetHash fingerprints an in-memory source set — the target-side

@@ -3,6 +3,7 @@
 //	seal gen    -out DIR [-eval] [-seed N]     generate a mini-Linux corpus
 //	seal infer  -patches DIR -out FILE [...]   infer specs from patches
 //	seal detect -target DIR -specs FILE [...]  detect bugs in a tree
+//	seal specdb -db FILE <mode>                administer a paged spec store
 //	seal serve  -target DIR [-specs FILE]      resident analysis daemon
 //	seal work   -target DIR                    shard worker for `detect -shards`
 //	seal eval   [-seed N] [-out FILE]          reproduce all experiments
@@ -141,6 +142,8 @@ func main() {
 		err = cmdDetect(os.Args[2:])
 	case "specs":
 		err = cmdSpecs(os.Args[2:])
+	case "specdb":
+		err = cmdSpecDB(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
 	case "work":
@@ -336,6 +339,7 @@ commands:
   infer   infer interface specifications from a patch directory
   detect  detect specification violations in a source tree
   specs   browse a specification database grouped by interface
+  specdb  administer a paged spec store (import/compact/verify/query/stats)
   serve   run the resident analysis daemon (HTTP/JSON; infer/detect/edit)
   work    run a shard worker for coordinated detection (detect -shards / -shard-addrs)
   eval    reproduce every table and figure of the paper's evaluation
@@ -419,6 +423,7 @@ func cmdInfer(args []string) error {
 	workers := fs.Int("workers", 1, "concurrent patch workers")
 	noValidate := fs.Bool("no-validate", false, "skip quantifier validation (paper §6.3.3)")
 	appendTo := fs.String("append", "", "merge into an existing spec database (incremental dataset growth, paper §9)")
+	specDB := fs.String("spec-db", "", "also import the inferred specs into this paged spec store (first-wins by key, created when missing)")
 	verbose := fs.Bool("v", false, "per-patch statistics")
 	failFast := fs.Bool("fail-fast", false, "abort at the first quarantined patch (exit 1) instead of continuing")
 	lf := addLimitFlags(fs)
@@ -505,6 +510,13 @@ func cmdInfer(args []string) error {
 	if err := os.WriteFile(*out, data, 0o644); err != nil {
 		return err
 	}
+	if *specDB != "" {
+		added, skipped, err := seal.ImportSpecStore(*specDB, db)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("imported %d specs into %s (%d already present)\n", added, *specDB, skipped)
+	}
 	t := res.Totals()
 	fmt.Printf("inferred %d specifications from %d patches (%d zero-relation) -> %s\n",
 		len(db.Specs), len(patches), res.ZeroRelationPatches, *out)
@@ -521,7 +533,8 @@ func cmdInfer(args []string) error {
 func cmdDetect(args []string) error {
 	fs := flag.NewFlagSet("detect", flag.ExitOnError)
 	target := fs.String("target", "", "source tree to analyze (required)")
-	specFile := fs.String("specs", "", "spec database from `seal infer` (required)")
+	specFile := fs.String("specs", "", "spec database from `seal infer` (required unless -spec-db)")
+	specDB := fs.String("spec-db", "", "load specs from a paged spec store instead of a flat file; detection runs at region-group granularity (a spec edit recomputes only the groups it touched)")
 	full := fs.Bool("report", false, "print full bug reports (paths, specs, origins)")
 	workers := fs.Int("workers", 1, "concurrent detection workers over one shared substrate (output is identical to -workers 1)")
 	stats := fs.Bool("stats", false, "print shared-substrate counters (PDG builds, path-cache hit rate) to stderr")
@@ -551,7 +564,10 @@ func cmdDetect(args []string) error {
 	if *reshardOnLoss && *shards == 0 && len(addrs) == 0 {
 		return usageErr{msg: "detect: -reshard-on-loss requires -shards or -shard-addrs"}
 	}
-	if *target == "" || *specFile == "" {
+	if *specFile != "" && *specDB != "" {
+		return usageErr{msg: "detect: -specs and -spec-db are mutually exclusive"}
+	}
+	if *target == "" || (*specFile == "" && *specDB == "") {
 		return fmt.Errorf("detect: -target and -specs are required")
 	}
 	if err := cf.prepare(); err != nil {
@@ -562,13 +578,22 @@ func cmdDetect(args []string) error {
 		return err
 	}
 	defer stop()
-	data, err := os.ReadFile(*specFile)
-	if err != nil {
-		return err
-	}
 	var db spec.DB
-	if err := json.Unmarshal(data, &db); err != nil {
-		return err
+	var storeSeq uint64
+	if *specDB != "" {
+		specs, seq, err := seal.LoadSpecStoreSpecs(*specDB)
+		if err != nil {
+			return err
+		}
+		db.Specs, storeSeq = specs, seq
+	} else {
+		data, err := os.ReadFile(*specFile)
+		if err != nil {
+			return err
+		}
+		if err := json.Unmarshal(data, &db); err != nil {
+			return err
+		}
 	}
 	rec := of.recorder("detect")
 	var res *seal.DetectResult
@@ -580,27 +605,39 @@ func cmdDetect(args []string) error {
 			retryAttempts = *retryMax + 1 // N extra re-dispatches after the first try
 		}
 		res, shardsMan, runErr = runShardedDetect(context.Background(), *target, db.Specs, shardedOptions{
-			shards:  *shards,
-			addrs:   addrs,
-			timeout: *shardTimeout,
-			workers: *workers,
-			limits:  lf.limits(),
-			retry:   coord.RetryPolicy{MaxAttempts: retryAttempts, Backoff: *retryBackoff},
-			probe:   coord.ProbeOptions{Interval: *probeInterval},
-			reshard: *reshardOnLoss,
-			rec:     rec,
-			cf:      cf,
+			shards:   *shards,
+			addrs:    addrs,
+			timeout:  *shardTimeout,
+			workers:  *workers,
+			limits:   lf.limits(),
+			retry:    coord.RetryPolicy{MaxAttempts: retryAttempts, Backoff: *retryBackoff},
+			probe:    coord.ProbeOptions{Interval: *probeInterval},
+			reshard:  *reshardOnLoss,
+			rec:      rec,
+			cf:       cf,
+			specDB:   *specDB,
+			storeSeq: storeSeq,
 		})
 	} else {
 		pg := of.startProgress(rec, "detect")
-		res, runErr = seal.DetectDirCached(context.Background(), *target, db.Specs, seal.DetectRunOptions{
+		runOpts := seal.DetectRunOptions{
 			Workers:       *workers,
 			Limits:        lf.limits(),
 			Obs:           rec,
 			CacheDir:      cf.dir,
 			CacheReadOnly: cf.readOnly,
 			CacheMaxBytes: cf.maxBytes,
-		})
+		}
+		if *specDB != "" {
+			var gs seal.GroupedStats
+			res, gs, runErr = seal.DetectDirGrouped(context.Background(), *target, db.Specs, runOpts)
+			if *stats {
+				fmt.Fprintf(os.Stderr, "grouped: %d region groups, %d warm, %d computed\n",
+					gs.Groups, gs.Warm, gs.Computed)
+			}
+		} else {
+			res, runErr = seal.DetectDirCached(context.Background(), *target, db.Specs, runOpts)
+		}
 		pg.Stop()
 	}
 	if res == nil {
@@ -627,7 +664,11 @@ func cmdDetect(args []string) error {
 	}
 	var renderSecs float64
 	finishObs := func() error {
-		inputs := map[string]string{"target": *target, "specs": *specFile}
+		specsInput := *specFile
+		if *specDB != "" {
+			specsInput = *specDB
+		}
+		inputs := map[string]string{"target": *target, "specs": specsInput}
 		art, err := seal.FinishDetectRun(rec, res, len(db.Specs), *workers, inputs, renderSecs, of.base)
 		if err != nil {
 			return err

@@ -25,7 +25,7 @@ func cmdServe(args []string) error {
 		return err
 	}
 	hs := &http.Server{Handler: srv.Handler()}
-	fmt.Printf("serving on http://%s (endpoints: /infer /detect /edit /stats /metrics /healthz /readyz)\n", ln.Addr())
+	fmt.Printf("serving on http://%s (endpoints: /infer /detect /edit /specs /stats /metrics /healthz /readyz)\n", ln.Addr())
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.Serve(ln) }()
 	sigCh := make(chan os.Signal, 1)
@@ -50,6 +50,7 @@ func setupServe(name string, args []string) (*serve.Server, net.Listener, error)
 	addr := fs.String("addr", "127.0.0.1:0", "listen address (port 0 picks a free port, printed on startup)")
 	target := fs.String("target", "", "source tree to keep resident (required)")
 	specFile := fs.String("specs", "", "spec database to serve detections from (optional; /infer can publish one)")
+	specDB := fs.String("spec-db", "", "paged spec store backing the spec database (mutually exclusive with -specs; enables /specs edits and region-group incremental detection)")
 	workers := fs.Int("workers", 1, "default worker count per request (requests may override)")
 	reqTimeout := fs.Duration("request-timeout", 0, "per-request wall-clock deadline (structured 503 when exceeded); 0 = none")
 	maxBody := fs.Int64("max-body", 0, "request body cap in bytes; 0 = default (16 MiB)")
@@ -58,6 +59,9 @@ func setupServe(name string, args []string) (*serve.Server, net.Listener, error)
 	fs.Parse(args)
 	if err := validatePositiveFlags(fs, fs.Name(), "workers", "max-failures"); err != nil {
 		return nil, nil, err
+	}
+	if *specFile != "" && *specDB != "" {
+		return nil, nil, usageErr{msg: fmt.Sprintf("%s: -specs and -spec-db are mutually exclusive", fs.Name())}
 	}
 	if *target == "" {
 		return nil, nil, fmt.Errorf("%s: -target is required", fs.Name())
@@ -89,6 +93,7 @@ func setupServe(name string, args []string) (*serve.Server, net.Listener, error)
 		CacheMaxBytes:  cf.maxBytes,
 		RequestTimeout: *reqTimeout,
 		MaxBodyBytes:   *maxBody,
+		SpecDB:         *specDB,
 	}, files, specs)
 	if err != nil {
 		return nil, nil, err

@@ -138,6 +138,13 @@ func TestCLIFlagValidation(t *testing.T) {
 		{"infer -max-failures -1", func() error { return cmdInfer([]string{"-max-failures", "-1"}) }},
 		{"work -workers 0", func() error { _, _, err := setupServe("work", []string{"-workers", "0"}); return err }},
 		{"serve -max-failures 0", func() error { _, _, err := setupServe("serve", []string{"-max-failures", "0"}); return err }},
+		{"detect -specs with -spec-db", func() error { return cmdDetect([]string{"-specs", "a.json", "-spec-db", "b.specdb"}) }},
+		{"serve -specs with -spec-db", func() error {
+			_, _, err := setupServe("serve", []string{"-specs", "a.json", "-spec-db", "b.specdb"})
+			return err
+		}},
+		{"specdb no mode", func() error { return cmdSpecDB([]string{"-db", "x.specdb"}) }},
+		{"specdb two modes", func() error { return cmdSpecDB([]string{"-db", "x.specdb", "-compact", "-verify"}) }},
 	}
 	var got strings.Builder
 	for _, tc := range cases {

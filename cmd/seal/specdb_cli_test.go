@@ -1,0 +1,204 @@
+package main
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"seal/internal/specdb"
+)
+
+// buildSpecStore generates a corpus, infers its specs, and imports them
+// into a fresh paged store via the specdb subcommand. Returns the source
+// tree, the flat spec file, and the store path.
+func buildSpecStore(t *testing.T) (tree, specFile, storePath string) {
+	t.Helper()
+	corpusDir, specFile := buildCorpus(t)
+	storePath = filepath.Join(t.TempDir(), "specs.specdb")
+	out := captureStdout(t, func() error {
+		return cmdSpecDB([]string{"-db", storePath, "-import", specFile})
+	})
+	var added, skipped int
+	if _, err := fmt.Sscanf(out, "imported %d specs into", &added); err != nil || added == 0 {
+		t.Fatalf("import reported no specs: %q", out)
+	}
+	if !strings.Contains(out, "(0 already present)") {
+		t.Fatalf("fresh import reported skips: %q", out)
+	}
+	_ = skipped
+	return filepath.Join(corpusDir, "tree"), specFile, storePath
+}
+
+// TestCLISpecDBDetectIdentity pins the substrate-swap contract at the CLI
+// surface: `seal detect -spec-db` must print the same bytes as the
+// flat-file run — in process, warm from a persistent cache, and sharded
+// across spawned workers resolving the store by (path, seq) reference.
+func TestCLISpecDBDetectIdentity(t *testing.T) {
+	tree, specFile, storePath := buildSpecStore(t)
+
+	flat := captureStdout(t, func() error {
+		return cmdDetect([]string{"-target", tree, "-specs", specFile, "-report"})
+	})
+	stored := captureStdout(t, func() error {
+		return cmdDetect([]string{"-target", tree, "-spec-db", storePath, "-report"})
+	})
+	if stored != flat {
+		t.Errorf("-spec-db output differs from -specs output.\nstore:\n%s\nflat:\n%s", stored, flat)
+	}
+
+	// Cold then warm against the same cache directory: the warm grouped
+	// run replays from the group memo and must not change a byte.
+	cacheDir := t.TempDir()
+	for _, pass := range []string{"cold", "warm"} {
+		got := captureStdout(t, func() error {
+			return cmdDetect([]string{"-target", tree, "-spec-db", storePath, "-report",
+				"-cache-dir", cacheDir})
+		})
+		if got != flat {
+			t.Errorf("%s cached -spec-db output differs from flat output.\ngot:\n%s\nflat:\n%s",
+				pass, got, flat)
+		}
+	}
+
+	sharded := captureStdout(t, func() error {
+		return cmdDetect([]string{"-target", tree, "-spec-db", storePath, "-report",
+			"-shards", "2", "-cache-dir", t.TempDir()})
+	})
+	if sharded != flat {
+		t.Errorf("-spec-db -shards 2 output differs from flat output.\nsharded:\n%s\nflat:\n%s",
+			sharded, flat)
+	}
+}
+
+// TestCLISpecDBModes drives every specdb administration mode end to end:
+// re-import dedup, stats, verify, query, and a compaction that must not
+// change detection output.
+func TestCLISpecDBModes(t *testing.T) {
+	tree, specFile, storePath := buildSpecStore(t)
+
+	// A second import of the same flat file is a no-op: first-wins dedup.
+	reimport := captureStdout(t, func() error {
+		return cmdSpecDB([]string{"-db", storePath, "-import", specFile})
+	})
+	var added, skipped int
+	if _, err := fmt.Sscanf(reimport, "imported %d specs into", &added); err != nil || added != 0 {
+		t.Fatalf("re-import added specs: %q", reimport)
+	}
+	if _, err := fmt.Sscanf(reimport[strings.Index(reimport, "(")+1:], "%d already present", &skipped); err != nil || skipped == 0 {
+		t.Fatalf("re-import reported no existing specs: %q", reimport)
+	}
+
+	stats := captureStdout(t, func() error {
+		return cmdSpecDB([]string{"-db", storePath, "-stats"})
+	})
+	if !strings.Contains(stats, storePath) || !strings.Contains(stats, "keys") {
+		t.Fatalf("stats output: %q", stats)
+	}
+
+	verify := captureStdout(t, func() error {
+		return cmdSpecDB([]string{"-db", storePath, "-verify"})
+	})
+	if !strings.HasPrefix(verify, "ok: ") {
+		t.Fatalf("verify output: %q", verify)
+	}
+
+	// The match-all query lists every imported spec.
+	query := captureStdout(t, func() error {
+		return cmdSpecDB([]string{"-db", storePath, "-query", ""})
+	})
+	if !strings.Contains(query, fmt.Sprintf("%d specifications matched", skipped)) {
+		t.Fatalf("match-all query did not report %d specs:\n%s", skipped, query)
+	}
+	// A malformed query is a usage error, not a store error.
+	err := cmdSpecDB([]string{"-db", storePath, "-query", "scope:bad"})
+	var ue usageErr
+	if !errors.As(err, &ue) {
+		t.Fatalf("malformed query: %v, want usage error", err)
+	}
+
+	before := captureStdout(t, func() error {
+		return cmdDetect([]string{"-target", tree, "-spec-db", storePath, "-report"})
+	})
+	compact := captureStdout(t, func() error {
+		return cmdSpecDB([]string{"-db", storePath, "-compact"})
+	})
+	if !strings.HasPrefix(compact, "compacted ") {
+		t.Fatalf("compact output: %q", compact)
+	}
+	postVerify := captureStdout(t, func() error {
+		return cmdSpecDB([]string{"-db", storePath, "-verify"})
+	})
+	if !strings.HasPrefix(postVerify, "ok: ") {
+		t.Fatalf("post-compact verify output: %q", postVerify)
+	}
+	after := captureStdout(t, func() error {
+		return cmdDetect([]string{"-target", tree, "-spec-db", storePath, "-report"})
+	})
+	if after != before {
+		t.Errorf("compaction changed detection output.\nafter:\n%s\nbefore:\n%s", after, before)
+	}
+}
+
+// TestCLISpecDBVersionSkew pins the version-skew contract at the CLI
+// surface: a store written by a different format version is refused with
+// a clean fatal error (exit 1, not a usage error, no panic) that names
+// the skew, on both the detect and admin paths.
+func TestCLISpecDBVersionSkew(t *testing.T) {
+	_, _, storePath := buildSpecStore(t)
+
+	// Bump the format version in both meta slots and re-seal the page
+	// checksums (FNV-64a over everything before the trailing 8 bytes), so
+	// the file is a structurally valid store from the future.
+	data, err := os.ReadFile(storePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for slot := 0; slot < 2; slot++ {
+		pg := data[slot*specdb.PageSize : (slot+1)*specdb.PageSize]
+		if pg[0] != 1 { // only stamp written meta slots (pageMeta)
+			continue
+		}
+		binary.LittleEndian.PutUint32(pg[9:13], specdb.FormatVersion+41)
+		h := fnv.New64a()
+		h.Write(pg[:specdb.PageSize-8])
+		binary.LittleEndian.PutUint64(pg[specdb.PageSize-8:], h.Sum64())
+	}
+	if err := os.WriteFile(storePath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		name string
+		args func() error
+	}{
+		{"detect", func() error {
+			return cmdDetect([]string{"-target", t.TempDir(), "-spec-db", storePath})
+		}},
+		{"specdb -verify", func() error {
+			return cmdSpecDB([]string{"-db", storePath, "-verify"})
+		}},
+		{"specdb -stats", func() error {
+			return cmdSpecDB([]string{"-db", storePath, "-stats"})
+		}},
+	} {
+		err := tc.args()
+		if err == nil {
+			t.Fatalf("%s opened a version-skewed store", tc.name)
+		}
+		if !errors.Is(err, specdb.ErrVersion) {
+			t.Errorf("%s: %v, want ErrVersion", tc.name, err)
+		}
+		if !strings.Contains(err.Error(), "format version") {
+			t.Errorf("%s error does not name the skew: %v", tc.name, err)
+		}
+		var ue usageErr
+		if errors.As(err, &ue) {
+			t.Errorf("%s: skew reported as usage error (exit 2), want fatal (exit 1): %v", tc.name, err)
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"os"
 	"os/exec"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
@@ -39,7 +40,7 @@ func cmdWork(args []string) error {
 		return err
 	}
 	hs := &http.Server{Handler: srv.Handler()}
-	fmt.Printf("%s%s (endpoints: /shard /detect /infer /edit /stats /metrics /healthz /readyz)\n", workBanner, ln.Addr())
+	fmt.Printf("%s%s (endpoints: /shard /detect /infer /edit /specs /stats /metrics /healthz /readyz)\n", workBanner, ln.Addr())
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.Serve(ln) }()
 	sigCh := make(chan os.Signal, 1)
@@ -95,6 +96,10 @@ type shardedOptions struct {
 	reshard bool               // -reshard-on-loss
 	rec     *obs.Recorder
 	cf      *cacheFlags
+	// specDB / storeSeq: when set, shard jobs reference the spec store
+	// snapshot by (path, seq) instead of shipping spec subsets inline.
+	specDB   string
+	storeSeq uint64
 }
 
 // runShardedDetect is cmdDetect's coordinator path: resolve workers
@@ -115,6 +120,16 @@ func runShardedDetect(ctx context.Context, target string, specs []*spec.Spec, so
 		defer stop()
 		addrs = spawned
 	}
+	var storeRef *coord.SpecStoreRef
+	if so.specDB != "" {
+		// Workers resolve the path themselves, so pin it to an absolute
+		// form that survives their (identical, but not guaranteed) cwd.
+		abs, err := filepath.Abs(so.specDB)
+		if err != nil {
+			return nil, nil, err
+		}
+		storeRef = &coord.SpecStoreRef{Path: abs, Seq: so.storeSeq}
+	}
 	return coord.Detect(ctx, seal.TargetHash(files), specs, coord.Options{
 		Addrs:         addrs,
 		Timeout:       so.timeout,
@@ -124,6 +139,7 @@ func runShardedDetect(ctx context.Context, target string, specs []*spec.Spec, so
 		Probe:         so.probe,
 		ReshardOnLoss: so.reshard,
 		Obs:           so.rec,
+		SpecStore:     storeRef,
 	})
 }
 

@@ -53,6 +53,10 @@ const (
 	// callee-closure function names), keyed over the target only, so they
 	// survive spec-DB changes.
 	TierRegions = "regions"
+	// TierDetectGroup holds per-region-group detection results, keyed over
+	// target + the group's own spec subset — editing one spec invalidates
+	// exactly the group that owns it, every other group replays.
+	TierDetectGroup = "detect-group"
 )
 
 // Stats are the cache's instrumentation counters.

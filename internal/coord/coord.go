@@ -52,6 +52,11 @@ type Options struct {
 	// — executed, recovered, or lost — so the merged manifest matches a
 	// single-process run's after redaction.
 	Obs *obs.Recorder
+	// SpecStore, when non-nil, names the shared paged spec store (path +
+	// committed snapshot sequence) the corpus was loaded from. Jobs then
+	// reference their subset by scope list against that snapshot instead of
+	// shipping the specs inline; Scopes and SpecsHash are filled per job.
+	SpecStore *SpecStoreRef
 }
 
 // shardOutcome is one dispatch's verdict: the result or the loss, plus
@@ -111,7 +116,7 @@ func Detect(ctx context.Context, targetHash string, specs []*spec.Spec, opts Opt
 			continue
 		}
 		go func(si int) {
-			outcomes[si] = dispatch(ctx, client, opts.Addrs[si], buildJob(plan, si, targetHash, specs, opts.Workers, shardLimits), policy, opts.Probe, opts.Timeout)
+			outcomes[si] = dispatch(ctx, client, opts.Addrs[si], buildJob(plan, si, targetHash, specs, opts, shardLimits), policy, opts.Probe, opts.Timeout)
 			done <- si
 		}(si)
 	}
@@ -138,18 +143,21 @@ func Detect(ctx context.Context, targetHash string, specs []*spec.Spec, opts Opt
 }
 
 // buildJob assembles shard si's wire job from the plan.
-func buildJob(plan *Plan, si int, targetHash string, specs []*spec.Spec, workers int, limits budget.Limits) *ShardJob {
-	return subsetJob(si, plan.Shards, targetHash, specs, plan.Jobs[si].SpecIdx, workers, limits)
+func buildJob(plan *Plan, si int, targetHash string, specs []*spec.Spec, opts Options, limits budget.Limits) *ShardJob {
+	return subsetJob(si, plan.Shards, targetHash, specs, plan.Jobs[si].SpecIdx, opts.Workers, limits, opts.SpecStore)
 }
 
 // subsetJob builds a wire job over an arbitrary ascending spec-index
-// subset — the shared core of primary and recovery dispatch.
-func subsetJob(shard, shards int, targetHash string, specs []*spec.Spec, specIdx []int, workers int, limits budget.Limits) *ShardJob {
+// subset — the shared core of primary and recovery dispatch. With a store
+// reference, the subset travels as (snapshot, scope list, content hash)
+// and the inline specs are omitted; a subset that cannot be fingerprinted
+// falls back to the inline form.
+func subsetJob(shard, shards int, targetHash string, specs []*spec.Spec, specIdx []int, workers int, limits budget.Limits, store *SpecStoreRef) *ShardJob {
 	subset := make([]*spec.Spec, len(specIdx))
 	for k, gi := range specIdx {
 		subset[k] = specs[gi]
 	}
-	return &ShardJob{
+	job := &ShardJob{
 		Shard:      shard,
 		Shards:     shards,
 		TargetHash: targetHash,
@@ -157,6 +165,26 @@ func subsetJob(shard, shards int, targetHash string, specs []*spec.Spec, specIdx
 		Workers:    workers,
 		Limits:     limits,
 	}
+	if store != nil {
+		if hash, err := (&spec.DB{Specs: subset}).Hash(); err == nil {
+			seen := make(map[string]bool)
+			var scopes []string // first-appearance order = global group order
+			for _, sp := range subset {
+				if sc := sp.Scope(); !seen[sc] {
+					seen[sc] = true
+					scopes = append(scopes, sc)
+				}
+			}
+			job.Specs = nil
+			job.SpecStore = &SpecStoreRef{
+				Path:      store.Path,
+				Seq:       store.Seq,
+				Scopes:    scopes,
+				SpecsHash: hash,
+			}
+		}
+	}
+	return job
 }
 
 // dispatch runs the full retry loop for one shard job: up to
@@ -379,7 +407,7 @@ func reshardLost(ctx context.Context, client *http.Client, plan *Plan, specs []*
 	done := make(chan struct{})
 	for i := range execs {
 		go func(e *recovExec) {
-			job := subsetJob(e.target, plan.Shards, targetHash, specs, e.specIdx, opts.Workers, shardLimits)
+			job := subsetJob(e.target, plan.Shards, targetHash, specs, e.specIdx, opts.Workers, shardLimits, opts.SpecStore)
 			e.oc = dispatch(ctx, client, opts.Addrs[e.target], job, policy, opts.Probe, opts.Timeout)
 			done <- struct{}{}
 		}(&execs[i])

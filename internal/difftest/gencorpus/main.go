@@ -1,5 +1,5 @@
 // Command gencorpus regenerates the checked-in fuzz seed corpora under
-// internal/cir/testdata/fuzz and internal/difftest/testdata/fuzz. Run from
+// internal/*/testdata/fuzz. Run from
 // the repository root:
 //
 //	go run ./internal/difftest/gencorpus
@@ -18,6 +18,8 @@ import (
 
 	"seal/internal/cir"
 	"seal/internal/randprog"
+	"seal/internal/spec"
+	"seal/internal/specdb"
 )
 
 func writeEntry(dir, name string, args ...string) error {
@@ -177,7 +179,66 @@ func main() {
 		}
 	}
 
+	// Spec-store page seeds: every page of a real (tiny) store file —
+	// meta, leaf, and an overflow chain from an oversized origin-patch
+	// field — plus checksum-violating and truncated variants, feeding
+	// FuzzSpecPage's decoder contract.
+	if err := writeSpecPageSeeds(filepath.Join("internal", "specdb", "testdata", "fuzz", "FuzzSpecPage")); err != nil {
+		fail(err)
+	}
+
 	fmt.Println("fuzz seed corpora regenerated")
+}
+
+func writeBytesEntry(dir, name string, data []byte) error {
+	return writeRaw(dir, name, "[]byte("+strconv.Quote(string(data))+")")
+}
+
+func writeSpecPageSeeds(dir string) error {
+	tmp, err := os.MkdirTemp("", "specdb-seeds")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+	path := filepath.Join(tmp, "seed.db")
+	st, err := specdb.Create(path)
+	if err != nil {
+		return err
+	}
+	long := ""
+	for len(long) < 5000 {
+		long += "patch-chain-"
+	}
+	seeds := []*spec.Spec{
+		{ID: "S1", Iface: "ops.prepare", API: "kmalloc",
+			Constraint: spec.Constraint{Forbidden: true}, Origin: spec.OriginRemoved, OriginPatch: "p1"},
+		{ID: "S2", API: "kfree",
+			Constraint: spec.Constraint{Forbidden: false}, Origin: spec.OriginAdded, OriginPatch: long},
+	}
+	if _, _, err := st.ImportSpecs(seeds); err != nil {
+		return err
+	}
+	if err := st.Close(); err != nil {
+		return err
+	}
+	img, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	for i := 0; i*specdb.PageSize < len(img); i++ {
+		pg := img[i*specdb.PageSize : (i+1)*specdb.PageSize]
+		if err := writeBytesEntry(dir, fmt.Sprintf("page_%d", i), pg); err != nil {
+			return err
+		}
+	}
+	// Hostile variants: one flipped payload byte (checksum must catch
+	// it) and a truncated image (length check must catch it).
+	flipped := append([]byte(nil), img[:specdb.PageSize]...)
+	flipped[30] ^= 0x10
+	if err := writeBytesEntry(dir, "flipped_meta", flipped); err != nil {
+		return err
+	}
+	return writeBytesEntry(dir, "truncated", img[:100])
 }
 
 func sorted(m map[string]string) []string {

@@ -1,0 +1,44 @@
+package difftest
+
+import (
+	"testing"
+)
+
+// TestSpecEditDifferential is the incremental-recompute oracle: a
+// store-backed grouped detection must be byte-identical to the flat-file
+// single-process run both cold and after editing one spec in place, and
+// the edit must recompute exactly the region group owning the edited spec
+// (one cache miss, every sibling group warm).
+func TestSpecEditDifferential(t *testing.T) {
+	seeds := []int64{0, 3}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		divs, err := RunSpecEditCase(seed, t.TempDir())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, d := range divs {
+			t.Errorf("seed %d: %s", seed, d.String())
+		}
+	}
+}
+
+// TestSpecStoreShardDifferential pins the store-referenced scale-out
+// path: shard jobs carrying only a (store path, snapshot seq, scopes)
+// reference — no spec bytes on the wire — must merge to the same bytes as
+// the flat single-process run.
+func TestSpecStoreShardDifferential(t *testing.T) {
+	counts := []int{1, 2, 4}
+	if testing.Short() {
+		counts = counts[:2]
+	}
+	divs, err := RunSpecStoreShardCase(0, t.TempDir(), counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range divs {
+		t.Errorf("%s", d.String())
+	}
+}

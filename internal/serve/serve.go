@@ -16,6 +16,7 @@ import (
 	"seal/internal/detect"
 	"seal/internal/obs"
 	"seal/internal/report"
+	"seal/internal/specdb"
 )
 
 // Config is the daemon's fixed configuration; request bodies may narrow
@@ -38,6 +39,13 @@ type Config struct {
 	RequestTimeout time.Duration
 	// MaxBodyBytes caps request bodies (0 = DefaultMaxBodyBytes).
 	MaxBodyBytes int64
+	// SpecDB is the path of a paged spec store (internal/specdb) backing
+	// the active spec database. When set, the daemon loads its specs from
+	// the store's current snapshot at startup, /specs edits commit through
+	// the store's copy-on-write path, and /detect runs at region-group
+	// granularity so a one-spec edit recomputes only the group that owns
+	// it. The specs argument to New must be nil in this mode.
+	SpecDB string
 }
 
 // DefaultMaxBodyBytes bounds uploads: generous for source trees, small
@@ -51,6 +59,10 @@ type Server struct {
 	store *Store
 	reg   *obs.Registry
 	mux   *http.ServeMux
+	// specStore is the open paged spec store when cfg.SpecDB is set; the
+	// source of truth for the active spec database (snapshots re-read it
+	// on every publish) and the target of /specs edits.
+	specStore *specdb.Store
 	// ready gates /readyz: true once the server is willing to accept work.
 	// New sets it; SetReady lets the process drain before shutdown.
 	ready atomic.Bool
@@ -58,13 +70,39 @@ type Server struct {
 
 // New builds a server over an initial source tree and spec database
 // (specs may be nil), priming the substrate from cfg.CacheDir when set.
+// With cfg.SpecDB set the spec database comes from the store instead and
+// specs must be nil.
 func New(cfg Config, files map[string]string, specs []*seal.Spec) (*Server, error) {
+	var specStore *specdb.Store
+	var storeSeq uint64
+	if cfg.SpecDB != "" {
+		if specs != nil {
+			return nil, fmt.Errorf("serve: specs and SpecDB are mutually exclusive")
+		}
+		st, err := specdb.Open(cfg.SpecDB)
+		if err != nil {
+			return nil, err
+		}
+		snap := st.Current()
+		if specs, err = snap.Specs(); err != nil {
+			st.Close()
+			return nil, err
+		}
+		specStore, storeSeq = st, snap.Seq()
+	}
 	snap, err := BuildSnapshot(files, specs)
 	if err != nil {
+		if specStore != nil {
+			specStore.Close()
+		}
 		return nil, err
 	}
+	snap.StoreSeq = storeSeq
 	if cfg.CacheDir != "" {
 		if err := snap.Resident.PrimeFromCache(cfg.CacheDir, cfg.CacheReadOnly, cfg.CacheMaxBytes); err != nil {
+			if specStore != nil {
+				specStore.Close()
+			}
 			return nil, err
 		}
 	}
@@ -74,12 +112,13 @@ func New(cfg Config, files map[string]string, specs []*seal.Spec) (*Server, erro
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = DefaultMaxBodyBytes
 	}
-	s := &Server{cfg: cfg, store: NewStore(snap), reg: obs.NewRegistry()}
+	s := &Server{cfg: cfg, store: NewStore(snap), reg: obs.NewRegistry(), specStore: specStore}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/detect", s.handleDetect)
 	s.mux.HandleFunc("/shard", s.handleShard)
 	s.mux.HandleFunc("/infer", s.handleInfer)
 	s.mux.HandleFunc("/edit", s.handleEdit)
+	s.mux.HandleFunc("/specs", s.handleSpecs)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -91,6 +130,15 @@ func New(cfg Config, files map[string]string, specs []*seal.Spec) (*Server, erro
 
 // Store exposes the snapshot store (tests publish through it directly).
 func (s *Server) Store() *Store { return s.store }
+
+// Close releases the server's spec store, if any. Call only after the
+// HTTP server has stopped serving requests.
+func (s *Server) Close() error {
+	if s.specStore == nil {
+		return nil
+	}
+	return s.specStore.Close()
+}
 
 // Handler is the daemon's HTTP surface: panic containment, body caps, and
 // the per-request deadline wrap every endpoint, so no client input or
@@ -277,6 +325,11 @@ type DetectResponse struct {
 	TargetHash string                `json:"target_hash"`
 	SpecsHash  string                `json:"specs_hash"`
 	Specs      int                   `json:"specs"`
+	// StoreSeq / Grouped are set on a spec-store-backed daemon: the store
+	// snapshot the specs came from, and how incremental the grouped
+	// detection was (output bytes are identical either way).
+	StoreSeq uint64             `json:"store_seq,omitempty"`
+	Grouped  *seal.GroupedStats `json:"grouped,omitempty"`
 	Report     string                `json:"report"`
 	Bugs       []detect.BugRec       `json:"bugs"`
 	Degraded   []seal.Degradation    `json:"degraded,omitempty"`
@@ -304,14 +357,26 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 	base := seal.NewObsBaseline()
 	rec := obs.New()
 	rec.StartRun("detect")
-	res, runErr := snap.Resident.Detect(r.Context(), snap.Specs, seal.DetectRunOptions{
+	runOpts := seal.DetectRunOptions{
 		Workers:       workers,
 		Limits:        req.Limits.limits(s.cfg.Limits),
 		Obs:           rec,
 		CacheDir:      s.cfg.CacheDir,
 		CacheReadOnly: s.cfg.CacheReadOnly,
 		CacheMaxBytes: s.cfg.CacheMaxBytes,
-	})
+	}
+	var res *seal.DetectResult
+	var runErr error
+	var grouped *seal.GroupedStats
+	if s.specStore != nil {
+		// Store-backed: region-group granularity, so a spec edit since the
+		// last request recomputes only the groups it touched.
+		var gs seal.GroupedStats
+		res, gs, runErr = snap.Resident.DetectGrouped(r.Context(), snap.Specs, runOpts)
+		grouped = &gs
+	} else {
+		res, runErr = snap.Resident.Detect(r.Context(), snap.Specs, runOpts)
+	}
 	if runErr != nil {
 		var failures []*seal.FailureRecord
 		if res != nil {
@@ -334,6 +399,8 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 		TargetHash: snap.TargetHash(),
 		SpecsHash:  snap.SpecsHash,
 		Specs:      len(snap.Specs),
+		StoreSeq:   snap.StoreSeq,
+		Grouped:    grouped,
 		Report:     rendered,
 		Bugs:       res.Recs,
 		Degraded:   res.Degraded,
@@ -433,7 +500,22 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		Metrics:             art.Metrics,
 	}
 	if req.Publish {
-		snap, perr := s.store.MergeAndPublish(res.DB)
+		var snap *Snapshot
+		var perr error
+		if s.specStore != nil {
+			// Commit the inferred specs through the store (first-wins by
+			// key, same dedup as MergeSpecDBs) and republish its snapshot.
+			snap, perr = s.store.EditSpecs(func() ([]*seal.Spec, uint64, error) {
+				if _, _, err := s.specStore.ImportSpecs(res.DB.Specs); err != nil {
+					return nil, 0, err
+				}
+				ssnap := s.specStore.Current()
+				specs, err := ssnap.Specs()
+				return specs, ssnap.Seq(), err
+			})
+		} else {
+			snap, perr = s.store.MergeAndPublish(res.DB)
+		}
 		if perr != nil {
 			s.writeError(w, http.StatusInternalServerError, "internal", perr.Error(), nil)
 			return
@@ -503,6 +585,7 @@ type StatsResponse struct {
 	Epoch       int64              `json:"epoch"`
 	TargetHash  string             `json:"target_hash"`
 	SpecsHash   string             `json:"specs_hash"`
+	StoreSeq    uint64             `json:"store_seq,omitempty"`
 	Files       int                `json:"files"`
 	Specs       int                `json:"specs"`
 	Resident    seal.ResidentStats `json:"resident"`
@@ -519,6 +602,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Epoch:       snap.Epoch,
 		TargetHash:  snap.TargetHash(),
 		SpecsHash:   snap.SpecsHash,
+		StoreSeq:    snap.StoreSeq,
 		Files:       len(snap.Files),
 		Specs:       len(snap.Specs),
 		Resident:    snap.Resident.Resident(),

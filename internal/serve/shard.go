@@ -1,12 +1,48 @@
 package serve
 
 import (
+	"errors"
+	"fmt"
 	"net/http"
 
 	"seal"
 	"seal/internal/coord"
 	"seal/internal/obs"
+	"seal/internal/spec"
+	"seal/internal/specdb"
 )
+
+// resolveSpecStore materializes a job's spec subset from a shared spec
+// store reference: open the store pinned at exactly the referenced
+// snapshot sequence, read the named scopes' specs in global ordinal
+// order, and verify the resolved subset's content hash against what the
+// coordinator planned. Any failure maps to a structured 409 — the
+// coordinator treats it like any other shard loss and can retry or
+// re-shard, but the worker never computes against a corpus the plan did
+// not name.
+func resolveSpecStore(ref *coord.SpecStoreRef) ([]*spec.Spec, string, string) {
+	st, err := specdb.OpenAt(ref.Path, ref.Seq)
+	if err != nil {
+		if errors.Is(err, specdb.ErrSnapshotGone) {
+			return nil, "spec-store-skew", fmt.Sprintf("shard: spec store %s: %v", ref.Path, err)
+		}
+		return nil, "spec-store-error", fmt.Sprintf("shard: spec store %s: %v", ref.Path, err)
+	}
+	defer st.Close()
+	subset, err := st.Current().ScopesSpecs(ref.Scopes)
+	if err != nil {
+		return nil, "spec-store-error", fmt.Sprintf("shard: spec store %s: %v", ref.Path, err)
+	}
+	if ref.SpecsHash != "" {
+		hash, err := (&spec.DB{Specs: subset}).Hash()
+		if err != nil || hash != ref.SpecsHash {
+			return nil, "spec-store-mismatch", fmt.Sprintf(
+				"shard: spec store %s seq %d resolved a different subset than the plan (got %d specs)",
+				ref.Path, ref.Seq, len(subset))
+		}
+	}
+	return subset, "", ""
+}
 
 // handleShard is the worker half of the scale-out tier: it executes one
 // coordinator-assigned shard of a detection corpus over the resident
@@ -26,7 +62,16 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, st, code, msg, nil)
 		return
 	}
-	if job.Specs == nil || len(job.Specs.Specs) == 0 {
+	jobSpecs := job.Specs
+	if job.SpecStore != nil {
+		subset, code, msg := resolveSpecStore(job.SpecStore)
+		if code != "" {
+			s.writeError(w, http.StatusConflict, code, msg, nil)
+			return
+		}
+		jobSpecs = &spec.DB{Specs: subset}
+	}
+	if jobSpecs == nil || len(jobSpecs.Specs) == 0 {
 		s.writeError(w, http.StatusBadRequest, "bad-request", "shard: specs is required", nil)
 		return
 	}
@@ -42,7 +87,7 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 	}
 	rec := obs.New()
 	rec.StartRun("shard")
-	res, bugs, runErr := snap.Resident.DetectShard(r.Context(), job.Specs.Specs, seal.DetectRunOptions{
+	res, bugs, runErr := snap.Resident.DetectShard(r.Context(), jobSpecs.Specs, seal.DetectRunOptions{
 		Workers:       workers,
 		Limits:        job.Limits,
 		Obs:           rec,

@@ -47,6 +47,9 @@ type Snapshot struct {
 	// Specs is the active spec database; SpecsHash its fingerprint.
 	Specs     []*seal.Spec
 	SpecsHash string
+	// StoreSeq is the spec-store snapshot sequence this epoch's specs were
+	// read at (0 when the daemon is not backed by a spec store).
+	StoreSeq uint64
 
 	// Build accounting (how incremental the build was), surfaced by /edit.
 	ReusedFiles      int
@@ -113,6 +116,7 @@ func buildSnapshot(files map[string]string, specs []*seal.Spec, prev *Snapshot) 
 	s.Resident = seal.NewResident(&seal.Target{Prog: prog, Files: files})
 	if prev != nil {
 		s.Epoch = prev.Epoch + 1
+		s.StoreSeq = prev.StoreSeq // source edit, specs unchanged
 		changed := changedFuncs(prev, s, prog)
 		s.InvalidatedFuncs = len(changed)
 		s.RegionsCarried, s.RegionsDropped = s.Resident.CarryRegionsFrom(prev.Resident, changed)
@@ -221,6 +225,28 @@ func (st *Store) PublishSpecs(specs []*seal.Spec) (*Snapshot, error) {
 	if err != nil {
 		return nil, err
 	}
+	st.cur.Store(next)
+	return next, nil
+}
+
+// EditSpecs publishes a spec-database successor produced by apply —
+// typically a spec-store mutation followed by a snapshot re-read — while
+// holding the writer lock, so the store commit and the epoch publication
+// are one atomic step from every reader's perspective. apply returns the
+// full new spec list (in store ordinal order) and the store sequence it
+// was read at; on error nothing is published.
+func (st *Store) EditSpecs(apply func() ([]*seal.Spec, uint64, error)) (*Snapshot, error) {
+	st.writer.Lock()
+	defer st.writer.Unlock()
+	specs, seq, err := apply()
+	if err != nil {
+		return nil, err
+	}
+	next, err := st.cur.Load().withSpecs(specs)
+	if err != nil {
+		return nil, err
+	}
+	next.StoreSeq = seq
 	st.cur.Store(next)
 	return next, nil
 }

@@ -1,0 +1,184 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"path/filepath"
+	"testing"
+
+	"seal"
+	"seal/internal/spec"
+)
+
+// newStoreBackedServer imports the shared corpus specs into a fresh paged
+// store and builds a server over it.
+func newStoreBackedServer(t *testing.T, cfg Config) (*Server, *httptest.Server, string) {
+	t.Helper()
+	files, specs := corpus(t)
+	storePath := filepath.Join(t.TempDir(), "specs.specdb")
+	if _, _, err := seal.ImportSpecStore(storePath, &spec.DB{Specs: specs}); err != nil {
+		t.Fatal(err)
+	}
+	cfg.SpecDB = storePath
+	srv, err := New(cfg, files, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts, storePath
+}
+
+// TestServeSpecStoreDetectIdentity pins the substrate-swap contract at
+// the daemon surface: a store-backed /detect must answer the same report,
+// bug records, and specs hash as a flat-file daemon over the same corpus,
+// while additionally reporting the store sequence and group stats.
+func TestServeSpecStoreDetectIdentity(t *testing.T) {
+	_, flatTS := newTestServer(t, Config{Workers: 1})
+	_, storeTS, _ := newStoreBackedServer(t, Config{Workers: 1})
+
+	var flat, stored DetectResponse
+	if got := do(t, flatTS, "POST", "/detect", `{"report":true}`, &flat); got != http.StatusOK {
+		t.Fatalf("flat detect: status %d", got)
+	}
+	if got := do(t, storeTS, "POST", "/detect", `{"report":true}`, &stored); got != http.StatusOK {
+		t.Fatalf("store detect: status %d", got)
+	}
+	if stored.Report != flat.Report {
+		t.Errorf("store-backed report differs:\nstore:\n%s\nflat:\n%s", stored.Report, flat.Report)
+	}
+	if stored.SpecsHash != flat.SpecsHash {
+		t.Errorf("specs hash: store %s, flat %s", stored.SpecsHash, flat.SpecsHash)
+	}
+	sb, _ := json.Marshal(stored.Bugs)
+	fb, _ := json.Marshal(flat.Bugs)
+	if string(sb) != string(fb) {
+		t.Errorf("store-backed bug records differ:\nstore: %s\nflat:  %s", sb, fb)
+	}
+	if stored.StoreSeq == 0 {
+		t.Error("store-backed response has no store_seq")
+	}
+	if stored.Grouped == nil || stored.Grouped.Groups == 0 {
+		t.Fatalf("store-backed response has no grouped stats: %+v", stored.Grouped)
+	}
+	if flat.Grouped != nil || flat.StoreSeq != 0 {
+		t.Errorf("flat response unexpectedly store-shaped: seq=%d grouped=%+v", flat.StoreSeq, flat.Grouped)
+	}
+}
+
+// TestServeSpecsEndpoint drives the /specs surface end to end: query the
+// whole database and one scope, edit a spec in place, and verify the new
+// epoch serves the edit incrementally — exactly one region group
+// recomputes, every other group replays from the resident group memo —
+// with the report still matching a flat daemon over the edited corpus.
+func TestServeSpecsEndpoint(t *testing.T) {
+	files, specs := corpus(t)
+	srv, ts, _ := newStoreBackedServer(t, Config{Workers: 1})
+
+	// Flat-file daemons refuse the endpoint with a structured 409.
+	_, flatTS := newTestServer(t, Config{Workers: 1})
+	var env errorEnvelope
+	if got := do(t, flatTS, "GET", "/specs", "", &env); got != http.StatusConflict || env.Error.Code != "no-spec-store" {
+		t.Fatalf("flat /specs: status %d code %q, want 409 no-spec-store", got, env.Error.Code)
+	}
+
+	var all SpecsResponse
+	if got := do(t, ts, "GET", "/specs", "", &all); got != http.StatusOK {
+		t.Fatalf("GET /specs: status %d", got)
+	}
+	if all.Total != len(specs) || all.Matched != len(specs) || len(all.DB.Specs) != len(specs) {
+		t.Fatalf("GET /specs: total=%d matched=%d len=%d, want %d each",
+			all.Total, all.Matched, len(all.DB.Specs), len(specs))
+	}
+
+	scope := specs[0].Scope()
+	var one SpecsResponse
+	if got := do(t, ts, "GET", "/specs?q="+url.QueryEscape("scope="+scope), "", &one); got != http.StatusOK {
+		t.Fatalf("GET /specs?q: status %d", got)
+	}
+	if one.Matched == 0 || one.Matched == all.Matched {
+		t.Fatalf("scope query matched %d of %d; want a proper subset", one.Matched, all.Matched)
+	}
+	for _, sp := range one.DB.Specs {
+		if sp.Scope() != scope {
+			t.Fatalf("scope query returned %s, want %s", sp.Scope(), scope)
+		}
+	}
+
+	// Warm the group memo, then edit one spec in place.
+	var cold DetectResponse
+	if got := do(t, ts, "POST", "/detect", "{}", &cold); got != http.StatusOK {
+		t.Fatalf("cold detect: status %d", got)
+	}
+	edited := *specs[0]
+	edited.OriginPatch = edited.OriginPatch + "-edited"
+	body, err := json.Marshal(SpecsEditRequest{Upsert: &seal.SpecDB{Specs: []*spec.Spec{&edited}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var er SpecsEditResponse
+	if got := do(t, ts, "POST", "/specs", string(body), &er); got != http.StatusOK {
+		t.Fatalf("POST /specs: status %d", got)
+	}
+	if er.Replaced != 1 || er.Created != 0 || er.Deleted != 0 {
+		t.Fatalf("edit: created=%d replaced=%d deleted=%d, want 0/1/0", er.Created, er.Replaced, er.Deleted)
+	}
+	if er.Epoch <= cold.Epoch || er.StoreSeq <= cold.StoreSeq {
+		t.Fatalf("edit did not advance: epoch %d->%d, seq %d->%d",
+			cold.Epoch, er.Epoch, cold.StoreSeq, er.StoreSeq)
+	}
+
+	// The edited epoch detects incrementally and stays byte-identical to a
+	// flat daemon loaded with the edited corpus.
+	var warm DetectResponse
+	if got := do(t, ts, "POST", "/detect", `{"report":true}`, &warm); got != http.StatusOK {
+		t.Fatalf("warm detect: status %d", got)
+	}
+	if warm.Grouped == nil || warm.Grouped.Computed != 1 || warm.Grouped.Warm != warm.Grouped.Groups-1 {
+		t.Fatalf("edit recompute not incremental: %+v", warm.Grouped)
+	}
+	editedSpecs := make([]*spec.Spec, len(specs))
+	copy(editedSpecs, specs)
+	editedSpecs[0] = &edited
+	flatSrv, err := New(Config{Workers: 1}, files, editedSpecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flatEdited := httptest.NewServer(flatSrv.Handler())
+	defer flatEdited.Close()
+	var ref DetectResponse
+	if got := do(t, flatEdited, "POST", "/detect", `{"report":true}`, &ref); got != http.StatusOK {
+		t.Fatalf("flat edited detect: status %d", got)
+	}
+	if warm.Report != ref.Report {
+		t.Errorf("edited store-backed report differs from flat reference:\nstore:\n%s\nflat:\n%s",
+			warm.Report, ref.Report)
+	}
+	if warm.SpecsHash != ref.SpecsHash {
+		t.Errorf("edited specs hash: store %s, flat %s", warm.SpecsHash, ref.SpecsHash)
+	}
+
+	// Delete the edited spec; the database shrinks by one and publishes.
+	body, err = json.Marshal(SpecsEditRequest{Delete: []string{edited.Key(), "no-such-key"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dr SpecsEditResponse
+	if got := do(t, ts, "POST", "/specs", string(body), &dr); got != http.StatusOK {
+		t.Fatalf("POST /specs delete: status %d", got)
+	}
+	if dr.Deleted != 1 || dr.Specs != len(specs)-1 {
+		t.Fatalf("delete: deleted=%d specs=%d, want 1 and %d", dr.Deleted, dr.Specs, len(specs)-1)
+	}
+	if cur := srv.Store().Current(); len(cur.Specs) != len(specs)-1 {
+		t.Fatalf("published snapshot holds %d specs, want %d", len(cur.Specs), len(specs)-1)
+	}
+
+	// An empty edit is rejected before touching the store.
+	if got := do(t, ts, "POST", "/specs", "{}", &env); got != http.StatusBadRequest {
+		t.Fatalf("empty edit: status %d, want 400", got)
+	}
+}

@@ -8,6 +8,8 @@
 package spec
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"strings"
@@ -276,6 +278,20 @@ func (db *DB) MarshalJSON() ([]byte, error) {
 		out.Specs[i] = &cp
 	}
 	return json.Marshal(out)
+}
+
+// Hash is the content fingerprint of the database: the hex SHA-256 of
+// its JSON serialization (conditions in tree form). Every layer that
+// identifies a spec set by content — detection cache keys, serve request
+// envelopes, spec-store shard references — goes through this one
+// function, so the fingerprints agree across processes.
+func (db *DB) Hash() (string, error) {
+	data, err := json.Marshal(db)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
 }
 
 // UnmarshalJSON restores conditions from tree form.

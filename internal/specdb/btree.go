@@ -1,0 +1,425 @@
+// Copy-on-write B-tree over the page file. Nodes are decoded whole into
+// memory, mutated, and written back as fresh pages — existing pages are
+// never modified, so every committed root spans an immutable subtree and
+// snapshots are free. Deletion does not rebalance: empty leaves are
+// unlinked from their parent and single-child branches collapse, which
+// keeps the tree valid (if right-heavy after many deletes); Compact
+// rebuilds a tight tree.
+package specdb
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+)
+
+// pageSource resolves a page id to its verified page image. Snapshots
+// read from the file; transactions overlay their unwritten dirty pages.
+type pageSource interface {
+	page(id uint64) ([]byte, error)
+}
+
+// node is the in-memory form of a leaf or branch page. Leaf values are
+// fully materialized (overflow chains resolved on read, rewritten on
+// write — values are small spec records, so the simplicity is worth the
+// occasional rewrite of an untouched neighbor value during a split).
+type node struct {
+	leaf bool
+	keys [][]byte
+	vals [][]byte // leaf only
+	kids []uint64 // branch only, len(keys)+1
+}
+
+func readPage(src pageSource, id uint64) (*Page, error) {
+	buf, err := src.page(id)
+	if err != nil {
+		return nil, err
+	}
+	p, err := DecodePage(buf)
+	if err != nil {
+		return nil, fmt.Errorf("page %d: %w", id, err)
+	}
+	return p, nil
+}
+
+func readNode(src pageSource, id uint64) (*node, error) {
+	p, err := readPage(src, id)
+	if err != nil {
+		return nil, err
+	}
+	switch p.Type {
+	case pageLeaf:
+		n := &node{leaf: true, keys: p.Keys, vals: make([][]byte, len(p.Keys))}
+		for i := range p.Keys {
+			if p.Ovf[i] == 0 {
+				n.vals[i] = p.Vals[i]
+				continue
+			}
+			v, err := readOverflow(src, p.Ovf[i], p.VLen[i])
+			if err != nil {
+				return nil, err
+			}
+			n.vals[i] = v
+		}
+		return n, nil
+	case pageBranch:
+		return &node{keys: p.Keys, kids: p.Kids}, nil
+	default:
+		return nil, fmt.Errorf("page %d: %w: expected a tree node, found page type %d", id, ErrCorrupt, p.Type)
+	}
+}
+
+func readOverflow(src pageSource, id uint64, total uint32) ([]byte, error) {
+	out := make([]byte, 0, total)
+	// A well-formed chain has ceil(total/ovfChunk) pages; the +2 slack
+	// tolerates an empty final chunk without admitting cycles.
+	budget := int(total)/ovfChunk + 2
+	for id != 0 {
+		if budget--; budget < 0 {
+			return nil, fmt.Errorf("%w: overflow chain at page %d longer than its declared length", ErrCorrupt, id)
+		}
+		p, err := readPage(src, id)
+		if err != nil {
+			return nil, err
+		}
+		if p.Type != pageOverflow {
+			return nil, fmt.Errorf("page %d: %w: expected overflow page, found type %d", id, ErrCorrupt, p.Type)
+		}
+		out = append(out, p.Data...)
+		id = p.Next
+	}
+	if len(out) != int(total) {
+		return nil, fmt.Errorf("%w: overflow chain decodes to %d bytes, declared %d", ErrCorrupt, len(out), total)
+	}
+	return out, nil
+}
+
+// encodedSize is the full page size the node needs, header included.
+func encodedSize(n *node) int {
+	if n.leaf {
+		sz := leafHdr
+		for i := range n.keys {
+			sz += leafCell + len(n.keys[i])
+			if len(n.vals[i]) <= maxInline {
+				sz += len(n.vals[i])
+			}
+		}
+		return sz
+	}
+	sz := branchHdr
+	for i := range n.keys {
+		sz += branchCell + len(n.keys[i])
+	}
+	return sz
+}
+
+// writeNode encodes a node (spilling large leaf values to overflow
+// chains) and allocates it a fresh page in the transaction.
+func (tx *Tx) writeNode(n *node) (uint64, error) {
+	buf := make([]byte, PageSize)
+	if n.leaf {
+		buf[0] = pageLeaf
+		putU16(buf[1:3], len(n.keys))
+		off := leafHdr
+		for i := range n.keys {
+			var ovf uint64
+			inline := n.vals[i]
+			if len(n.vals[i]) > maxInline {
+				var err error
+				ovf, err = tx.writeOverflow(n.vals[i])
+				if err != nil {
+					return 0, err
+				}
+				inline = nil
+			}
+			putU16(buf[off:off+2], len(n.keys[i]))
+			putU32(buf[off+2:off+6], len(n.vals[i]))
+			putU64(buf[off+6:off+14], ovf)
+			off += leafCell
+			off += copy(buf[off:], n.keys[i])
+			off += copy(buf[off:], inline)
+		}
+	} else {
+		buf[0] = pageBranch
+		putU16(buf[1:3], len(n.keys))
+		putU64(buf[3:11], n.kids[0])
+		off := branchHdr
+		for i := range n.keys {
+			putU16(buf[off:off+2], len(n.keys[i]))
+			putU64(buf[off+2:off+10], n.kids[i+1])
+			off += branchCell
+			off += copy(buf[off:], n.keys[i])
+		}
+	}
+	sealPage(buf)
+	return tx.alloc(buf), nil
+}
+
+// writeOverflow writes a value as a chain of overflow pages, last chunk
+// first so each page can point at its successor.
+func (tx *Tx) writeOverflow(val []byte) (uint64, error) {
+	nchunks := (len(val) + ovfChunk - 1) / ovfChunk
+	next := uint64(0)
+	for c := nchunks - 1; c >= 0; c-- {
+		chunk := val[c*ovfChunk : min(len(val), (c+1)*ovfChunk)]
+		buf := make([]byte, PageSize)
+		buf[0] = pageOverflow
+		putU64(buf[1:9], next)
+		putU32(buf[9:13], len(chunk))
+		copy(buf[ovfHdr:], chunk)
+		sealPage(buf)
+		next = tx.alloc(buf)
+	}
+	return next, nil
+}
+
+// childIndex picks the branch child to descend into for key: the last
+// child whose separator range admits the key.
+func childIndex(n *node, key []byte) int {
+	return sort.Search(len(n.keys), func(i int) bool {
+		return bytes.Compare(key, n.keys[i]) < 0
+	})
+}
+
+// treeGet returns the value for key under root (0 = empty tree).
+func treeGet(src pageSource, root uint64, key []byte) ([]byte, bool, error) {
+	for root != 0 {
+		n, err := readNode(src, root)
+		if err != nil {
+			return nil, false, err
+		}
+		if n.leaf {
+			i := sort.Search(len(n.keys), func(i int) bool {
+				return bytes.Compare(n.keys[i], key) >= 0
+			})
+			if i < len(n.keys) && bytes.Equal(n.keys[i], key) {
+				return n.vals[i], true, nil
+			}
+			return nil, false, nil
+		}
+		root = n.kids[childIndex(n, key)]
+	}
+	return nil, false, nil
+}
+
+// splitResult carries an insert's outcome back up the tree: the
+// rewritten subtree root, plus a second subtree and its separator key
+// when the node had to split.
+type splitResult struct {
+	left     uint64
+	right    uint64
+	sep      []byte
+	split    bool
+	replaced bool
+}
+
+func (tx *Tx) insertRec(id uint64, key, val []byte) (splitResult, error) {
+	n, err := readNode(tx, id)
+	if err != nil {
+		return splitResult{}, err
+	}
+	var replaced bool
+	if n.leaf {
+		i := sort.Search(len(n.keys), func(i int) bool {
+			return bytes.Compare(n.keys[i], key) >= 0
+		})
+		if i < len(n.keys) && bytes.Equal(n.keys[i], key) {
+			n.vals[i] = val
+			replaced = true
+		} else {
+			n.keys = append(n.keys[:i], append([][]byte{key}, n.keys[i:]...)...)
+			n.vals = append(n.vals[:i], append([][]byte{val}, n.vals[i:]...)...)
+		}
+	} else {
+		ci := childIndex(n, key)
+		sr, err := tx.insertRec(n.kids[ci], key, val)
+		if err != nil {
+			return splitResult{}, err
+		}
+		replaced = sr.replaced
+		n.kids[ci] = sr.left
+		if sr.split {
+			n.keys = append(n.keys[:ci], append([][]byte{sr.sep}, n.keys[ci:]...)...)
+			n.kids = append(n.kids[:ci+1], append([]uint64{sr.right}, n.kids[ci+1:]...)...)
+		}
+	}
+	if encodedSize(n) <= checksumOff {
+		nid, err := tx.writeNode(n)
+		return splitResult{left: nid, replaced: replaced}, err
+	}
+	left, right, sep := splitNode(n)
+	lid, err := tx.writeNode(left)
+	if err != nil {
+		return splitResult{}, err
+	}
+	rid, err := tx.writeNode(right)
+	if err != nil {
+		return splitResult{}, err
+	}
+	return splitResult{left: lid, right: rid, sep: sep, split: true, replaced: replaced}, nil
+}
+
+// splitNode divides an overfull node into two that each fit in a page.
+// The split point byte-balances the halves; because MaxKeyLen+maxInline
+// caps any single cell at under a third of a page, both halves of a
+// node that overflowed by at most one cell are guaranteed to fit. For a
+// leaf the separator is the right half's first key; for a branch the
+// separator key is promoted and appears in neither half.
+func splitNode(n *node) (left, right *node, sep []byte) {
+	total := encodedSize(n)
+	if n.leaf {
+		acc := leafHdr
+		m := 0
+		for m < len(n.keys)-1 {
+			cell := leafCell + len(n.keys[m])
+			if len(n.vals[m]) <= maxInline {
+				cell += len(n.vals[m])
+			}
+			if m > 0 && acc+cell > total/2 {
+				break
+			}
+			acc += cell
+			m++
+		}
+		left = &node{leaf: true, keys: n.keys[:m:m], vals: n.vals[:m:m]}
+		right = &node{leaf: true, keys: n.keys[m:], vals: n.vals[m:]}
+		return left, right, right.keys[0]
+	}
+	acc := branchHdr
+	m := 0
+	for m < len(n.keys)-1 {
+		cell := branchCell + len(n.keys[m])
+		if m > 0 && acc+cell > total/2 {
+			break
+		}
+		acc += cell
+		m++
+	}
+	sep = n.keys[m]
+	left = &node{keys: n.keys[:m:m], kids: n.kids[: m+1 : m+1]}
+	right = &node{keys: n.keys[m+1:], kids: n.kids[m+1:]}
+	return left, right, sep
+}
+
+// delResult carries a delete's outcome: the (possibly rewritten)
+// subtree root, whether the key was found, and whether the subtree
+// became empty and should be unlinked by the parent.
+type delResult struct {
+	id    uint64
+	found bool
+	empty bool
+}
+
+func (tx *Tx) deleteRec(id uint64, key []byte) (delResult, error) {
+	n, err := readNode(tx, id)
+	if err != nil {
+		return delResult{}, err
+	}
+	if n.leaf {
+		i := sort.Search(len(n.keys), func(i int) bool {
+			return bytes.Compare(n.keys[i], key) >= 0
+		})
+		if i >= len(n.keys) || !bytes.Equal(n.keys[i], key) {
+			return delResult{id: id}, nil
+		}
+		n.keys = append(n.keys[:i], n.keys[i+1:]...)
+		n.vals = append(n.vals[:i], n.vals[i+1:]...)
+		if len(n.keys) == 0 {
+			return delResult{found: true, empty: true}, nil
+		}
+		nid, err := tx.writeNode(n)
+		return delResult{id: nid, found: true}, err
+	}
+	ci := childIndex(n, key)
+	dr, err := tx.deleteRec(n.kids[ci], key)
+	if err != nil {
+		return delResult{}, err
+	}
+	if !dr.found {
+		return delResult{id: id}, nil
+	}
+	if dr.empty {
+		n.kids = append(n.kids[:ci], n.kids[ci+1:]...)
+		ki := ci
+		if ki > 0 {
+			ki--
+		}
+		n.keys = append(n.keys[:ki], n.keys[ki+1:]...)
+		if len(n.kids) == 1 {
+			// Single-child branch: collapse to the child (already
+			// rewritten or untouched — either way a valid subtree).
+			return delResult{id: n.kids[0], found: true}, nil
+		}
+	} else {
+		n.kids[ci] = dr.id
+	}
+	nid, err := tx.writeNode(n)
+	return delResult{id: nid, found: true}, err
+}
+
+// treeIterFrom walks keys in order starting at the first key >= lo
+// (nil lo = from the start), calling fn until it returns false.
+func treeIterFrom(src pageSource, root uint64, lo []byte, fn func(key, val []byte) (bool, error)) error {
+	if root == 0 {
+		return nil
+	}
+	_, err := iterNode(src, root, lo, fn)
+	return err
+}
+
+func iterNode(src pageSource, id uint64, lo []byte, fn func(key, val []byte) (bool, error)) (bool, error) {
+	n, err := readNode(src, id)
+	if err != nil {
+		return false, err
+	}
+	if n.leaf {
+		start := 0
+		if lo != nil {
+			start = sort.Search(len(n.keys), func(i int) bool {
+				return bytes.Compare(n.keys[i], lo) >= 0
+			})
+		}
+		for i := start; i < len(n.keys); i++ {
+			cont, err := fn(n.keys[i], n.vals[i])
+			if err != nil || !cont {
+				return false, err
+			}
+		}
+		return true, nil
+	}
+	start := 0
+	if lo != nil {
+		start = childIndex(n, lo)
+	}
+	for ci := start; ci < len(n.kids); ci++ {
+		bound := lo
+		if ci > start {
+			bound = nil // later subtrees are entirely >= lo
+		}
+		cont, err := iterNode(src, n.kids[ci], bound, fn)
+		if err != nil || !cont {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+func putU16(b []byte, v int) { b[0] = byte(v); b[1] = byte(v >> 8) }
+func putU32(b []byte, v int) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
+func putU64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

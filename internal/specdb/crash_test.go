@@ -1,0 +1,321 @@
+package specdb
+
+// Crash-consistency harness. A recording file wrapper logs every write
+// the store issues across a multi-commit run; the harness then rebuilds
+// the file image at every write-log prefix (a crash between any two
+// writes), plus torn variants of the next write (a crash mid-write) and
+// truncations, and asserts the store recovers to exactly the last fully
+// committed snapshot — never a panic, never partial state. A separate
+// pass flips individual bits in the final image and asserts checksums
+// turn silent corruption into clean errors.
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"testing"
+)
+
+// memFile is an in-memory file for simulated crash images.
+type memFile struct{ buf []byte }
+
+func (m *memFile) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 || off >= int64(len(m.buf)) {
+		return 0, io.EOF
+	}
+	n := copy(p, m.buf[off:])
+	if n < len(p) {
+		return n, io.ErrUnexpectedEOF
+	}
+	return n, nil
+}
+
+func (m *memFile) WriteAt(p []byte, off int64) (int, error) {
+	end := off + int64(len(p))
+	if int64(len(m.buf)) < end {
+		grown := make([]byte, end)
+		copy(grown, m.buf)
+		m.buf = grown
+	}
+	copy(m.buf[off:], p)
+	return len(p), nil
+}
+
+func (m *memFile) Sync() error { return nil }
+func (m *memFile) Truncate(n int64) error {
+	if n < int64(len(m.buf)) {
+		m.buf = m.buf[:n]
+	}
+	return nil
+}
+func (m *memFile) Close() error         { return nil }
+func (m *memFile) Size() (int64, error) { return int64(len(m.buf)), nil }
+
+// writeOp is one logged WriteAt.
+type writeOp struct {
+	off  int64
+	data []byte
+}
+
+// recordingFile mirrors writes into a memFile while logging them for
+// prefix replay.
+type recordingFile struct {
+	mem *memFile
+	log []writeOp
+}
+
+func (r *recordingFile) ReadAt(p []byte, off int64) (int, error) { return r.mem.ReadAt(p, off) }
+func (r *recordingFile) WriteAt(p []byte, off int64) (int, error) {
+	r.log = append(r.log, writeOp{off: off, data: append([]byte(nil), p...)})
+	return r.mem.WriteAt(p, off)
+}
+func (r *recordingFile) Sync() error            { return nil }
+func (r *recordingFile) Truncate(n int64) error { return r.mem.Truncate(n) }
+func (r *recordingFile) Close() error           { return nil }
+func (r *recordingFile) Size() (int64, error)   { return r.mem.Size() }
+
+// committedState is the model at one commit, tagged with how many
+// writes the log held once the commit was durable.
+type committedState struct {
+	seq    uint64
+	model  map[string]string
+	writes int
+}
+
+// buildCrashRun drives a deterministic multi-commit workload through a
+// recording file and returns the write log plus the per-commit models.
+func buildCrashRun(t *testing.T) ([]writeOp, []committedState) {
+	t.Helper()
+	rec := &recordingFile{mem: &memFile{}}
+	if err := initEmpty(rec); err != nil {
+		t.Fatal(err)
+	}
+	st, err := openWith(rec, "crash.mem", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := map[string]string{}
+	commits := []committedState{{seq: st.Current().Seq(), model: copyModel(model), writes: len(rec.log)}}
+
+	rng := rand.New(rand.NewSource(99))
+	for c := 0; c < 10; c++ {
+		err := st.Update(func(tx *Tx) error {
+			for i := 0; i < 1+rng.Intn(5); i++ {
+				k := fmt.Sprintf("iface:%02d", rng.Intn(30))
+				if rng.Intn(5) == 0 {
+					if _, err := tx.Delete([]byte(k)); err != nil {
+						return err
+					}
+					delete(model, k)
+				} else {
+					v := fmt.Sprintf("val-%d-%s", c, string(make([]byte, rng.Intn(2*maxInline))))
+					if err := tx.Put([]byte(k), []byte(v)); err != nil {
+						return err
+					}
+					model[k] = v
+				}
+			}
+			// Guarantee every commit is dirty.
+			sentinel := fmt.Sprintf("commit:%d", c)
+			if err := tx.Put([]byte(sentinel), []byte("x")); err != nil {
+				return err
+			}
+			model[sentinel] = "x"
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		commits = append(commits, committedState{seq: st.Current().Seq(), model: copyModel(model), writes: len(rec.log)})
+	}
+	return rec.log, commits
+}
+
+// replayPrefix rebuilds the file image after the first n logged writes.
+func replayPrefix(log []writeOp, n int) *memFile {
+	f := &memFile{}
+	for _, w := range log[:n] {
+		f.WriteAt(w.data, w.off)
+	}
+	return f
+}
+
+// expectAt returns the committed state a crash after `writes` complete
+// writes must recover to.
+func expectAt(commits []committedState, writes int) (committedState, bool) {
+	var best committedState
+	found := false
+	for _, c := range commits {
+		if c.writes <= writes {
+			best = c
+			found = true
+		}
+	}
+	return best, found
+}
+
+// checkRecovery opens a crash image and asserts it recovers to exactly
+// the expected committed state. When no commit (not even the genesis
+// init) is fully on disk, a clean open error is the correct outcome.
+func checkRecovery(t *testing.T, img *memFile, want committedState, haveCommit bool, label string) {
+	t.Helper()
+	st, err := openWith(img, label, false)
+	if err != nil {
+		if haveCommit {
+			t.Fatalf("%s: lost committed seq %d: %v", label, want.seq, err)
+		}
+		if !errors.Is(err, ErrNotStore) && !errors.Is(err, ErrVersion) {
+			t.Fatalf("%s: pre-genesis crash produced unexpected error class: %v", label, err)
+		}
+		return
+	}
+	if !haveCommit {
+		t.Fatalf("%s: opened with no durable commit (seq %d)", label, st.Current().Seq())
+	}
+	if got := st.Current().Seq(); got != want.seq {
+		t.Fatalf("%s: recovered seq %d, want %d", label, got, want.seq)
+	}
+	if _, err := st.Verify(); err != nil {
+		t.Fatalf("%s: verify after recovery: %v", label, err)
+	}
+	checkAgainstModel(t, st.Current(), want.model, label)
+}
+
+// TestCrashConsistencyEveryCommitOffset replays the run's write log cut
+// at every offset, and additionally tears the in-flight write at each
+// cut (half written, and half written then zero-filled).
+func TestCrashConsistencyEveryCommitOffset(t *testing.T) {
+	log, commits := buildCrashRun(t)
+	genesisWrites := commits[0].writes
+
+	for p := 0; p <= len(log); p++ {
+		want, _ := expectAt(commits, p)
+		have := p >= genesisWrites
+		checkRecovery(t, replayPrefix(log, p), want, have, fmt.Sprintf("prefix %d/%d", p, len(log)))
+
+		if p == len(log) {
+			continue
+		}
+		// Torn in-flight write: only the first half of write p lands.
+		next := log[p]
+		img := replayPrefix(log, p)
+		img.WriteAt(next.data[:len(next.data)/2], next.off)
+		checkRecovery(t, img, want, have, fmt.Sprintf("torn %d/%d", p, len(log)))
+
+		// Torn with trailing garbage: first half lands, the rest of the
+		// page is scribbled rather than left at its old content.
+		img = replayPrefix(log, p)
+		scribble := append(append([]byte(nil), next.data[:len(next.data)/2]...),
+			make([]byte, len(next.data)-len(next.data)/2)...)
+		for i := len(next.data) / 2; i < len(scribble); i++ {
+			scribble[i] = 0xAA
+		}
+		img.WriteAt(scribble, next.off)
+		checkRecovery(t, img, want, have, fmt.Sprintf("scribbled %d/%d", p, len(log)))
+	}
+}
+
+// TestCrashTruncation cuts the final image at every page boundary and
+// at unaligned offsets. Recovery must land on a committed snapshot
+// whose reachable pages all survived, or fail cleanly — and reads
+// through a truncated store must error, never fabricate data.
+func TestCrashTruncation(t *testing.T) {
+	log, commits := buildCrashRun(t)
+	full := replayPrefix(log, len(log))
+	final := commits[len(commits)-1]
+	size := int64(len(full.buf))
+
+	var cuts []int64
+	for off := int64(0); off <= size; off += PageSize {
+		cuts = append(cuts, off, off+1, off+PageSize/2)
+	}
+	for _, cut := range cuts {
+		if cut > size {
+			continue
+		}
+		img := &memFile{buf: append([]byte(nil), full.buf[:cut]...)}
+		st, err := openWith(img, "trunc", false)
+		if err != nil {
+			// Both meta slots cut off — fine as long as it's clean.
+			if cut >= 2*PageSize {
+				t.Fatalf("truncate@%d: open failed with both meta slots present: %v", cut, err)
+			}
+			continue
+		}
+		seq := st.Current().Seq()
+		var want *committedState
+		for i := range commits {
+			if commits[i].seq == seq {
+				want = &commits[i]
+			}
+		}
+		if want == nil {
+			t.Fatalf("truncate@%d: recovered unknown seq %d", cut, seq)
+		}
+		// Every key either reads back its committed value or errors
+		// cleanly; silent wrong data is the one forbidden outcome.
+		for k, v := range want.model {
+			got, ok, err := st.Current().Get([]byte(k))
+			if err != nil {
+				continue // truncated page: clean error
+			}
+			if !ok || string(got) != v {
+				t.Fatalf("truncate@%d seq %d: key %q silently wrong (ok=%v)", cut, seq, k, ok)
+			}
+		}
+		if _, err := st.Verify(); err == nil {
+			// A fully verifiable store must be exactly the committed state.
+			checkAgainstModel(t, st.Current(), want.model, fmt.Sprintf("truncate@%d", cut))
+			_ = final
+		}
+	}
+}
+
+// TestCrashBitFlips flips single bits across the final image: recovery
+// must either keep serving the committed state (flip hit a dead page),
+// recover to the previous commit (flip hit the newest meta), or
+// surface a checksum error — silent wrong data and panics are the
+// failure modes being excluded.
+func TestCrashBitFlips(t *testing.T) {
+	log, commits := buildCrashRun(t)
+	full := replayPrefix(log, len(log))
+	final := commits[len(commits)-1]
+	rng := rand.New(rand.NewSource(7))
+
+	offsets := make([]int64, 0, 300)
+	for i := 0; i < 260; i++ {
+		offsets = append(offsets, rng.Int63n(int64(len(full.buf))))
+	}
+	// Target both meta slots explicitly.
+	for slot := int64(0); slot < 2; slot++ {
+		offsets = append(offsets, slot*PageSize+20, slot*PageSize+checksumOff+3)
+	}
+
+	for _, off := range offsets {
+		img := &memFile{buf: append([]byte(nil), full.buf...)}
+		img.buf[off] ^= 1 << uint(rng.Intn(8))
+
+		st, err := openWith(img, "flip", false)
+		if err != nil {
+			t.Fatalf("flip@%d: open failed with one flipped bit (the other meta slot must survive): %v", off, err)
+		}
+		seq := st.Current().Seq()
+		if seq != final.seq && seq != final.seq-1 {
+			t.Fatalf("flip@%d: recovered seq %d, want %d or %d", off, seq, final.seq, final.seq-1)
+		}
+		var want committedState
+		for _, c := range commits {
+			if c.seq == seq {
+				want = c
+			}
+		}
+		if _, err := st.Verify(); err != nil {
+			if !errors.Is(err, ErrCorrupt) && !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, io.EOF) {
+				t.Fatalf("flip@%d: verify error is not a clean corruption report: %v", off, err)
+			}
+			continue
+		}
+		checkAgainstModel(t, st.Current(), want.model, fmt.Sprintf("flip@%d", off))
+	}
+}

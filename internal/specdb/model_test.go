@@ -1,0 +1,178 @@
+package specdb
+
+// Model-based property test: seeded random operation sequences
+// (insert/delete/update/iterate/snapshot/compact/reopen) run against an
+// in-memory map model. After every commit the store must agree with the
+// model on content, count, and iteration order; held snapshots must
+// keep showing the state they were taken at no matter what later
+// commits and compactions do; and a close/reopen cycle must reload a
+// byte-identical state without rewriting the file.
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// heldSnap pairs a live snapshot with the model state at capture time.
+type heldSnap struct {
+	snap  *Snapshot
+	model map[string]string
+}
+
+func copyModel(m map[string]string) map[string]string {
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// checkAgainstModel asserts a snapshot shows exactly the model state,
+// in sorted key order.
+func checkAgainstModel(t *testing.T, sn *Snapshot, model map[string]string, label string) {
+	t.Helper()
+	if sn.Len() != len(model) {
+		t.Fatalf("%s: Len = %d, model has %d", label, sn.Len(), len(model))
+	}
+	want := make([]string, 0, len(model))
+	for k := range model {
+		want = append(want, k)
+	}
+	sort.Strings(want)
+	i := 0
+	err := sn.Iterate(func(k, v []byte) (bool, error) {
+		if i >= len(want) {
+			return false, fmt.Errorf("extra key %q", k)
+		}
+		if string(k) != want[i] {
+			return false, fmt.Errorf("key %d: %q, model %q", i, k, want[i])
+		}
+		if string(v) != model[want[i]] {
+			return false, fmt.Errorf("key %q: value %d bytes, model %d bytes", k, len(v), len(model[want[i]]))
+		}
+		i++
+		return true, nil
+	})
+	if err != nil {
+		t.Fatalf("%s: %v", label, err)
+	}
+	if i != len(want) {
+		t.Fatalf("%s: iterated %d keys, model has %d", label, i, len(want))
+	}
+}
+
+func fileHash(t *testing.T, path string) [32]byte {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sha256.Sum256(data)
+}
+
+func TestModelRandomOps(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42, 1234} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			runModelSeed(t, seed)
+		})
+	}
+}
+
+func runModelSeed(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	path := filepath.Join(t.TempDir(), "model.db")
+	st, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { st.Close() }()
+
+	model := map[string]string{}
+	var held []heldSnap
+
+	key := func() string { return fmt.Sprintf("spec/%03d", rng.Intn(120)) }
+	value := func() string {
+		// Mix of inline, boundary, and multi-page-overflow sizes.
+		sizes := []int{0, 1, 17, maxInline - 1, maxInline, maxInline + 1, 2000, ovfChunk + 50}
+		n := sizes[rng.Intn(len(sizes))]
+		return strings.Repeat(string(rune('a'+rng.Intn(26))), n)
+	}
+
+	steps := 60
+	for step := 0; step < steps; step++ {
+		switch op := rng.Intn(10); {
+		case op < 6: // commit a batch of random puts/deletes
+			nops := 1 + rng.Intn(6)
+			staged := copyModel(model)
+			err := st.Update(func(tx *Tx) error {
+				for i := 0; i < nops; i++ {
+					k := key()
+					if rng.Intn(4) == 0 {
+						ok, err := tx.Delete([]byte(k))
+						if err != nil {
+							return err
+						}
+						if _, inModel := staged[k]; inModel != ok {
+							return fmt.Errorf("Delete(%q) = %v, model says %v", k, ok, inModel)
+						}
+						delete(staged, k)
+					} else {
+						v := value()
+						if err := tx.Put([]byte(k), []byte(v)); err != nil {
+							return err
+						}
+						staged[k] = v
+					}
+					if tx.Len() != len(staged) {
+						return fmt.Errorf("tx.Len = %d, staged model %d", tx.Len(), len(staged))
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+			model = staged
+		case op < 7: // take and hold a snapshot
+			if len(held) < 4 {
+				held = append(held, heldSnap{snap: st.Current(), model: copyModel(model)})
+			}
+		case op < 8: // compact; held snapshots must survive
+			if _, err := st.Compact(); err != nil {
+				t.Fatalf("step %d compact: %v", step, err)
+			}
+		default: // close and reopen; file bytes must be untouched
+			preHash := fileHash(t, path)
+			preSeq := st.Current().Seq()
+			if err := st.Close(); err != nil {
+				t.Fatalf("step %d close: %v", step, err)
+			}
+			st, err = Open(path)
+			if err != nil {
+				t.Fatalf("step %d reopen: %v", step, err)
+			}
+			if got := fileHash(t, path); got != preHash {
+				t.Fatalf("step %d: reopen rewrote the file", step)
+			}
+			if st.Current().Seq() != preSeq {
+				t.Fatalf("step %d: reopen changed seq %d -> %d", step, preSeq, st.Current().Seq())
+			}
+			held = nil // old snapshots die with the closed store
+		}
+
+		checkAgainstModel(t, st.Current(), model, fmt.Sprintf("step %d current", step))
+		for i, h := range held {
+			checkAgainstModel(t, h.snap, h.model, fmt.Sprintf("step %d held[%d]@seq%d", step, i, h.snap.Seq()))
+		}
+	}
+	if _, err := st.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,555 @@
+// Store lifecycle: create/open, transactional copy-on-write updates
+// with the dual-slot atomic meta commit, pinned historical snapshots
+// (OpenAt), offline compaction, and structural verification.
+package specdb
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Store is an open spec store. One writer at a time (serialized by an
+// internal mutex); any number of concurrent readers via Current(),
+// each holding an immutable Snapshot.
+type Store struct {
+	path     string
+	readOnly bool
+
+	mu      sync.Mutex // serializes Update/Compact/Close
+	f       file
+	retired []file // pre-compaction files kept open for live snapshots
+	closed  bool
+
+	cur atomic.Pointer[Snapshot]
+}
+
+// Snapshot is an immutable view of one committed store state. It stays
+// readable until the Store is closed, even across later commits and
+// compactions.
+type Snapshot struct {
+	f    file
+	meta meta
+}
+
+// Seq is the commit sequence number this snapshot was published at.
+func (sn *Snapshot) Seq() uint64 { return sn.meta.seq }
+
+// Len is the number of keys in the snapshot.
+func (sn *Snapshot) Len() int { return int(sn.meta.count) }
+
+func (sn *Snapshot) page(id uint64) ([]byte, error) {
+	if id < 2 || id >= sn.meta.npages {
+		return nil, fmt.Errorf("%w: page id %d out of range [2,%d)", ErrCorrupt, id, sn.meta.npages)
+	}
+	buf := make([]byte, PageSize)
+	if _, err := sn.f.ReadAt(buf, int64(id)*PageSize); err != nil {
+		return nil, fmt.Errorf("specdb: read page %d: %w", id, err)
+	}
+	return buf, nil
+}
+
+// Get returns the value stored under key.
+func (sn *Snapshot) Get(key []byte) ([]byte, bool, error) {
+	return treeGet(sn, sn.meta.root, key)
+}
+
+// Iterate walks all keys in order. fn returns false to stop early.
+func (sn *Snapshot) Iterate(fn func(key, val []byte) (bool, error)) error {
+	return treeIterFrom(sn, sn.meta.root, nil, fn)
+}
+
+// IterateFrom walks keys >= lo in order. fn returns false to stop early.
+func (sn *Snapshot) IterateFrom(lo []byte, fn func(key, val []byte) (bool, error)) error {
+	return treeIterFrom(sn, sn.meta.root, lo, fn)
+}
+
+// Create makes a new empty store at path, failing if the file exists.
+func Create(path string) (*Store, error) {
+	osf, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	f := osFile{f: osf}
+	if err := initEmpty(f); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, err
+	}
+	return openWith(f, path, false)
+}
+
+// initEmpty writes the genesis state: an invalid slot 0 and a committed
+// empty meta at slot 1 (seq 1, so the first Update commits seq 2 into
+// slot 0).
+func initEmpty(f file) error {
+	if _, err := f.WriteAt(make([]byte, PageSize), 0); err != nil {
+		return err
+	}
+	m := meta{seq: 1, root: 0, npages: 2, nextOrd: 1, count: 0}
+	if _, err := f.WriteAt(encodeMeta(m), PageSize); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// Open opens an existing store read-write, recovering to the newest
+// fully committed snapshot. A store written by a different format
+// version is rejected with an error wrapping ErrVersion.
+func Open(path string) (*Store, error) {
+	return openPath(path, false)
+}
+
+// OpenReadOnly opens an existing store for reading only.
+func OpenReadOnly(path string) (*Store, error) {
+	return openPath(path, true)
+}
+
+func openPath(path string, readOnly bool) (*Store, error) {
+	flag := os.O_RDWR
+	if readOnly {
+		flag = os.O_RDONLY
+	}
+	osf, err := os.OpenFile(path, flag, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := openWith(osFile{f: osf}, path, readOnly)
+	if err != nil {
+		osf.Close()
+		return nil, err
+	}
+	return st, nil
+}
+
+// openWith recovers the newest valid meta slot and builds the Store.
+// Factored over the file interface so the crash harness can open
+// simulated post-crash images.
+func openWith(f file, path string, readOnly bool) (*Store, error) {
+	best, ok, skew := recoverMeta(f)
+	if !ok {
+		if skew != 0 {
+			return nil, fmt.Errorf("%w: %s was written by store format %d, this build reads format %d; re-import the flat corpus with `seal specdb -import`",
+				ErrVersion, path, skew, FormatVersion)
+		}
+		return nil, fmt.Errorf("%w: %s has no valid meta page", ErrNotStore, path)
+	}
+	st := &Store{path: path, readOnly: readOnly, f: f}
+	st.cur.Store(&Snapshot{f: f, meta: best})
+	return st, nil
+}
+
+// recoverMeta picks the valid meta slot with the highest sequence
+// number. skew reports a foreign format version if that is the only
+// reason no slot validated.
+func recoverMeta(f file) (best meta, ok bool, skew uint32) {
+	for slot := uint64(0); slot < 2; slot++ {
+		m, sk, valid := decodeMetaSlot(f, slot)
+		if valid {
+			if !ok || m.seq > best.seq {
+				best = m
+			}
+			ok = true
+		} else if sk != 0 {
+			skew = sk
+		}
+	}
+	if ok {
+		skew = 0
+	}
+	return best, ok, skew
+}
+
+// OpenAt opens the store read-only pinned at an exact commit sequence
+// number. Only the two resident meta slots are reachable: the requested
+// seq must be the current commit or the immediately preceding one, or
+// OpenAt fails with an error wrapping ErrSnapshotGone. This is the
+// coordinator/worker contract — a shard job references (path, seq) and
+// the worker refuses to run against a view the coordinator didn't pin.
+func OpenAt(path string, seq uint64) (*Store, error) {
+	osf, err := os.OpenFile(path, os.O_RDONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	f := osFile{f: osf}
+	for slot := uint64(0); slot < 2; slot++ {
+		m, _, valid := decodeMetaSlot(f, slot)
+		if valid && m.seq == seq {
+			st := &Store{path: path, readOnly: true, f: f}
+			st.cur.Store(&Snapshot{f: f, meta: m})
+			return st, nil
+		}
+	}
+	best, ok, _ := recoverMeta(f)
+	osf.Close()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s has no valid meta page", ErrNotStore, path)
+	}
+	return nil, fmt.Errorf("%w: %s holds seq %d, requested seq %d", ErrSnapshotGone, path, best.seq, seq)
+}
+
+// Path returns the file path the store was opened at.
+func (s *Store) Path() string { return s.path }
+
+// Current returns the latest committed snapshot.
+func (s *Store) Current() *Snapshot { return s.cur.Load() }
+
+// Close releases the store file and any handles retired by Compact.
+// Snapshots become invalid after Close.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	err := s.f.Close()
+	for _, rf := range s.retired {
+		if cerr := rf.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// Tx is a copy-on-write write transaction. Mutations build new pages in
+// memory; nothing touches the file until the enclosing Update commits.
+type Tx struct {
+	base   *Snapshot
+	root   uint64
+	npages uint64
+	pages  map[uint64][]byte
+
+	nextOrd uint64
+	count   uint64
+	dirty   bool
+}
+
+func (tx *Tx) page(id uint64) ([]byte, error) {
+	if buf, ok := tx.pages[id]; ok {
+		return buf, nil
+	}
+	return tx.base.page(id)
+}
+
+func (tx *Tx) alloc(buf []byte) uint64 {
+	id := tx.npages
+	tx.npages++
+	tx.pages[id] = buf
+	return id
+}
+
+// Get reads through the transaction's uncommitted state.
+func (tx *Tx) Get(key []byte) ([]byte, bool, error) {
+	return treeGet(tx, tx.root, key)
+}
+
+// Iterate walks the transaction's uncommitted state in key order.
+func (tx *Tx) Iterate(fn func(key, val []byte) (bool, error)) error {
+	return treeIterFrom(tx, tx.root, nil, fn)
+}
+
+// IterateFrom walks uncommitted keys >= lo in order.
+func (tx *Tx) IterateFrom(lo []byte, fn func(key, val []byte) (bool, error)) error {
+	return treeIterFrom(tx, tx.root, lo, fn)
+}
+
+// Len is the number of keys, including uncommitted changes.
+func (tx *Tx) Len() int { return int(tx.count) }
+
+// TakeOrd hands out the next record ordinal and advances the counter.
+func (tx *Tx) TakeOrd() uint64 {
+	ord := tx.nextOrd
+	tx.nextOrd++
+	tx.dirty = true
+	return ord
+}
+
+// Put inserts or replaces key.
+func (tx *Tx) Put(key, val []byte) error {
+	if len(key) == 0 {
+		return fmt.Errorf("specdb: empty key")
+	}
+	if len(key) > MaxKeyLen {
+		return fmt.Errorf("%w: %d bytes (max %d)", ErrKeyTooLong, len(key), MaxKeyLen)
+	}
+	tx.dirty = true
+	if tx.root == 0 {
+		id, err := tx.writeNode(&node{leaf: true, keys: [][]byte{key}, vals: [][]byte{val}})
+		if err != nil {
+			return err
+		}
+		tx.root = id
+		tx.count++
+		return nil
+	}
+	sr, err := tx.insertRec(tx.root, key, val)
+	if err != nil {
+		return err
+	}
+	if sr.split {
+		rid, err := tx.writeNode(&node{keys: [][]byte{sr.sep}, kids: []uint64{sr.left, sr.right}})
+		if err != nil {
+			return err
+		}
+		tx.root = rid
+	} else {
+		tx.root = sr.left
+	}
+	if !sr.replaced {
+		tx.count++
+	}
+	return nil
+}
+
+// Delete removes key, reporting whether it was present.
+func (tx *Tx) Delete(key []byte) (bool, error) {
+	if tx.root == 0 {
+		return false, nil
+	}
+	dr, err := tx.deleteRec(tx.root, key)
+	if err != nil {
+		return false, err
+	}
+	if !dr.found {
+		return false, nil
+	}
+	tx.dirty = true
+	if dr.empty {
+		tx.root = 0
+	} else {
+		tx.root = dr.id
+	}
+	tx.count--
+	return true, nil
+}
+
+// Update runs fn in a write transaction and atomically commits its
+// changes: new pages are written and synced, then the meta page is
+// written to the alternating slot and synced. A crash at any point
+// leaves the previous commit intact. If fn returns an error or makes
+// no changes, the file is untouched.
+func (s *Store) Update(fn func(tx *Tx) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.readOnly {
+		return ErrReadOnly
+	}
+	if s.closed {
+		return fmt.Errorf("specdb: store is closed")
+	}
+	snap := s.cur.Load()
+	tx := &Tx{
+		base:    snap,
+		root:    snap.meta.root,
+		npages:  snap.meta.npages,
+		pages:   make(map[uint64][]byte),
+		nextOrd: snap.meta.nextOrd,
+		count:   snap.meta.count,
+	}
+	if err := fn(tx); err != nil {
+		return err
+	}
+	if !tx.dirty {
+		return nil
+	}
+	return s.commit(snap, tx)
+}
+
+func (s *Store) commit(snap *Snapshot, tx *Tx) error {
+	ids := make([]uint64, 0, len(tx.pages))
+	for id := range tx.pages {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if _, err := s.f.WriteAt(tx.pages[id], int64(id)*PageSize); err != nil {
+			return fmt.Errorf("specdb: write page %d: %w", id, err)
+		}
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("specdb: sync pages: %w", err)
+	}
+	m := meta{seq: snap.meta.seq + 1, root: tx.root, npages: tx.npages, nextOrd: tx.nextOrd, count: tx.count}
+	if _, err := s.f.WriteAt(encodeMeta(m), int64(m.seq%2)*PageSize); err != nil {
+		return fmt.Errorf("specdb: write meta: %w", err)
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("specdb: sync meta: %w", err)
+	}
+	s.cur.Store(&Snapshot{f: s.f, meta: m})
+	return nil
+}
+
+// CompactStats reports what Compact reclaimed.
+type CompactStats struct {
+	Seq         uint64 // sequence number of the compacted commit
+	Keys        uint64
+	PagesBefore uint64
+	PagesAfter  uint64
+}
+
+// Compact rewrites the store into a fresh file in key order, dropping
+// every unreachable (superseded copy-on-write) page, and atomically
+// renames it over the store path. The sequence number advances by one.
+// Snapshots taken before Compact stay readable — the old file handle is
+// retired, not closed, until the Store itself closes.
+func (s *Store) Compact() (CompactStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.readOnly {
+		return CompactStats{}, ErrReadOnly
+	}
+	if s.closed {
+		return CompactStats{}, fmt.Errorf("specdb: store is closed")
+	}
+	snap := s.cur.Load()
+	tmp := s.path + ".compact"
+	os.Remove(tmp)
+	osf, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return CompactStats{}, err
+	}
+	nf := osFile{f: osf}
+	fail := func(err error) (CompactStats, error) {
+		nf.Close()
+		os.Remove(tmp)
+		return CompactStats{}, err
+	}
+	tx := &Tx{
+		base:    &Snapshot{f: nf, meta: meta{npages: 2}},
+		npages:  2,
+		pages:   make(map[uint64][]byte),
+		nextOrd: snap.meta.nextOrd,
+	}
+	err = snap.Iterate(func(key, val []byte) (bool, error) {
+		return true, tx.Put(append([]byte(nil), key...), append([]byte(nil), val...))
+	})
+	if err != nil {
+		return fail(err)
+	}
+	if tx.count != snap.meta.count {
+		return fail(fmt.Errorf("%w: compaction saw %d keys, meta declares %d", ErrCorrupt, tx.count, snap.meta.count))
+	}
+	if _, err := nf.WriteAt(make([]byte, 2*PageSize), 0); err != nil {
+		return fail(err)
+	}
+	ids := make([]uint64, 0, len(tx.pages))
+	for id := range tx.pages {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if _, err := nf.WriteAt(tx.pages[id], int64(id)*PageSize); err != nil {
+			return fail(err)
+		}
+	}
+	m := meta{seq: snap.meta.seq + 1, root: tx.root, npages: tx.npages, nextOrd: tx.nextOrd, count: tx.count}
+	if _, err := nf.WriteAt(encodeMeta(m), int64(m.seq%2)*PageSize); err != nil {
+		return fail(err)
+	}
+	if err := nf.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := os.Rename(tmp, s.path); err != nil {
+		return fail(err)
+	}
+	s.retired = append(s.retired, s.f)
+	s.f = nf
+	s.cur.Store(&Snapshot{f: nf, meta: m})
+	return CompactStats{Seq: m.seq, Keys: m.count, PagesBefore: snap.meta.npages, PagesAfter: m.npages}, nil
+}
+
+// VerifyStats summarizes a successful structural walk.
+type VerifyStats struct {
+	Seq           uint64
+	Keys          uint64
+	TreePages     uint64
+	OverflowPages uint64
+	FilePages     uint64 // allocated pages per the meta, live or not
+}
+
+// Verify walks every page reachable from the current root, checking
+// checksums, structure, key order, and the meta key count.
+func (s *Store) Verify() (VerifyStats, error) {
+	snap := s.Current()
+	vs := VerifyStats{Seq: snap.meta.seq, FilePages: snap.meta.npages}
+	if snap.meta.root != 0 {
+		if err := verifyNode(snap, snap.meta.root, &vs); err != nil {
+			return vs, err
+		}
+	}
+	if vs.Keys != snap.meta.count {
+		return vs, fmt.Errorf("%w: tree holds %d keys, meta declares %d", ErrCorrupt, vs.Keys, snap.meta.count)
+	}
+	var prev []byte
+	first := true
+	err := snap.Iterate(func(key, _ []byte) (bool, error) {
+		if !first && string(prev) >= string(key) {
+			return false, fmt.Errorf("%w: global key order violated at %q", ErrCorrupt, key)
+		}
+		prev = append(prev[:0], key...)
+		first = false
+		return true, nil
+	})
+	return vs, err
+}
+
+func verifyNode(sn *Snapshot, id uint64, vs *VerifyStats) error {
+	p, err := readPage(sn, id)
+	if err != nil {
+		return err
+	}
+	switch p.Type {
+	case pageLeaf:
+		vs.TreePages++
+		vs.Keys += uint64(len(p.Keys))
+		for i, ovf := range p.Ovf {
+			if ovf == 0 {
+				continue
+			}
+			chunks := uint64(int(p.VLen[i])+ovfChunk-1) / uint64(ovfChunk)
+			if _, err := readOverflow(sn, ovf, p.VLen[i]); err != nil {
+				return err
+			}
+			vs.OverflowPages += chunks
+		}
+		return nil
+	case pageBranch:
+		vs.TreePages++
+		for _, kid := range p.Kids {
+			if err := verifyNode(sn, kid, vs); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("page %d: %w: expected a tree node, found page type %d", id, ErrCorrupt, p.Type)
+	}
+}
+
+// StoreStats is a cheap summary of the open store.
+type StoreStats struct {
+	Path      string
+	Seq       uint64
+	Keys      uint64
+	NextOrd   uint64
+	Pages     uint64
+	FileBytes int64
+}
+
+// Stats reports the current snapshot's header fields and the file size.
+func (s *Store) Stats() StoreStats {
+	snap := s.Current()
+	sz, _ := s.f.Size()
+	return StoreStats{
+		Path:      s.path,
+		Seq:       snap.meta.seq,
+		Keys:      snap.meta.count,
+		NextOrd:   snap.meta.nextOrd,
+		Pages:     snap.meta.npages,
+		FileBytes: sz,
+	}
+}

@@ -32,6 +32,11 @@ type Resident struct {
 	// repeated request replays without touching disk or the substrate.
 	// Degraded or quarantined results are never stored.
 	memo sync.Map // string -> *detectCacheEntry
+
+	// gmemo is the per-region-group result tier used by DetectGrouped:
+	// entries keyed like the disk cache's TierDetectGroup entries, so a
+	// spec edit replays every group it did not touch from memory.
+	gmemo sync.Map // string -> *groupCacheEntry
 }
 
 // NewResident pins a loaded target to a fresh shared substrate.

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# End-to-end smoke for the paged spec store, driving the real CLI the way
+# a user would:
+#
+#   1. infer a flat spec database and import it into a store,
+#   2. detect from the store and byte-diff against the flat-file run —
+#      in process and sharded across two spawned workers,
+#   3. verify the store, compact it, verify again, and byte-diff the
+#      post-compaction detection against the same flat reference,
+#   4. re-import the flat file: first-wins dedup must add nothing.
+#
+# The finer-grained contracts (one-spec edit recomputing exactly one
+# region group, snapshot pinning, version skew) are enforced by
+# `go test ./internal/difftest ./cmd/seal`; this script is the coarse
+# binary-level gate CI runs alongside them.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+store="$work/specs.specdb"
+
+go run ./cmd/seal gen -out "$work/corpus"
+go run ./cmd/seal infer -patches "$work/corpus/patches" -out "$work/specs.json" >/dev/null
+
+echo "== import flat specs into the store"
+go run ./cmd/seal specdb -db "$store" -import "$work/specs.json"
+
+echo "== detect: flat reference"
+go run ./cmd/seal detect -target "$work/corpus/tree" -specs "$work/specs.json" \
+    -report >"$work/flat-report.txt"
+
+echo "== detect: store-backed (grouped)"
+go run ./cmd/seal detect -target "$work/corpus/tree" -spec-db "$store" \
+    -report >"$work/store-report.txt"
+diff "$work/flat-report.txt" "$work/store-report.txt"
+
+echo "== detect: store-backed across 2 spawned workers"
+go run ./cmd/seal detect -target "$work/corpus/tree" -spec-db "$store" \
+    -report -shards 2 -cache-dir "$work/cache" >"$work/sharded-report.txt"
+diff "$work/flat-report.txt" "$work/sharded-report.txt"
+
+echo "== verify, compact, verify"
+go run ./cmd/seal specdb -db "$store" -verify
+go run ./cmd/seal specdb -db "$store" -compact
+go run ./cmd/seal specdb -db "$store" -verify
+go run ./cmd/seal specdb -db "$store" -stats
+
+echo "== detect: after compaction"
+go run ./cmd/seal detect -target "$work/corpus/tree" -spec-db "$store" \
+    -report >"$work/compacted-report.txt"
+diff "$work/flat-report.txt" "$work/compacted-report.txt"
+
+echo "== re-import must dedup"
+reimport=$(go run ./cmd/seal specdb -db "$store" -import "$work/specs.json")
+echo "$reimport"
+case "$reimport" in
+    "imported 0 specs into"*) ;;
+    *)
+        echo "FAIL: re-import was not a no-op" >&2
+        exit 1
+        ;;
+esac
+
+echo "PASS: store-backed detection byte-identical to flat (in-process, sharded, post-compaction)"
