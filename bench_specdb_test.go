@@ -108,3 +108,120 @@ func TestSpecEditRecomputeSpeedup(t *testing.T) {
 		t.Errorf("edit recompute is only %.2fx faster than full cold detect, want >= 3x", speedup)
 	}
 }
+
+// benchIngestSpecs synthesizes a bulk-ingest corpus: n distinct-keyed
+// clones of the eval corpus's specs, interface names rotated so every
+// clone lands under its own scope key.
+func benchIngestSpecs(tb testing.TB, n int) []*Spec {
+	tb.Helper()
+	_, base := benchDetectCorpus(tb)
+	out := make([]*Spec, 0, n)
+	for i := 0; len(out) < n; i++ {
+		sp := *base[i%len(base)]
+		sp.Iface = fmt.Sprintf("bench.ingest%04d.ops", i)
+		sp.API = ""
+		sp.ID = fmt.Sprintf("%s-ingest%04d", sp.ID, i)
+		out = append(out, &sp)
+	}
+	return out
+}
+
+// ingestUnbatched is the pre-group-commit write path: one durable store
+// transaction (WAL append + immediate fold into a B-tree commit) per
+// spec.
+func ingestUnbatched(tb testing.TB, path string, specs []*Spec) {
+	tb.Helper()
+	st, err := specdb.Create(path)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	defer st.Close()
+	for _, sp := range specs {
+		if _, err := st.UpsertSpec(sp); err != nil {
+			tb.Fatal(err)
+		}
+	}
+}
+
+// ingestBatched is the group-commit path: every spec rides the WAL and
+// the default commit policy folds the batch into amortized commits.
+func ingestBatched(tb testing.TB, path string, specs []*Spec) {
+	tb.Helper()
+	if _, _, err := ImportSpecStoreOptions(path, &SpecDB{Specs: specs}, specdb.Options{}); err != nil {
+		tb.Fatal(err)
+	}
+}
+
+// BenchmarkSpecIngest pins the bulk-ingestion claim behind the WAL
+// group-commit path: "cold" commits every spec as its own transaction,
+// "batched" is the same corpus through ImportSpecs with the default
+// commit policy. Record results in BENCH_detect.json.
+func BenchmarkSpecIngest(b *testing.B) {
+	specs := benchIngestSpecs(b, 1000)
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			path := filepath.Join(b.TempDir(), "ingest.specdb")
+			b.StartTimer()
+			ingestUnbatched(b, path, specs)
+		}
+	})
+	b.Run("batched", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			path := filepath.Join(b.TempDir(), "ingest.specdb")
+			b.StartTimer()
+			ingestBatched(b, path, specs)
+		}
+	})
+}
+
+// TestSpecIngestSpeedup enforces the group-commit acceptance bar: bulk
+// ingestion of 1k specs through the batched import path must be at least
+// 10× faster than committing each spec as its own transaction, and both
+// paths must produce stores that read back the identical spec list.
+func TestSpecIngestSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("speedup measurement skipped in -short mode")
+	}
+	specs := benchIngestSpecs(t, 1000)
+	dir := t.TempDir()
+
+	const runs = 5
+	cold := medianRunNs(t, runs, func() {
+		ingestUnbatched(t, filepath.Join(t.TempDir(), "cold.specdb"), specs)
+	})
+	batched := medianRunNs(t, runs, func() {
+		ingestBatched(t, filepath.Join(t.TempDir(), "batched.specdb"), specs)
+	})
+
+	// Equivalence: both write paths materialize the same database in the
+	// same import order.
+	coldPath := filepath.Join(dir, "eq-cold.specdb")
+	batchPath := filepath.Join(dir, "eq-batched.specdb")
+	ingestUnbatched(t, coldPath, specs)
+	ingestBatched(t, batchPath, specs)
+	coldSpecs, _, err := LoadSpecStoreSpecs(coldPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchSpecs, _, err := LoadSpecStoreSpecs(batchPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(coldSpecs) != len(specs) || len(batchSpecs) != len(specs) {
+		t.Fatalf("read back %d cold / %d batched specs, want %d", len(coldSpecs), len(batchSpecs), len(specs))
+	}
+	for i := range coldSpecs {
+		if coldSpecs[i].Key() != batchSpecs[i].Key() {
+			t.Fatalf("spec %d: cold key %q != batched key %q", i, coldSpecs[i].Key(), batchSpecs[i].Key())
+		}
+	}
+
+	speedup := cold / batched
+	t.Logf("per-spec-commit median %.2fms, group-commit median %.2fms, speedup %.1fx",
+		cold/1e6, batched/1e6, speedup)
+	if speedup < 10 {
+		t.Errorf("batched ingest is only %.2fx faster than per-spec commits, want >= 10x", speedup)
+	}
+}

@@ -119,6 +119,25 @@ func validatePositiveDurationFlags(fs *flag.FlagSet, cmd string, names ...string
 	return nil
 }
 
+// validateRatioFlags rejects explicitly-set values of the named float
+// flags outside (0, 1] — the shape of a dead-page compaction threshold.
+// The omitted zero default keeps its documented "disabled" meaning.
+func validateRatioFlags(fs *flag.FlagSet, cmd string, names ...string) error {
+	set := make(map[string]bool)
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	for _, name := range names {
+		if !set[name] {
+			continue
+		}
+		f := fs.Lookup(name)
+		v, err := strconv.ParseFloat(f.Value.String(), 64)
+		if err != nil || v <= 0 || v > 1 {
+			return usageErr{msg: fmt.Sprintf("%s: -%s must be in (0, 1] (got %s)", cmd, name, f.Value.String())}
+		}
+	}
+	return nil
+}
+
 func main() {
 	if len(os.Args) < 2 {
 		usage()

@@ -51,6 +51,7 @@ func setupServe(name string, args []string) (*serve.Server, net.Listener, error)
 	target := fs.String("target", "", "source tree to keep resident (required)")
 	specFile := fs.String("specs", "", "spec database to serve detections from (optional; /infer can publish one)")
 	specDB := fs.String("spec-db", "", "paged spec store backing the spec database (mutually exclusive with -specs; enables /specs edits and region-group incremental detection)")
+	compactThreshold := fs.Float64("compact-threshold", 0, "background-compact the spec store when its dead-page ratio reaches this fraction in (0, 1] (0 = never)")
 	workers := fs.Int("workers", 1, "default worker count per request (requests may override)")
 	reqTimeout := fs.Duration("request-timeout", 0, "per-request wall-clock deadline (structured 503 when exceeded); 0 = none")
 	maxBody := fs.Int64("max-body", 0, "request body cap in bytes; 0 = default (16 MiB)")
@@ -58,6 +59,9 @@ func setupServe(name string, args []string) (*serve.Server, net.Listener, error)
 	cf := addCacheFlags(fs)
 	fs.Parse(args)
 	if err := validatePositiveFlags(fs, fs.Name(), "workers", "max-failures"); err != nil {
+		return nil, nil, err
+	}
+	if err := validateRatioFlags(fs, fs.Name(), "compact-threshold"); err != nil {
 		return nil, nil, err
 	}
 	if *specFile != "" && *specDB != "" {
@@ -86,14 +90,15 @@ func setupServe(name string, args []string) (*serve.Server, net.Listener, error)
 		specs = db.Specs
 	}
 	srv, err := serve.New(serve.Config{
-		Workers:        *workers,
-		Limits:         lf.limits(),
-		CacheDir:       cf.dir,
-		CacheReadOnly:  cf.readOnly,
-		CacheMaxBytes:  cf.maxBytes,
-		RequestTimeout: *reqTimeout,
-		MaxBodyBytes:   *maxBody,
-		SpecDB:         *specDB,
+		Workers:          *workers,
+		Limits:           lf.limits(),
+		CacheDir:         cf.dir,
+		CacheReadOnly:    cf.readOnly,
+		CacheMaxBytes:    cf.maxBytes,
+		RequestTimeout:   *reqTimeout,
+		MaxBodyBytes:     *maxBody,
+		SpecDB:           *specDB,
+		CompactThreshold: *compactThreshold,
 	}, files, specs)
 	if err != nil {
 		return nil, nil, err

@@ -23,10 +23,31 @@ func cmdSpecDB(args []string) error {
 	compact := fs.Bool("compact", false, "rewrite the store in key order, dropping superseded copy-on-write pages")
 	verify := fs.Bool("verify", false, "walk every reachable page, checking checksums, key order, and the meta key count")
 	query := fs.String("query", "", "print specs matching comma-separated field=value terms (fields: scope, iface, api, origin, patch, forbidden)")
-	stats := fs.Bool("stats", false, "print the store header (seq, keys, pages) and file size")
+	stats := fs.Bool("stats", false, "print the store header (seq, keys, pages), file size, and WAL/compaction liveness")
+	commitEvery := fs.Int("commit-every", 0, "group-commit after this many WAL records (0 = default 256)")
+	commitBytes := fs.Int64("commit-bytes", 0, "group-commit after this many pending WAL payload bytes (0 = default 1 MiB)")
+	commitInterval := fs.Duration("commit-interval", 0, "group-commit this long after the first pending WAL record (0 = no time trigger)")
+	compactThreshold := fs.Float64("compact-threshold", 0, "background-compact when the dead-page ratio reaches this fraction in (0, 1] (0 = never)")
 	fs.Parse(args)
+	if err := validatePositiveFlags(fs, "specdb", "commit-every", "commit-bytes"); err != nil {
+		return err
+	}
+	if err := validatePositiveDurationFlags(fs, "specdb", "commit-interval"); err != nil {
+		return err
+	}
+	if err := validateRatioFlags(fs, "specdb", "compact-threshold"); err != nil {
+		return err
+	}
 	if *db == "" {
 		return fmt.Errorf("specdb: -db is required")
+	}
+	opts := specdb.Options{
+		Commit: specdb.CommitPolicy{
+			Records:  *commitEvery,
+			Bytes:    *commitBytes,
+			Interval: *commitInterval,
+		},
+		CompactThreshold: *compactThreshold,
 	}
 	set := make(map[string]bool)
 	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
@@ -49,14 +70,14 @@ func cmdSpecDB(args []string) error {
 		if err := json.Unmarshal(data, &flat); err != nil {
 			return err
 		}
-		added, skipped, err := seal.ImportSpecStore(*db, &flat)
+		added, skipped, err := seal.ImportSpecStoreOptions(*db, &flat, opts)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("imported %d specs into %s (%d already present)\n", added, *db, skipped)
 		return nil
 	case *compact:
-		st, err := specdb.Open(*db)
+		st, err := specdb.OpenOptions(*db, opts)
 		if err != nil {
 			return err
 		}
@@ -90,6 +111,9 @@ func cmdSpecDB(args []string) error {
 		ss := st.Stats()
 		fmt.Printf("%s: seq %d, %d keys, %d pages, %d bytes\n",
 			ss.Path, ss.Seq, ss.Keys, ss.Pages, ss.FileBytes)
+		fmt.Printf("wal: seq %d, %d records pending, %d bytes\n",
+			ss.WALSeq, ss.WALRecordsPending, ss.WALBytes)
+		fmt.Printf("dead pages: %.2f ratio\n", ss.DeadPageRatio)
 		return nil
 	default:
 		q, err := specdb.ParseQuery(*query)

@@ -10,8 +10,10 @@
 package main
 
 import (
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -187,7 +189,53 @@ func main() {
 		fail(err)
 	}
 
+	// WAL record seeds: valid put/delete frames from the real encoder
+	// plus the three hostile classes FuzzWALRecord's contract names —
+	// truncated, flipped-checksum, and version-skewed-but-resealed —
+	// feeding the group-commit log scanner's torn-tail discipline.
+	if err := writeWALRecordSeeds(filepath.Join("internal", "specdb", "testdata", "fuzz", "FuzzWALRecord")); err != nil {
+		fail(err)
+	}
+
 	fmt.Println("fuzz seed corpora regenerated")
+}
+
+func writeWALRecordSeeds(dir string) error {
+	put := specdb.EncodeWALRecord(&specdb.WALRecord{Op: specdb.WALOpPut, Seq: 3, NextOrd: 7,
+		Key: []byte("iface:ops.prepare | some-constraint"), Val: []byte(`{"ord":6,"db":{}}`)})
+	del := specdb.EncodeWALRecord(&specdb.WALRecord{Op: specdb.WALOpDelete, Seq: 4, NextOrd: 7,
+		Key: []byte("api:kfree | k")})
+	truncated := put[:len(put)-5]
+	flipped := append([]byte(nil), put...)
+	flipped[len(flipped)-2] ^= 0x08
+	// Version skew with a recomputed checksum: structurally perfect,
+	// refused on the version byte alone.
+	skew := append([]byte(nil), del...)
+	body := skew[4 : len(skew)-8]
+	body[0] = specdb.WALVersion + 1
+	var sum uint64
+	h := fnv.New64a()
+	h.Write(body)
+	sum = h.Sum64()
+	binary.LittleEndian.PutUint64(skew[len(skew)-8:], sum)
+	seeds := []struct {
+		name string
+		data []byte
+	}{
+		{"put", put},
+		{"delete", del},
+		{"back_to_back", append(append([]byte(nil), put...), del...)},
+		{"truncated", truncated},
+		{"flipped_checksum", flipped},
+		{"version_skew", skew},
+		{"garbage", []byte("garbage that is not a record")},
+	}
+	for _, s := range seeds {
+		if err := writeBytesEntry(dir, s.name, s.data); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func writeBytesEntry(dir, name string, data []byte) error {

@@ -46,6 +46,11 @@ type Config struct {
 	// granularity so a one-spec edit recomputes only the group that owns
 	// it. The specs argument to New must be nil in this mode.
 	SpecDB string
+	// CompactThreshold arms the spec store's ratio-triggered background
+	// compaction: when a group-commit fold leaves the dead-page ratio at
+	// or above this fraction in (0, 1], the store compacts in the
+	// background without blocking snapshot readers. 0 disables it.
+	CompactThreshold float64
 }
 
 // DefaultMaxBodyBytes bounds uploads: generous for source trees, small
@@ -79,7 +84,7 @@ func New(cfg Config, files map[string]string, specs []*seal.Spec) (*Server, erro
 		if specs != nil {
 			return nil, fmt.Errorf("serve: specs and SpecDB are mutually exclusive")
 		}
-		st, err := specdb.Open(cfg.SpecDB)
+		st, err := specdb.OpenOptions(cfg.SpecDB, specdb.Options{CompactThreshold: cfg.CompactThreshold})
 		if err != nil {
 			return nil, err
 		}
@@ -591,6 +596,9 @@ type StatsResponse struct {
 	Resident    seal.ResidentStats `json:"resident"`
 	MemoEntries int                `json:"memo_entries"`
 	Substrate   seal.DetectStats   `json:"substrate"`
+	// SpecStore surfaces the backing paged store's write-path liveness
+	// (WAL depth, dead-page ratio, compaction count) in SpecDB mode.
+	SpecStore *specdb.StoreStats `json:"spec_store,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -598,6 +606,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	snap := s.store.Current()
+	var ss *specdb.StoreStats
+	if s.specStore != nil {
+		st := s.specStore.Stats()
+		ss = &st
+	}
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Epoch:       snap.Epoch,
 		TargetHash:  snap.TargetHash(),
@@ -608,6 +621,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Resident:    snap.Resident.Resident(),
 		MemoEntries: snap.Resident.MemoEntries(),
 		Substrate:   snap.Resident.Stats(),
+		SpecStore:   ss,
 	})
 }
 

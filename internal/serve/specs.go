@@ -28,8 +28,8 @@ type SpecsResponse struct {
 
 // SpecsEditRequest edits the spec database: Upsert inserts or replaces
 // specs by key, Delete removes specs by key. Upserts apply before
-// deletes; the whole edit commits as one store transaction per spec and
-// publishes once.
+// deletes; the whole edit group-commits as one WAL batch folded into a
+// single store transaction, and publishes once.
 type SpecsEditRequest struct {
 	Upsert *seal.SpecDB `json:"upsert,omitempty"`
 	Delete []string     `json:"delete,omitempty"`
@@ -111,10 +111,12 @@ func (s *Server) handleSpecsEdit(w http.ResponseWriter, r *http.Request) {
 	}
 	var created, replaced, deleted int
 	snap, err := s.store.EditSpecs(func() ([]*seal.Spec, uint64, error) {
+		b := s.specStore.Batch()
 		if req.Upsert != nil {
 			for _, sp := range req.Upsert.Specs {
-				isNew, err := s.specStore.UpsertSpec(sp)
+				isNew, err := b.UpsertSpec(sp)
 				if err != nil {
+					b.Discard()
 					return nil, 0, err
 				}
 				if isNew {
@@ -125,22 +127,27 @@ func (s *Server) handleSpecsEdit(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		for _, key := range req.Delete {
-			ok, err := s.specStore.DeleteSpec(key)
+			ok, err := b.DeleteSpec(key)
 			if err != nil {
+				b.Discard()
 				return nil, 0, err
 			}
 			if ok {
 				deleted++
 			}
 		}
+		if err := b.Flush(); err != nil {
+			return nil, 0, err
+		}
 		ssnap := s.specStore.Current()
 		specs, err := ssnap.Specs()
 		return specs, ssnap.Seq(), err
 	})
 	if err != nil {
-		// Store commits that already landed stay landed (each upsert or
-		// delete is its own durable transaction); the published epoch is
-		// unchanged, and the next successful edit republishes everything.
+		// A discarded batch leaves the store exactly as the last fold
+		// committed it — the edit is all-or-nothing up to any group-commit
+		// the policy tripped mid-batch. The published epoch is unchanged,
+		// and the next successful edit republishes everything.
 		s.writeError(w, http.StatusUnprocessableEntity, "edit-failed", err.Error(), nil)
 		return
 	}

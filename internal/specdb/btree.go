@@ -19,18 +19,60 @@ type pageSource interface {
 	page(id uint64) ([]byte, error)
 }
 
+// trustedPageSource additionally serves pages that need no checksum
+// verification: transaction-local images this process sealed itself, or
+// file pages whose checksums already verified under this source. A
+// batched commit re-reads the same path nodes on every operation, so
+// skipping the redundant hash there is a large share of ingest cost.
+// Verify deliberately reads through the bare Snapshot, which implements
+// neither method, so a structural walk always re-checks every checksum.
+type trustedPageSource interface {
+	trustedPage(id uint64) ([]byte, bool)
+	// noteVerified records a branch page that passed its checksum;
+	// branch pages are the hot re-read set and stay bounded in count.
+	noteVerified(id uint64, buf []byte)
+}
+
 // node is the in-memory form of a leaf or branch page. Leaf values are
-// fully materialized (overflow chains resolved on read, rewritten on
-// write — values are small spec records, so the simplicity is worth the
-// occasional rewrite of an untouched neighbor value during a split).
+// lazy: an overflow-backed value stays a (chain head, length) pair until
+// something actually needs its bytes, and an unchanged overflow value is
+// written back as a pointer to its existing chain, never re-spilled — so
+// inserting into a leaf neither reads nor rewrites its neighbors'
+// chains.
 type node struct {
-	leaf bool
-	keys [][]byte
-	vals [][]byte // leaf only
-	kids []uint64 // branch only, len(keys)+1
+	leaf  bool
+	keys  [][]byte
+	vals  [][]byte // leaf only; nil for an unresolved overflow value
+	ovfs  []uint64 // leaf only: existing overflow chain head per value (0 = inline or modified)
+	vlens []uint32 // leaf only: declared value length
+	kids  []uint64 // branch only, len(keys)+1
+}
+
+// value materializes leaf value i, resolving its overflow chain on
+// first use.
+func (n *node) value(src pageSource, i int) ([]byte, error) {
+	if n.vals[i] != nil || n.ovfs[i] == 0 {
+		return n.vals[i], nil
+	}
+	v, err := readOverflow(src, n.ovfs[i], n.vlens[i])
+	if err != nil {
+		return nil, err
+	}
+	n.vals[i] = v
+	return v, nil
 }
 
 func readPage(src pageSource, id uint64) (*Page, error) {
+	ts, trusted := src.(trustedPageSource)
+	if trusted {
+		if buf, ok := ts.trustedPage(id); ok {
+			p, err := decodePageTrusted(buf)
+			if err != nil {
+				return nil, fmt.Errorf("page %d: %w", id, err)
+			}
+			return p, nil
+		}
+	}
 	buf, err := src.page(id)
 	if err != nil {
 		return nil, err
@@ -38,6 +80,9 @@ func readPage(src pageSource, id uint64) (*Page, error) {
 	p, err := DecodePage(buf)
 	if err != nil {
 		return nil, fmt.Errorf("page %d: %w", id, err)
+	}
+	if trusted && p.Type == pageBranch {
+		ts.noteVerified(id, buf)
 	}
 	return p, nil
 }
@@ -49,17 +94,15 @@ func readNode(src pageSource, id uint64) (*node, error) {
 	}
 	switch p.Type {
 	case pageLeaf:
-		n := &node{leaf: true, keys: p.Keys, vals: make([][]byte, len(p.Keys))}
+		n := &node{leaf: true, keys: p.Keys, vals: make([][]byte, len(p.Keys)),
+			ovfs: make([]uint64, len(p.Keys)), vlens: make([]uint32, len(p.Keys))}
 		for i := range p.Keys {
+			n.vlens[i] = p.VLen[i]
 			if p.Ovf[i] == 0 {
 				n.vals[i] = p.Vals[i]
 				continue
 			}
-			v, err := readOverflow(src, p.Ovf[i], p.VLen[i])
-			if err != nil {
-				return nil, err
-			}
-			n.vals[i] = v
+			n.ovfs[i] = p.Ovf[i] // bytes resolved lazily by value()
 		}
 		return n, nil
 	case pageBranch:
@@ -94,15 +137,21 @@ func readOverflow(src pageSource, id uint64, total uint32) ([]byte, error) {
 	return out, nil
 }
 
+// inlineLen is the in-page byte count of leaf value i: its length when
+// it will be stored inline, 0 when it lives in an overflow chain.
+func inlineLen(n *node, i int) int {
+	if n.ovfs[i] != 0 || int(n.vlens[i]) > maxInline {
+		return 0
+	}
+	return int(n.vlens[i])
+}
+
 // encodedSize is the full page size the node needs, header included.
 func encodedSize(n *node) int {
 	if n.leaf {
 		sz := leafHdr
 		for i := range n.keys {
-			sz += leafCell + len(n.keys[i])
-			if len(n.vals[i]) <= maxInline {
-				sz += len(n.vals[i])
-			}
+			sz += leafCell + len(n.keys[i]) + inlineLen(n, i)
 		}
 		return sz
 	}
@@ -114,26 +163,38 @@ func encodedSize(n *node) int {
 }
 
 // writeNode encodes a node (spilling large leaf values to overflow
-// chains) and allocates it a fresh page in the transaction.
-func (tx *Tx) writeNode(n *node) (uint64, error) {
+// chains) into a page of the transaction. A page this transaction
+// allocated itself (old >= tx.baseN) is rewritten in place — it is not
+// yet on disk, so copy-on-write buys nothing and a batched commit would
+// otherwise strew one dead page per touched node per operation. Pages
+// of the base snapshot are never reused; old 0 always allocates.
+// Likewise a leaf value still backed by the chain it was read from is
+// written as a pointer to that chain instead of being re-spilled.
+func (tx *Tx) writeNode(n *node, old uint64) (uint64, error) {
 	buf := make([]byte, PageSize)
 	if n.leaf {
 		buf[0] = pageLeaf
 		putU16(buf[1:3], len(n.keys))
 		off := leafHdr
 		for i := range n.keys {
-			var ovf uint64
-			inline := n.vals[i]
-			if len(n.vals[i]) > maxInline {
+			ovf := n.ovfs[i]
+			var inline []byte
+			switch {
+			case ovf != 0:
+				// Unchanged overflow value: point at the existing chain
+				// without ever materializing the bytes.
+			case int(n.vlens[i]) > maxInline:
 				var err error
 				ovf, err = tx.writeOverflow(n.vals[i])
 				if err != nil {
 					return 0, err
 				}
-				inline = nil
+				n.ovfs[i] = ovf
+			default:
+				inline = n.vals[i]
 			}
 			putU16(buf[off:off+2], len(n.keys[i]))
-			putU32(buf[off+2:off+6], len(n.vals[i]))
+			putU32(buf[off+2:off+6], int(n.vlens[i]))
 			putU64(buf[off+6:off+14], ovf)
 			off += leafCell
 			off += copy(buf[off:], n.keys[i])
@@ -152,6 +213,10 @@ func (tx *Tx) writeNode(n *node) (uint64, error) {
 		}
 	}
 	sealPage(buf)
+	if old >= tx.baseN {
+		tx.pages[old] = buf
+		return old, nil
+	}
 	return tx.alloc(buf), nil
 }
 
@@ -193,7 +258,8 @@ func treeGet(src pageSource, root uint64, key []byte) ([]byte, bool, error) {
 				return bytes.Compare(n.keys[i], key) >= 0
 			})
 			if i < len(n.keys) && bytes.Equal(n.keys[i], key) {
-				return n.vals[i], true, nil
+				v, err := n.value(src, i)
+				return v, true, err
 			}
 			return nil, false, nil
 		}
@@ -225,10 +291,14 @@ func (tx *Tx) insertRec(id uint64, key, val []byte) (splitResult, error) {
 		})
 		if i < len(n.keys) && bytes.Equal(n.keys[i], key) {
 			n.vals[i] = val
+			n.ovfs[i] = 0 // replaced: any old chain no longer matches
+			n.vlens[i] = uint32(len(val))
 			replaced = true
 		} else {
 			n.keys = append(n.keys[:i], append([][]byte{key}, n.keys[i:]...)...)
 			n.vals = append(n.vals[:i], append([][]byte{val}, n.vals[i:]...)...)
+			n.ovfs = append(n.ovfs[:i], append([]uint64{0}, n.ovfs[i:]...)...)
+			n.vlens = append(n.vlens[:i], append([]uint32{uint32(len(val))}, n.vlens[i:]...)...)
 		}
 	} else {
 		ci := childIndex(n, key)
@@ -244,15 +314,15 @@ func (tx *Tx) insertRec(id uint64, key, val []byte) (splitResult, error) {
 		}
 	}
 	if encodedSize(n) <= checksumOff {
-		nid, err := tx.writeNode(n)
+		nid, err := tx.writeNode(n, id)
 		return splitResult{left: nid, replaced: replaced}, err
 	}
 	left, right, sep := splitNode(n)
-	lid, err := tx.writeNode(left)
+	lid, err := tx.writeNode(left, id)
 	if err != nil {
 		return splitResult{}, err
 	}
-	rid, err := tx.writeNode(right)
+	rid, err := tx.writeNode(right, 0)
 	if err != nil {
 		return splitResult{}, err
 	}
@@ -271,18 +341,15 @@ func splitNode(n *node) (left, right *node, sep []byte) {
 		acc := leafHdr
 		m := 0
 		for m < len(n.keys)-1 {
-			cell := leafCell + len(n.keys[m])
-			if len(n.vals[m]) <= maxInline {
-				cell += len(n.vals[m])
-			}
+			cell := leafCell + len(n.keys[m]) + inlineLen(n, m)
 			if m > 0 && acc+cell > total/2 {
 				break
 			}
 			acc += cell
 			m++
 		}
-		left = &node{leaf: true, keys: n.keys[:m:m], vals: n.vals[:m:m]}
-		right = &node{leaf: true, keys: n.keys[m:], vals: n.vals[m:]}
+		left = &node{leaf: true, keys: n.keys[:m:m], vals: n.vals[:m:m], ovfs: n.ovfs[:m:m], vlens: n.vlens[:m:m]}
+		right = &node{leaf: true, keys: n.keys[m:], vals: n.vals[m:], ovfs: n.ovfs[m:], vlens: n.vlens[m:]}
 		return left, right, right.keys[0]
 	}
 	acc := branchHdr
@@ -324,10 +391,12 @@ func (tx *Tx) deleteRec(id uint64, key []byte) (delResult, error) {
 		}
 		n.keys = append(n.keys[:i], n.keys[i+1:]...)
 		n.vals = append(n.vals[:i], n.vals[i+1:]...)
+		n.ovfs = append(n.ovfs[:i], n.ovfs[i+1:]...)
+		n.vlens = append(n.vlens[:i], n.vlens[i+1:]...)
 		if len(n.keys) == 0 {
 			return delResult{found: true, empty: true}, nil
 		}
-		nid, err := tx.writeNode(n)
+		nid, err := tx.writeNode(n, id)
 		return delResult{id: nid, found: true}, err
 	}
 	ci := childIndex(n, key)
@@ -353,7 +422,7 @@ func (tx *Tx) deleteRec(id uint64, key []byte) (delResult, error) {
 	} else {
 		n.kids[ci] = dr.id
 	}
-	nid, err := tx.writeNode(n)
+	nid, err := tx.writeNode(n, id)
 	return delResult{id: nid, found: true}, err
 }
 
@@ -380,7 +449,11 @@ func iterNode(src pageSource, id uint64, lo []byte, fn func(key, val []byte) (bo
 			})
 		}
 		for i := start; i < len(n.keys); i++ {
-			cont, err := fn(n.keys[i], n.vals[i])
+			v, err := n.value(src, i)
+			if err != nil {
+				return false, err
+			}
+			cont, err := fn(n.keys[i], v)
 			if err != nil || !cont {
 				return false, err
 			}

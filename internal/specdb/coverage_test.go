@@ -380,3 +380,96 @@ func TestStorePathAccessor(t *testing.T) {
 		t.Fatal("Compact on closed store succeeded")
 	}
 }
+
+// TestBranchPageMemoization drives the two checksum-memoization paths
+// added with group commit: the store's lookup cache (batched-import
+// dedup walking the committed tree once per snapshot) and a
+// transaction's verified-branch set (several operations in one Update
+// descending the same committed branch pages). Both only engage on
+// branch pages, so the tree must be deep enough to have them.
+func TestBranchPageMemoization(t *testing.T) {
+	st := tmpStore(t)
+	big := strings.Repeat("v", maxInline+50)
+	keyAt := func(i int) string { return fmt.Sprintf("memo-%05d", i) }
+	err := st.Update(func(tx *Tx) error {
+		for i := 0; i < 400; i++ {
+			val := fmt.Sprintf("val%05d", i)
+			if i%37 == 0 {
+				val = big // overflow chains mixed into the leaves
+			}
+			if err := tx.Put([]byte(keyAt(i)), []byte(val)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn := st.Current()
+	root, err := readPage(sn, sn.meta.root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.Type != pageBranch {
+		t.Fatalf("root is type %d, want a branch — memoization paths vacuous", root.Type)
+	}
+
+	// Store-level lookups: the first walk verifies and memoizes the root
+	// branch; repeat walks must be served from the cache, and the cache
+	// must survive only as long as its snapshot.
+	st.mu.Lock()
+	for _, i := range []int{3, 250, 399, 3} {
+		v, ok, err := st.lookupLocked([]byte(keyAt(i)))
+		if err != nil || !ok {
+			t.Fatalf("lookupLocked(%d) = %v, %v", i, ok, err)
+		}
+		want := fmt.Sprintf("val%05d", i)
+		if i%37 == 0 {
+			want = big
+		}
+		if string(v) != want {
+			t.Fatalf("lookupLocked(%d) returned %d bytes, want %d", i, len(v), len(want))
+		}
+	}
+	if st.look == nil || len(st.look.verified) == 0 {
+		t.Fatal("lookup cache memoized no branch pages")
+	}
+	if _, ok := st.look.verified[sn.meta.root]; !ok {
+		t.Fatal("root branch page missing from lookup cache")
+	}
+	prev := st.look
+	st.mu.Unlock()
+
+	// A commit publishes a new snapshot; the stale cache must be
+	// discarded, not consulted.
+	mustPut(t, st, keyAt(1), "rewritten")
+	st.mu.Lock()
+	src, snap := st.lookupSourceLocked()
+	if src == prev || snap == sn {
+		t.Fatal("lookup cache not rebuilt after commit")
+	}
+	st.mu.Unlock()
+
+	// Transaction-level: two operations in one Update descend the same
+	// committed branch pages; the second must reuse the first's
+	// verification.
+	err = st.Update(func(tx *Tx) error {
+		if err := tx.Put([]byte(keyAt(40)), []byte("x")); err != nil {
+			return err
+		}
+		if len(tx.verified) == 0 {
+			return fmt.Errorf("transaction verified no committed branch pages")
+		}
+		if _, ok := tx.trustedPage(snap.meta.root); !ok {
+			return fmt.Errorf("root branch not trusted after first descent")
+		}
+		return tx.Put([]byte(keyAt(360)), []byte("y"))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}

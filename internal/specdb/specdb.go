@@ -21,7 +21,8 @@
 // checksum offset):
 //
 //	meta:     type(1)=1 | magic(8) | version(4) | pagesize(4) |
-//	          seq(8) | root(8) | npages(8) | nextord(8) | count(8)
+//	          seq(8) | root(8) | npages(8) | nextord(8) | count(8) |
+//	          walseq(8)
 //	leaf:     type(1)=2 | nkeys(2) | cells...
 //	          cell: klen(2) | vlen(4) | ovf(8) | key | inline-value
 //	          (the value bytes are inline when ovf==0, otherwise the
@@ -104,6 +105,7 @@ type file interface {
 	Sync() error
 	Close() error
 	Size() (int64, error)
+	Truncate(size int64) error
 }
 
 type osFile struct{ f *os.File }
@@ -119,6 +121,7 @@ func (o osFile) Size() (int64, error) {
 	}
 	return st.Size(), nil
 }
+func (o osFile) Truncate(size int64) error { return o.f.Truncate(size) }
 
 // checksum is FNV-1a over the page payload.
 func checksum(payload []byte) uint64 {
@@ -132,13 +135,18 @@ func sealPage(buf []byte) {
 	binary.LittleEndian.PutUint64(buf[checksumOff:], checksum(buf[:checksumOff]))
 }
 
-// meta is the decoded content of a meta slot.
+// meta is the decoded content of a meta slot. walSeq is the WAL record
+// sequence number this commit folded up to; WAL records with a higher
+// sequence are the unfolded tail and replay on open. Stores written
+// before the WAL existed carry zero bytes there and decode as walSeq 0,
+// so the field is backward compatible within FormatVersion 1.
 type meta struct {
 	seq     uint64
 	root    uint64
 	npages  uint64
 	nextOrd uint64
 	count   uint64
+	walSeq  uint64
 }
 
 func encodeMeta(m meta) []byte {
@@ -152,6 +160,7 @@ func encodeMeta(m meta) []byte {
 	binary.LittleEndian.PutUint64(buf[33:41], m.npages)
 	binary.LittleEndian.PutUint64(buf[41:49], m.nextOrd)
 	binary.LittleEndian.PutUint64(buf[49:57], m.count)
+	binary.LittleEndian.PutUint64(buf[57:65], m.walSeq)
 	sealPage(buf)
 	return buf
 }
@@ -170,6 +179,7 @@ type Page struct {
 	NPages  uint64
 	NextOrd uint64
 	Count   uint64
+	WALSeq  uint64
 
 	// Node fields (Type == 2 or 3).
 	Keys [][]byte
@@ -193,6 +203,13 @@ func DecodePage(buf []byte) (*Page, error) {
 	if got := checksum(buf[:checksumOff]); got != want {
 		return nil, fmt.Errorf("%w: checksum mismatch (stored %#x, computed %#x)", ErrCorrupt, want, got)
 	}
+	return decodePageTrusted(buf)
+}
+
+// decodePageTrusted parses a page image whose checksum is known good:
+// either DecodePage verified it, or the image is a transaction-local
+// page this process sealed itself and never wrote to disk.
+func decodePageTrusted(buf []byte) (*Page, error) {
 	p := &Page{Type: buf[0]}
 	switch p.Type {
 	case pageMeta:
@@ -206,6 +223,7 @@ func DecodePage(buf []byte) (*Page, error) {
 		p.NPages = binary.LittleEndian.Uint64(buf[33:41])
 		p.NextOrd = binary.LittleEndian.Uint64(buf[41:49])
 		p.Count = binary.LittleEndian.Uint64(buf[49:57])
+		p.WALSeq = binary.LittleEndian.Uint64(buf[57:65])
 		return p, nil
 	case pageLeaf:
 		n := int(binary.LittleEndian.Uint16(buf[1:3]))
@@ -299,5 +317,5 @@ func decodeMetaSlot(f file, slot uint64) (m meta, skew uint32, ok bool) {
 	if p.Version != FormatVersion || p.PageSz != PageSize {
 		return meta{}, p.Version, false
 	}
-	return meta{seq: p.Seq, root: p.Root, npages: p.NPages, nextOrd: p.NextOrd, count: p.Count}, 0, true
+	return meta{seq: p.Seq, root: p.Root, npages: p.NPages, nextOrd: p.NextOrd, count: p.Count, walSeq: p.WALSeq}, 0, true
 }

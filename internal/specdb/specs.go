@@ -47,74 +47,153 @@ func recLen(db *spec.DB) int {
 	return len(db.Specs)
 }
 
-// ImportSpecs inserts specs in order, first-wins on duplicate keys
-// (matching spec.DB.Dedup semantics for both in-input duplicates and
-// keys already present in the store). One atomic commit.
-func (s *Store) ImportSpecs(specs []*spec.Spec) (added, skipped int, err error) {
-	err = s.Update(func(tx *Tx) error {
-		for _, sp := range specs {
-			key := []byte(sp.Key())
-			if _, ok, err := tx.Get(key); err != nil {
-				return err
-			} else if ok {
-				skipped++
-				continue
-			}
-			val, err := encodeSpec(tx.TakeOrd(), sp)
-			if err != nil {
-				return err
-			}
-			if err := tx.Put(key, val); err != nil {
-				return err
-			}
-			added++
+// lookupLocked resolves key through the pending WAL batch first, then
+// the committed snapshot — the writer's read-your-writes view. Caller
+// holds s.mu.
+func (s *Store) lookupLocked(key []byte) ([]byte, bool, error) {
+	if val, present, hit := s.pendingGet(key); hit {
+		return val, present, nil
+	}
+	src, sn := s.lookupSourceLocked()
+	return treeGet(src, sn.meta.root, key)
+}
+
+// checkSpecKey validates a spec key before any ordinal is allocated or
+// record appended.
+func checkSpecKey(key []byte) error {
+	if len(key) == 0 {
+		return fmt.Errorf("specdb: empty key")
+	}
+	if len(key) > MaxKeyLen {
+		return fmt.Errorf("%w: %d bytes (max %d)", ErrKeyTooLong, len(key), MaxKeyLen)
+	}
+	return nil
+}
+
+// ImportSpecs appends specs in order through the batch, first-wins on
+// duplicate keys (matching spec.DB.Dedup semantics for both in-input
+// duplicates and keys already present in the store or pending batch).
+// Records fold whenever the commit policy trips mid-import.
+func (b *Batch) ImportSpecs(specs []*spec.Spec) (added, skipped int, err error) {
+	b.s.mu.Lock()
+	defer b.s.mu.Unlock()
+	for _, sp := range specs {
+		key := []byte(sp.Key())
+		if err := checkSpecKey(key); err != nil {
+			return added, skipped, err
 		}
-		return nil
-	})
+		if _, ok, err := b.s.lookupLocked(key); err != nil {
+			return added, skipped, err
+		} else if ok {
+			skipped++
+			continue
+		}
+		val, err := encodeSpec(b.s.nextOrd, sp)
+		if err != nil {
+			return added, skipped, err
+		}
+		b.s.nextOrd++
+		if err := b.s.appendRecordLocked(WALOpPut, key, val); err != nil {
+			return added, skipped, err
+		}
+		added++
+	}
+	return added, skipped, nil
+}
+
+// UpsertSpec appends an insert-or-replace of sp.Key() through the
+// batch. A replaced spec (committed or pending) keeps its ordinal; a
+// new spec allocates the next one.
+func (b *Batch) UpsertSpec(sp *spec.Spec) (created bool, err error) {
+	b.s.mu.Lock()
+	defer b.s.mu.Unlock()
+	key := []byte(sp.Key())
+	if err := checkSpecKey(key); err != nil {
+		return false, err
+	}
+	old, ok, err := b.s.lookupLocked(key)
 	if err != nil {
+		return false, err
+	}
+	var ord uint64
+	if ok {
+		if ord, _, err = decodeSpec(old); err != nil {
+			return false, err
+		}
+	} else {
+		ord = b.s.nextOrd
+		created = true
+	}
+	val, err := encodeSpec(ord, sp)
+	if err != nil {
+		return false, err
+	}
+	if created {
+		b.s.nextOrd++
+	}
+	if err := b.s.appendRecordLocked(WALOpPut, key, val); err != nil {
+		return false, err
+	}
+	return created, nil
+}
+
+// DeleteSpec appends a delete of key (a spec.Key() string) through the
+// batch, reporting whether the key was present in the batch's view.
+func (b *Batch) DeleteSpec(key string) (bool, error) {
+	b.s.mu.Lock()
+	defer b.s.mu.Unlock()
+	_, ok, err := b.s.lookupLocked([]byte(key))
+	if err != nil || !ok {
+		return false, err
+	}
+	if err := b.s.appendRecordLocked(WALOpDelete, []byte(key), nil); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// ImportSpecs inserts specs in order, first-wins on duplicate keys.
+// The whole import runs through the group-commit WAL and flushes at the
+// end, so a small corpus lands as one B-tree commit and a large one
+// folds every CommitPolicy trip; a failure discards only the unfolded
+// tail.
+func (s *Store) ImportSpecs(specs []*spec.Spec) (added, skipped int, err error) {
+	b := s.Batch()
+	added, skipped, err = b.ImportSpecs(specs)
+	if err != nil {
+		b.Discard()
+		return 0, 0, err
+	}
+	if err := b.Flush(); err != nil {
 		return 0, 0, err
 	}
 	return added, skipped, nil
 }
 
-// UpsertSpec inserts or replaces the spec stored under sp.Key(). A
-// replaced spec keeps its ordinal, so editing a spec in place does not
-// reorder the corpus; a new spec appends at the next ordinal.
+// UpsertSpec inserts or replaces the spec stored under sp.Key() as one
+// durable commit. A replaced spec keeps its ordinal, so editing a spec
+// in place does not reorder the corpus; a new spec appends at the next
+// ordinal.
 func (s *Store) UpsertSpec(sp *spec.Spec) (created bool, err error) {
-	err = s.Update(func(tx *Tx) error {
-		key := []byte(sp.Key())
-		old, ok, err := tx.Get(key)
-		if err != nil {
-			return err
-		}
-		var ord uint64
-		if ok {
-			if ord, _, err = decodeSpec(old); err != nil {
-				return err
-			}
-		} else {
-			ord = tx.TakeOrd()
-			created = true
-		}
-		val, err := encodeSpec(ord, sp)
-		if err != nil {
-			return err
-		}
-		return tx.Put(key, val)
-	})
-	return created, err
+	b := s.Batch()
+	created, err = b.UpsertSpec(sp)
+	if err != nil {
+		b.Discard()
+		return false, err
+	}
+	return created, b.Flush()
 }
 
-// DeleteSpec removes the spec stored under key (a spec.Key() string),
-// reporting whether it was present.
+// DeleteSpec removes the spec stored under key (a spec.Key() string) as
+// one durable commit, reporting whether it was present.
 func (s *Store) DeleteSpec(key string) (bool, error) {
-	var deleted bool
-	err := s.Update(func(tx *Tx) error {
-		var err error
-		deleted, err = tx.Delete([]byte(key))
-		return err
-	})
-	return deleted, err
+	b := s.Batch()
+	deleted, err := b.DeleteSpec(key)
+	if err != nil {
+		b.Discard()
+		return false, err
+	}
+	return deleted, b.Flush()
 }
 
 // ordSpec pairs a decoded spec with its import ordinal for sorting.

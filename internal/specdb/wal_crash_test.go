@@ -1,0 +1,284 @@
+package specdb
+
+// Crash-consistency harness for the group-commit write path. The
+// original harness replays every prefix of the store file's write
+// sequence; this one records the COMBINED physical sequence — WAL
+// appends, WAL truncations, and B-tree page/meta writes interleaved in
+// issue order across both files — and replays every prefix of it. The
+// oracle is per-operation, not per-commit: once an operation's WAL
+// record is fully on disk it is durable, whether or not the fold that
+// absorbs it ever ran, so a crash at any prefix must recover (via meta
+// recovery plus WAL tail replay) to the state after the last fully
+// appended record, with spec ordinals preserved exactly.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"seal/internal/spec"
+)
+
+// twinOp is one physical operation on one of the two files.
+type twinOp struct {
+	wal   bool // which file
+	trunc bool // Truncate(size) instead of WriteAt(data, off)
+	off   int64
+	data  []byte
+	size  int64
+}
+
+// twinFile mirrors one file's writes into a memFile while logging them,
+// tagged by file, into a log shared with its sibling.
+type twinFile struct {
+	mem *memFile
+	wal bool
+	log *[]twinOp
+}
+
+func (f *twinFile) ReadAt(p []byte, off int64) (int, error) { return f.mem.ReadAt(p, off) }
+func (f *twinFile) WriteAt(p []byte, off int64) (int, error) {
+	*f.log = append(*f.log, twinOp{wal: f.wal, off: off, data: append([]byte(nil), p...)})
+	return f.mem.WriteAt(p, off)
+}
+func (f *twinFile) Truncate(n int64) error {
+	*f.log = append(*f.log, twinOp{wal: f.wal, trunc: true, size: n})
+	return f.mem.Truncate(n)
+}
+func (f *twinFile) Sync() error          { return nil }
+func (f *twinFile) Close() error         { return nil }
+func (f *twinFile) Size() (int64, error) { return f.mem.Size() }
+
+// durableState is the oracle after one operation's WAL record landed.
+type durableState struct {
+	model   map[string]string // key -> encoded spec record bytes
+	nextOrd uint64
+	writes  int // combined-log length once the record was fully appended
+}
+
+// buildWALCrashRun drives a deterministic spec-level workload through a
+// group-commit batch over twin recording files, folding every few
+// records, and returns the combined log plus the per-operation oracle.
+func buildWALCrashRun(t *testing.T) ([]twinOp, []durableState) {
+	t.Helper()
+	var log []twinOp
+	main := &twinFile{mem: &memFile{}, log: &log}
+	walf := &twinFile{mem: &memFile{}, wal: true, log: &log}
+	if err := initEmpty(main); err != nil {
+		t.Fatal(err)
+	}
+	st, err := openStore(main, walf, "walcrash.mem", false, Options{
+		Commit: CommitPolicy{Records: 4, Bytes: 1 << 30},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := st.Batch()
+
+	model := map[string]string{}
+	ordOf := map[string]uint64{}
+	nextOrd := uint64(1)
+	states := []durableState{{model: copyModel(model), nextOrd: nextOrd, writes: len(log)}}
+	// An operation is durable the moment its WAL append completes — the
+	// FIRST physical write its call issues — not when the call returns:
+	// a policy-tripped fold inside the same call adds page writes after
+	// the record is already recoverable. record is called with the log
+	// length observed before the operation.
+	record := func(pre int) {
+		states = append(states, durableState{model: copyModel(model), nextOrd: nextOrd, writes: pre + 1})
+	}
+
+	rng := rand.New(rand.NewSource(41))
+	pool := make([]*spec.Spec, 12)
+	for i := range pool {
+		pool[i] = mkSpec(fmt.Sprintf("crash.ops%02d", i), "kmalloc", i%2 == 0, int64(i), "p0")
+	}
+	for c := 0; c < 36; c++ {
+		i := rng.Intn(len(pool))
+		base := *pool[i]
+		key := base.Key()
+		pre := len(log)
+		switch {
+		case rng.Intn(4) == 0:
+			ok, err := b.DeleteSpec(key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, had := model[key]
+			if ok != had {
+				t.Fatalf("op %d: delete(%q) = %v, model had %v", c, key, ok, had)
+			}
+			if had {
+				delete(model, key)
+				record(pre) // the tombstone record is durable
+			}
+		default:
+			edited := base
+			edited.OriginPatch = fmt.Sprintf("p%d", c)
+			created, err := b.UpsertSpec(&edited)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ord, had := ordOf[key]
+			if _, live := model[key]; created == live {
+				t.Fatalf("op %d: upsert(%q) created=%v, model live=%v", c, key, created, live)
+			}
+			if !had || created {
+				// A fresh insert (including re-insert after delete)
+				// allocates the next ordinal.
+				ord = nextOrd
+				nextOrd++
+				ordOf[key] = ord
+			}
+			val, err := encodeSpec(ord, &edited)
+			if err != nil {
+				t.Fatal(err)
+			}
+			model[key] = string(val)
+			record(pre)
+		}
+		if rng.Intn(9) == 0 {
+			if err := b.Flush(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return log, states
+}
+
+// replayTwin rebuilds both file images after the first n combined ops.
+func replayTwin(log []twinOp, n int) (main, wal *memFile) {
+	main, wal = &memFile{}, &memFile{}
+	for _, op := range log[:n] {
+		f := main
+		if op.wal {
+			f = wal
+		}
+		if op.trunc {
+			f.Truncate(op.size)
+		} else {
+			f.WriteAt(op.data, op.off)
+		}
+	}
+	return main, wal
+}
+
+// expectDurable returns the oracle state a crash after `writes`
+// combined ops must recover to.
+func expectDurable(states []durableState, writes int) (durableState, bool) {
+	var best durableState
+	found := false
+	for _, s := range states {
+		if s.writes <= writes {
+			best = s
+			found = true
+		}
+	}
+	return best, found
+}
+
+// checkWALRecovery opens a crash image pair read-write (meta recovery +
+// tail replay into one commit) and asserts the exact oracle state.
+func checkWALRecovery(t *testing.T, main, wal *memFile, want durableState, haveGenesis bool, label string) {
+	t.Helper()
+	st, err := openStore(main, wal, label, false, Options{})
+	if err != nil {
+		if haveGenesis {
+			t.Fatalf("%s: lost durable state: %v", label, err)
+		}
+		return
+	}
+	if !haveGenesis {
+		t.Fatalf("%s: opened with no durable genesis", label)
+	}
+	if _, err := st.Verify(); err != nil {
+		t.Fatalf("%s: verify after recovery: %v", label, err)
+	}
+	checkAgainstModel(t, st.Current(), want.model, label)
+	if got := st.Stats().NextOrd; got != want.nextOrd {
+		t.Fatalf("%s: recovered NextOrd %d, want %d (ordinal allocation lost)", label, got, want.nextOrd)
+	}
+}
+
+// TestWALCrashConsistencyEveryPrefix replays the combined WAL+page
+// write sequence cut at every prefix, plus a torn variant of each
+// in-flight write, read-write and read-only.
+func TestWALCrashConsistencyEveryPrefix(t *testing.T) {
+	log, states := buildWALCrashRun(t)
+	genesisWrites := states[0].writes
+
+	for p := 0; p <= len(log); p++ {
+		want, _ := expectDurable(states, p)
+		have := p >= genesisWrites
+		label := fmt.Sprintf("prefix %d/%d", p, len(log))
+
+		main, wal := replayTwin(log, p)
+		checkWALRecovery(t, main, wal, want, have, label)
+
+		// The same crash image opened read-only: the unfolded tail must
+		// overlay to the identical state, with neither file written.
+		main, wal = replayTwin(log, p)
+		mainBytes := append([]byte(nil), main.buf...)
+		walBytes := append([]byte(nil), wal.buf...)
+		if ro, err := openStore(main, wal, label, true, Options{}); err == nil {
+			checkAgainstModel(t, ro.Current(), want.model, label+" (ro)")
+			if string(main.buf) != string(mainBytes) || string(wal.buf) != string(walBytes) {
+				t.Fatalf("%s: read-only recovery wrote to a crash image", label)
+			}
+		} else if have {
+			t.Fatalf("%s: read-only open lost durable state: %v", label, err)
+		}
+
+		if p == len(log) {
+			continue
+		}
+		// Torn in-flight write: half of op p lands (a torn WAL append or
+		// a torn page write, depending on which file op p targets).
+		next := log[p]
+		if next.trunc {
+			continue
+		}
+		main, wal = replayTwin(log, p)
+		torn := main
+		if next.wal {
+			torn = wal
+		}
+		torn.WriteAt(next.data[:len(next.data)/2], next.off)
+		checkWALRecovery(t, main, wal, want, have, fmt.Sprintf("torn %d/%d", p, len(log)))
+	}
+}
+
+// TestWALCrashRecoveredStoreStaysWritable: recovery is not read-repair
+// only — after recovering from an arbitrary mid-run crash point, the
+// store must accept further batched writes and fold them.
+func TestWALCrashRecoveredStoreStaysWritable(t *testing.T) {
+	log, states := buildWALCrashRun(t)
+	for _, frac := range []int{3, 2, 1} {
+		p := len(log) / frac
+		want, _ := expectDurable(states, p)
+		main, wal := replayTwin(log, p)
+		st, err := openStore(main, wal, "rewrite", false, Options{Commit: CommitPolicy{Records: 2, Bytes: 1 << 30}})
+		if err != nil {
+			t.Fatalf("cut %d: %v", p, err)
+		}
+		b := st.Batch()
+		sp := mkSpec("crash.after", "krealloc", true, int64(frac), "post")
+		created, err := b.UpsertSpec(sp)
+		if err != nil || !created {
+			t.Fatalf("cut %d: post-recovery upsert: %v %v", p, created, err)
+		}
+		if err := b.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		got, found, err := st.Current().SpecByKey(sp.Key())
+		if err != nil || !found || got.OriginPatch != "post" {
+			t.Fatalf("cut %d: post-recovery spec unreadable: %v %v %v", p, found, err, got)
+		}
+		if n := st.Current().Len(); n != len(want.model)+1 {
+			t.Fatalf("cut %d: len %d, want %d", p, n, len(want.model)+1)
+		}
+	}
+}

@@ -27,9 +27,18 @@ import (
 // matching SpecDB.Dedup, so re-importing an unchanged corpus is a no-op.
 // Returns (added, skipped).
 func ImportSpecStore(path string, db *SpecDB) (added, skipped int, err error) {
-	st, err := specdb.Open(path)
+	return ImportSpecStoreOptions(path, db, specdb.Options{})
+}
+
+// ImportSpecStoreOptions is ImportSpecStore with an explicit store
+// configuration: the group-commit fold policy governs how many imported
+// specs ride in each WAL batch before folding into one B-tree commit,
+// and the compaction threshold arms ratio-triggered background
+// compaction for the duration of the import.
+func ImportSpecStoreOptions(path string, db *SpecDB, opts specdb.Options) (added, skipped int, err error) {
+	st, err := specdb.OpenOptions(path, opts)
 	if errors.Is(err, os.ErrNotExist) {
-		st, err = specdb.Create(path)
+		st, err = specdb.CreateOptions(path, opts)
 	}
 	if err != nil {
 		return 0, 0, err
